@@ -1,0 +1,33 @@
+# Convenience targets for the OpenMP-MCA reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/ompmca-epcc -outer 15 -absolute
+	$(GO) run ./cmd/ompmca-npb -class W
+	$(GO) run ./cmd/ompmca-info
+	$(GO) run ./cmd/ompmca-boot -v
+	$(GO) run ./cmd/ompmca-validate
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,128 @@
+// Command ompmca-epcc regenerates the paper's Table I: EPCC
+// synchronization-overhead ratios of the MCA-backed OpenMP runtime versus
+// the native runtime, per directive and thread count, on the modeled
+// T4240RDB.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/epcc"
+	"openmpmca/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ompmca-epcc: ")
+	var (
+		threadsFlag = flag.String("threads", "4,8,12,16,20,24", "comma-separated team sizes")
+		inner       = flag.Int("inner", 128, "construct executions per sample")
+		outer       = flag.Int("outer", 7, "samples per cell (median reported)")
+		delay       = flag.Int("delay", 64, "busy-delay length inside constructs")
+		boardName   = flag.String("board", "t4240", "board model: t4240 or p4080")
+		absolute    = flag.Bool("absolute", false, "also print absolute overheads (µs)")
+		sched       = flag.Bool("sched", false, "also run the schedbench schedule-overhead sweep")
+		array       = flag.Bool("array", false, "also run the arraybench data-environment sweep")
+	)
+	flag.Parse()
+
+	board, err := pickBoard(*boardName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := epcc.Options{InnerReps: *inner, OuterReps: *outer, DelayLength: *delay}
+
+	res, err := epcc.MeasureTable1(board, opt, threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Render())
+	if *sched {
+		for _, layerName := range []string{"native", "mca"} {
+			rt, err := runtimeFor(board, layerName, threads[len(threads)-1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n[%s layer] ", layerName)
+			fmt.Print(epcc.NewSuite(rt, opt).MeasureScheduleTable().Render())
+			_ = rt.Close()
+		}
+	}
+	if *array {
+		for _, layerName := range []string{"native", "mca"} {
+			rt, err := runtimeFor(board, layerName, threads[len(threads)-1])
+			if err != nil {
+				log.Fatal(err)
+			}
+			table, err := epcc.NewSuite(rt, opt).MeasureArrayTable()
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("\n[%s layer] ", layerName)
+			fmt.Print(table.Render())
+			_ = rt.Close()
+		}
+	}
+	if *absolute {
+		fmt.Println("\nAbsolute overheads (µs, median):")
+		for _, c := range res.Constructs {
+			fmt.Printf("%-14s native:", c)
+			for _, v := range res.NativeUS[c] {
+				fmt.Printf("%9.2f", v)
+			}
+			fmt.Printf("\n%-14s mca:   ", c)
+			for _, v := range res.MCAUS[c] {
+				fmt.Printf("%9.2f", v)
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func runtimeFor(board *platform.Board, layerName string, threads int) (*core.Runtime, error) {
+	var layer core.ThreadLayer
+	if layerName == "mca" {
+		l, err := core.NewMCALayer(board.NewSystem())
+		if err != nil {
+			return nil, err
+		}
+		layer = l
+	} else {
+		layer = core.NewNativeLayer(board.HWThreads())
+	}
+	return core.New(core.WithLayer(layer), core.WithNumThreads(threads))
+}
+
+func pickBoard(name string) (*platform.Board, error) {
+	switch strings.ToLower(name) {
+	case "t4240", "t4240rdb":
+		return platform.T4240RDB(), nil
+	case "p4080", "p4080ds":
+		return platform.P4080DS(), nil
+	}
+	return nil, fmt.Errorf("unknown board %q", name)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts")
+	}
+	return out, nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("4,8, 12")
+	if err != nil || len(got) != 3 || got[2] != 12 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "a", "-4"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickBoard(t *testing.T) {
+	b, err := pickBoard("p4080ds")
+	if err != nil || b.Cores != 8 {
+		t.Errorf("pickBoard = %v, %v", b, err)
+	}
+	if _, err := pickBoard("zynq"); err == nil {
+		t.Error("unknown board accepted")
+	}
+}
+
+func TestRuntimeFor(t *testing.T) {
+	b, _ := pickBoard("t4240")
+	for _, layer := range []string{"native", "mca"} {
+		rt, err := runtimeFor(b, layer, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", layer, err)
+		}
+		if rt.NumThreads() != 4 {
+			t.Errorf("%s threads = %d", layer, rt.NumThreads())
+		}
+		_ = rt.Close()
+	}
+}

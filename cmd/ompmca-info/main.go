@@ -1,0 +1,62 @@
+// Command ompmca-info renders the platform artifacts of the paper's §4:
+// the T4240RDB block diagram (Figure 1), a hypervisor partitioning demo
+// (Figure 2), the T4240-vs-P4080 comparison (§4C), and the MRAPI metadata
+// resource tree the runtime reads (§5B4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"openmpmca/internal/platform"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ompmca-info: ")
+	var (
+		diagram    = flag.Bool("diagram", false, "render the board block diagram (Figure 1)")
+		hypervisor = flag.Bool("hypervisor", false, "render a hypervisor partition demo (Figure 2)")
+		compare    = flag.Bool("compare", false, "render the T4240 vs P4080 comparison (§4C)")
+		tree       = flag.Bool("tree", false, "render the MRAPI metadata resource tree")
+	)
+	flag.Parse()
+	all := !*diagram && !*hypervisor && !*compare && !*tree
+
+	t4 := platform.T4240RDB()
+	if *diagram || all {
+		fmt.Println("=== Figure 1: board block diagram ===")
+		fmt.Println(t4.BlockDiagram())
+	}
+	if *hypervisor || all {
+		fmt.Println("=== Figure 2: embedded hypervisor partitions ===")
+		hv, err := platform.NewHypervisor(t4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mustPartition(hv, "control-plane", platform.GuestLinux, []int{0, 1, 2, 3, 4, 5, 6, 7}, 2048, "eth0")
+		mustPartition(hv, "data-plane", platform.GuestBareMetal, []int{8, 9, 10, 11, 12, 13, 14, 15}, 2048, "dpaa0")
+		mustPartition(hv, "realtime", platform.GuestRTOS, []int{16, 17, 18, 19}, 1024)
+		for _, name := range []string{"control-plane", "data-plane", "realtime"} {
+			if err := hv.Start(name); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println(hv.Render())
+	}
+	if *compare || all {
+		fmt.Println("=== §4C: T4240RDB vs P4080DS ===")
+		fmt.Println(platform.Compare(t4, platform.P4080DS()))
+	}
+	if *tree || all {
+		fmt.Println("=== MRAPI metadata resource tree (mrapi_resources_get) ===")
+		fmt.Println(t4.ResourceTree().Render())
+	}
+}
+
+func mustPartition(hv *platform.Hypervisor, name string, guest platform.GuestOS, cpus []int, memMB int, io ...string) {
+	if _, err := hv.CreatePartition(name, guest, cpus, memMB, io...); err != nil {
+		log.Fatalf("partition %s: %v", name, err)
+	}
+}

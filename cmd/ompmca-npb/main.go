@@ -1,0 +1,143 @@
+// Command ompmca-npb regenerates the paper's Figure 4: the NAS parallel
+// benchmarks (EP, CG, IS, MG, FT) on the modeled T4240RDB, comparing the
+// MCA-backed OpenMP runtime against the native runtime from 1 to 24
+// threads, reporting deterministic virtual-time execution times and
+// speedups.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/npb"
+	"openmpmca/internal/platform"
+	"openmpmca/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ompmca-npb: ")
+	var (
+		kernelFlag  = flag.String("kernel", "all", "kernel: EP, CG, IS, MG, FT or all")
+		classFlag   = flag.String("class", "W", "problem class: S, W or A")
+		threadsFlag = flag.String("threads", "1,2,4,8,12,16,20,24", "comma-separated team sizes")
+		boardName   = flag.String("board", "t4240", "board model: t4240 or p4080")
+		calibrate   = flag.Bool("calibrate", true, "scale the MCA layer's modeled management costs by host-measured EPCC ratios")
+		traceFlag   = flag.Bool("trace", false, "print each kernel's construct profile (fork/barrier/reduction counts)")
+		plot        = flag.Bool("plot", true, "draw the ASCII speedup chart under each panel")
+	)
+	flag.Parse()
+
+	class, err := npb.ParseClass(*classFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+	board, err := pickBoard(*boardName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	threads, err := parseInts(*threadsFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	kernels := npb.Kernels
+	if *kernelFlag != "all" {
+		kernels = []string{strings.ToUpper(*kernelFlag)}
+	}
+
+	opts := npb.Figure4Options{}
+	if *calibrate {
+		scales, err := npb.CalibrateMCAScales(board, maxOf(threads))
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts.Scales = &scales
+		fmt.Printf("EPCC-calibrated MCA cost factors (shared across kernels): fork %.2f, sync %.2f, reduction %.2f\n\n",
+			scales.Fork, scales.Sync, scales.Reduction)
+	}
+
+	for _, name := range kernels {
+		series, err := npb.MeasureFigure4Opts(board, name, class, threads, opts)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Print(series.Render())
+		if *plot {
+			fmt.Print(series.Plot())
+		}
+		fmt.Printf("max MCA-vs-native time gap: %.2f%%\n", series.MaxRelativeGap()*100)
+		if *traceFlag {
+			if err := printConstructProfile(board, name, class); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// printConstructProfile runs the kernel once at 4 threads with the trace
+// recorder attached and prints its construct counts — the parallel
+// structure behind each Figure 4 panel.
+func printConstructProfile(board *platform.Board, kernelName string, class npb.Class) error {
+	kern, err := npb.New(kernelName, class)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(1) // aggregates only; the ring can stay tiny
+	rt, err := core.New(
+		core.WithLayer(core.NewNativeLayer(board.HWThreads())),
+		core.WithNumThreads(4),
+		core.WithMonitor(rec),
+	)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	if _, err := kern.Run(rt); err != nil {
+		return err
+	}
+	s := rec.Summary()
+	fmt.Printf("construct profile (4 threads): %d regions, %d barriers, %d reductions, %d singles, %.0f work units\n",
+		s.Forks, s.Barriers, s.Reductions, s.Singles, s.UnitsCharged)
+	return nil
+}
+
+func maxOf(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func pickBoard(name string) (*platform.Board, error) {
+	switch strings.ToLower(name) {
+	case "t4240", "t4240rdb":
+		return platform.T4240RDB(), nil
+	case "p4080", "p4080ds":
+		return platform.P4080DS(), nil
+	}
+	return nil, fmt.Errorf("unknown board %q", name)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts")
+	}
+	return out, nil
+}

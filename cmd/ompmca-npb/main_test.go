@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,24")
+	if err != nil || len(got) != 3 || got[2] != 24 {
+		t.Errorf("parseInts = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "x", "0", "1,-2"} {
+		if _, err := parseInts(bad); err == nil {
+			t.Errorf("parseInts(%q) accepted", bad)
+		}
+	}
+}
+
+func TestPickBoard(t *testing.T) {
+	for _, name := range []string{"t4240", "T4240RDB", "p4080", "P4080DS"} {
+		if _, err := pickBoard(name); err != nil {
+			t.Errorf("pickBoard(%q): %v", name, err)
+		}
+	}
+	if _, err := pickBoard("imx8"); err == nil {
+		t.Error("unknown board accepted")
+	}
+}
+
+func TestMaxOf(t *testing.T) {
+	if maxOf([]int{3, 24, 7}) != 24 || maxOf(nil) != 1 {
+		t.Error("maxOf wrong")
+	}
+}

@@ -1,0 +1,81 @@
+// Command ompmca-validate runs the OpenMP validation suite (paper §6A)
+// against the native and/or MCA-backed runtime, and executes the paper's
+// broken-MRAPI-mutex regression: the fault that made the critical
+// construct fail must be caught by the suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/platform"
+	"openmpmca/internal/validation"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ompmca-validate: ")
+	var (
+		layerFlag = flag.String("layer", "both", "runtime under test: native, mca or both")
+		reps      = flag.Int("reps", 3, "repetitions per test")
+		threads   = flag.Int("threads", 8, "team size")
+	)
+	flag.Parse()
+
+	boardModel := platform.T4240RDB()
+	failures := 0
+
+	runSuite := func(name string, mk func() (*core.Runtime, error)) {
+		fmt.Printf("=== validation suite on %s layer (%d reps, %d threads) ===\n", name, *reps, *threads)
+		outcomes, err := validation.RunAll(mk, *reps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, o := range outcomes {
+			status := "PASS"
+			if !o.Passed() {
+				status = "FAIL"
+				failures++
+			}
+			fmt.Printf("  %-22s %s  (%d/%d runs ok, crosscheck %v)", o.Name, status, o.Runs-o.Failures, o.Runs, o.CrossOK)
+			if o.Detail != "" {
+				fmt.Printf("  [%s]", o.Detail)
+			}
+			fmt.Println()
+		}
+	}
+
+	layer := strings.ToLower(*layerFlag)
+	if layer == "native" || layer == "both" {
+		runSuite("native", func() (*core.Runtime, error) {
+			return core.New(core.WithLayer(core.NewNativeLayer(boardModel.HWThreads())), core.WithNumThreads(*threads))
+		})
+	}
+	if layer == "mca" || layer == "both" {
+		runSuite("mca", func() (*core.Runtime, error) {
+			l, err := core.NewMCALayer(boardModel.NewSystem())
+			if err != nil {
+				return nil, err
+			}
+			return core.New(core.WithLayer(l), core.WithNumThreads(*threads))
+		})
+	}
+
+	fmt.Println("=== §6A regression: non-functional MRAPI mutex must be detected ===")
+	if err := validation.BrokenMutexRegression(boardModel); err != nil {
+		fmt.Printf("  FAIL: %v\n", err)
+		failures++
+	} else {
+		fmt.Println("  PASS: injected mutex fault detected by the critical check; fixed layer passes")
+	}
+
+	if failures > 0 {
+		fmt.Printf("\n%d failure(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nall validation checks passed")
+}

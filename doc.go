@@ -1,0 +1,12 @@
+// Package openmpmca is a from-scratch Go reproduction of "OpenMP-MCA:
+// Leveraging Multiprocessor Embedded Systems using industry standards"
+// (Sun, Chandrasekaran, Chapman — IPDPSW 2015): an OpenMP-style fork/join
+// runtime whose thread, memory and synchronization services are routed
+// through a full implementation of the Multicore Association APIs (MRAPI,
+// MCAPI, MTAPI), evaluated on a modeled Freescale T4240RDB board.
+//
+// The root package carries only the module documentation and the
+// benchmark harness (bench_test.go) that regenerates the paper's Table I
+// and Figure 4; the implementation lives under internal/ and the runnable
+// demos under examples/ and cmd/. See README.md for the map.
+package openmpmca

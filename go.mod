@@ -1,0 +1,3 @@
+module openmpmca
+
+go 1.22

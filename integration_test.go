@@ -1,0 +1,118 @@
+package openmpmca
+
+// End-to-end composition test: the full stack the paper describes, wired
+// together the way cmd/ and examples/ wire it — board model → hypervisor
+// partition → partition-scoped MRAPI universe → MCA thread layer → OpenMP
+// runtime → EPCC measurement, NAS kernel and validation suite — asserting
+// that every seam composes.
+
+import (
+	"testing"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/epcc"
+	"openmpmca/internal/npb"
+	"openmpmca/internal/perfmodel"
+	"openmpmca/internal/platform"
+	"openmpmca/internal/trace"
+	"openmpmca/internal/validation"
+)
+
+func TestFullStackComposition(t *testing.T) {
+	// 1. Board and hypervisor: carve an 8-CPU Linux partition.
+	board := platform.T4240RDB()
+	hv, err := platform.NewHypervisor(board)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hv.CreatePartition("omp", platform.GuestLinux, []int{0, 1, 2, 3, 4, 5, 6, 7}, 2048); err != nil {
+		t.Fatal(err)
+	}
+	if err := hv.Start("omp"); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := hv.PartitionSystem("omp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. MCA-backed runtime inside the partition, traced and timed.
+	layer, err := core.NewMCALayer(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := perfmodel.New(board, perfmodel.KernelProfile{Name: "itest", CyclesPerUnit: 10})
+	rec := trace.NewRecorder(0)
+	rt, err := core.New(core.WithLayer(layer), core.WithMonitor(trace.NewTee(model, rec)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.NumThreads() != 8 {
+		t.Fatalf("partition team = %d, want 8", rt.NumThreads())
+	}
+
+	// 3. A worksharing + reduction region must compute correctly and feed
+	// both monitors.
+	var sum int64
+	if err := rt.Parallel(func(c *core.Context) {
+		r := core.Reduce(c, 10_000, int64(0),
+			func(a, b int64) int64 { return a + b },
+			func(lo, hi int) int64 {
+				var s int64
+				for i := lo; i < hi; i++ {
+					s += int64(i)
+				}
+				c.Charge(float64(hi - lo))
+				return s
+			})
+		c.Master(func() { sum = r })
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(9999) * 10000 / 2; sum != want {
+		t.Fatalf("reduce = %d, want %d", sum, want)
+	}
+	if model.Seconds() <= 0 {
+		t.Error("virtual clock did not advance")
+	}
+	if s := rec.Summary(); s.Forks != 1 || s.UnitsCharged != 10_000 {
+		t.Errorf("trace summary = %+v", s)
+	}
+
+	// 4. EPCC measures on the same runtime.
+	suite := epcc.NewSuite(rt, epcc.Options{InnerReps: 8, OuterReps: 3, DelayLength: 8})
+	if _, err := suite.Measure("barrier"); err != nil {
+		t.Fatal(err)
+	}
+
+	// 5. A NAS kernel runs verified on the partition runtime.
+	ep, err := npb.New("EP", npb.ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ep.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("EP on the partition runtime not verified: %s", res.Detail)
+	}
+
+	// 6. The validation battery passes against partition-scoped runtimes.
+	outcomes, err := validation.RunAll(func() (*core.Runtime, error) {
+		l, err := core.NewMCALayer(hv.Board().NewSystem())
+		if err != nil {
+			return nil, err
+		}
+		return core.New(core.WithLayer(l), core.WithNumThreads(8))
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if !o.Passed() {
+			t.Errorf("validation %s failed: %s", o.Name, o.Detail)
+		}
+	}
+}

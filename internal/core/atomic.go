@@ -1,0 +1,50 @@
+package core
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// AtomicFloat64 is a float64 with atomic Load/Store/Add — the runtime's
+// stand-in for "#pragma omp atomic" on floating-point accumulators. It
+// stores the value's bit pattern in an atomic integer, so no unsafe
+// aliasing of user memory is needed.
+type AtomicFloat64 struct {
+	bits atomic.Uint64
+}
+
+// Load returns the current value.
+func (a *AtomicFloat64) Load() float64 {
+	return math.Float64frombits(a.bits.Load())
+}
+
+// Store replaces the value.
+func (a *AtomicFloat64) Store(v float64) {
+	a.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta and returns the new value.
+func (a *AtomicFloat64) Add(delta float64) float64 {
+	for {
+		old := a.bits.Load()
+		next := math.Float64frombits(old) + delta
+		if a.bits.CompareAndSwap(old, math.Float64bits(next)) {
+			return next
+		}
+	}
+}
+
+// Max atomically raises the value to v if v is larger, returning the
+// resulting maximum.
+func (a *AtomicFloat64) Max(v float64) float64 {
+	for {
+		old := a.bits.Load()
+		cur := math.Float64frombits(old)
+		if v <= cur {
+			return cur
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return v
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import "sync"
+
+// teamBarrier is a reusable synchronization barrier for a fixed-size team.
+// Two implementations exist so the ablation bench can compare them:
+// centralBarrier (the default, matching libGOMP's central counter) and
+// treeBarrier (a combining tree that trades latency for contention).
+type teamBarrier interface {
+	// Wait blocks thread tid until all team members arrive. onRelease, if
+	// non-nil, runs exactly once per episode after the last arrival and
+	// before ANY thread is released — the window in which the runtime
+	// notifies the virtual-time monitor so that post-barrier work cannot
+	// race the clock alignment. Wait reports true to exactly one caller
+	// per episode (the one that ran onRelease).
+	Wait(tid int, onRelease func()) bool
+}
+
+// BarrierKind selects the barrier algorithm a runtime uses.
+type BarrierKind int
+
+const (
+	// BarrierCentral is a central-counter broadcast barrier.
+	BarrierCentral BarrierKind = iota
+	// BarrierTree is a binary combining-tree barrier.
+	BarrierTree
+)
+
+func (k BarrierKind) String() string {
+	if k == BarrierTree {
+		return "tree"
+	}
+	return "central"
+}
+
+func newBarrier(kind BarrierKind, size int) teamBarrier {
+	if kind == BarrierTree && size > 1 {
+		return newTreeBarrier(size)
+	}
+	return newCentralBarrier(size)
+}
+
+// centralBarrier: each arrival increments a counter under a mutex; the
+// last arrival opens the episode's broadcast channel. Channels are
+// replaced per episode so the barrier is reusable and insensitive to
+// stragglers from the previous episode.
+type centralBarrier struct {
+	size int
+
+	mu    sync.Mutex
+	count int
+	gate  chan struct{}
+}
+
+func newCentralBarrier(size int) *centralBarrier {
+	return &centralBarrier{size: size, gate: make(chan struct{})}
+}
+
+func (b *centralBarrier) Wait(_ int, onRelease func()) bool {
+	if b.size <= 1 {
+		if onRelease != nil {
+			onRelease()
+		}
+		return true
+	}
+	b.mu.Lock()
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		if onRelease != nil {
+			onRelease()
+		}
+		close(b.gate)
+		b.gate = make(chan struct{})
+		b.mu.Unlock()
+		return true
+	}
+	gate := b.gate
+	b.mu.Unlock()
+	<-gate
+	return false
+}
+
+// treeBarrier: threads combine pairwise up a binary tree rooted at thread
+// 0, which then broadcasts the release down the same tree. Positions are
+// the fixed thread ids, so per-channel traffic alternates strictly
+// send/receive across episodes; with capacity-1 channels the barrier is
+// reusable without sense reversal.
+type treeBarrier struct {
+	size    int
+	arrive  []chan struct{} // child -> parent notification, one per thread
+	release []chan struct{} // parent -> child release, one per thread
+}
+
+func newTreeBarrier(size int) *treeBarrier {
+	b := &treeBarrier{
+		size:    size,
+		arrive:  make([]chan struct{}, size),
+		release: make([]chan struct{}, size),
+	}
+	for i := range b.arrive {
+		b.arrive[i] = make(chan struct{}, 1)
+		b.release[i] = make(chan struct{}, 1)
+	}
+	return b
+}
+
+func (b *treeBarrier) Wait(tid int, onRelease func()) bool {
+	if b.size <= 1 {
+		if onRelease != nil {
+			onRelease()
+		}
+		return true
+	}
+	// Collect arrivals from both children, then notify the parent and wait
+	// for the downstream release.
+	left, right := 2*tid+1, 2*tid+2
+	if left < b.size {
+		<-b.arrive[left]
+	}
+	if right < b.size {
+		<-b.arrive[right]
+	}
+	if tid != 0 {
+		b.arrive[tid] <- struct{}{}
+		<-b.release[tid]
+	} else if onRelease != nil {
+		// The root sees the last arrival; run the hook before releasing.
+		onRelease()
+	}
+	// Release children top-down.
+	if left < b.size {
+		b.release[left] <- struct{}{}
+	}
+	if right < b.size {
+		b.release[right] <- struct{}{}
+	}
+	return tid == 0
+}

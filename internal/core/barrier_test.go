@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// exerciseBarrier hammers a barrier with size threads over many episodes
+// and verifies (a) no thread enters episode e+1 before all arrived at e,
+// and (b) exactly one releaser per episode.
+func exerciseBarrier(t *testing.T, mk func(size int) teamBarrier, size, episodes int) {
+	t.Helper()
+	b := mk(size)
+	arrived := make([]atomic.Int32, episodes)
+	releasers := make([]atomic.Int32, episodes)
+	var wg sync.WaitGroup
+	for tid := 0; tid < size; tid++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for e := 0; e < episodes; e++ {
+				arrived[e].Add(1)
+				if b.Wait(tid, nil) {
+					releasers[e].Add(1)
+				}
+				if got := arrived[e].Load(); got != int32(size) {
+					t.Errorf("episode %d: passed with %d/%d arrivals", e, got, size)
+					return
+				}
+			}
+		}(tid)
+	}
+	wg.Wait()
+	for e := 0; e < episodes; e++ {
+		if releasers[e].Load() != 1 {
+			t.Errorf("episode %d: %d releasers, want 1", e, releasers[e].Load())
+		}
+	}
+}
+
+func TestCentralBarrier(t *testing.T) {
+	for _, size := range []int{2, 3, 8, 24} {
+		exerciseBarrier(t, func(n int) teamBarrier { return newCentralBarrier(n) }, size, 200)
+	}
+}
+
+func TestTreeBarrier(t *testing.T) {
+	for _, size := range []int{2, 3, 7, 8, 24} {
+		exerciseBarrier(t, func(n int) teamBarrier { return newTreeBarrier(n) }, size, 200)
+	}
+}
+
+func TestBarrierSizeOne(t *testing.T) {
+	for _, kind := range []BarrierKind{BarrierCentral, BarrierTree} {
+		b := newBarrier(kind, 1)
+		for i := 0; i < 5; i++ {
+			if !b.Wait(0, nil) {
+				t.Errorf("%v size-1 barrier must release immediately", kind)
+			}
+		}
+	}
+}
+
+func TestNewBarrierSelectsKind(t *testing.T) {
+	if _, ok := newBarrier(BarrierTree, 8).(*treeBarrier); !ok {
+		t.Error("BarrierTree did not produce a tree barrier")
+	}
+	if _, ok := newBarrier(BarrierCentral, 8).(*centralBarrier); !ok {
+		t.Error("BarrierCentral did not produce a central barrier")
+	}
+}
+
+func TestTreeBarrierInsideRuntime(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(24)), WithNumThreads(8), WithBarrierKind(BarrierTree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	var sum atomic.Int64
+	_ = rt.Parallel(func(c *Context) {
+		for r := 0; r < 30; r++ {
+			c.For(64, func(i int) { sum.Add(1) })
+		}
+	})
+	if sum.Load() != 30*64 {
+		t.Errorf("sum = %d, want %d", sum.Load(), 30*64)
+	}
+}

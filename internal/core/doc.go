@@ -1,0 +1,25 @@
+// Package core implements the paper's primary contribution: an OpenMP-style
+// fork/join runtime (modeled on libGOMP's internals) whose three
+// load-bearing services — worker-thread management, runtime memory
+// allocation, and low-level mutual exclusion — are routed through a
+// pluggable ThreadLayer:
+//
+//   - NativeLayer drives goroutines, sync.Mutex and the Go allocator
+//     directly, standing in for the proprietary GNU OpenMP runtime
+//     (libGOMP over pthreads) the paper compares against.
+//   - MCALayer routes the same services through the MRAPI resource
+//     management API: every worker thread is an MRAPI node (paper §5B1),
+//     runtime allocations go through the shared-memory/malloc extension
+//     (§5A2, Listing 3), mutual exclusion maps onto MRAPI mutexes
+//     (Listing 4), and the default thread count comes from the MRAPI
+//     metadata resource tree (§5B4).
+//
+// The runtime provides the OpenMP constructs the paper evaluates with EPCC
+// (Table I) — parallel, for (static/dynamic/guided/auto schedules),
+// parallel-for, barrier, single, critical, reduction — plus master,
+// sections, explicit tasks with taskwait/taskgroup, and runtime locks.
+//
+// A Monitor hook receives fork/join, work-charge and synchronization
+// events; the perfmodel package implements it to produce deterministic
+// virtual-time results on the modeled T4240 board (Figure 4).
+package core

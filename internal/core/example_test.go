@@ -1,0 +1,75 @@
+package core_test
+
+import (
+	"fmt"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/platform"
+)
+
+// The canonical fork/join pattern: a team workshares a loop and reduces a
+// result, over the MCA thread layer bound to the modeled T4240 board.
+func Example() {
+	layer, err := core.NewMCALayer(platform.T4240RDB().NewSystem())
+	if err != nil {
+		panic(err)
+	}
+	rt, err := core.New(core.WithLayer(layer), core.WithNumThreads(4))
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	data := make([]float64, 1000)
+	for i := range data {
+		data[i] = 1
+	}
+	var total float64
+	_ = rt.Parallel(func(c *core.Context) {
+		sum := core.Reduce(c, len(data), 0.0,
+			func(a, b float64) float64 { return a + b },
+			func(lo, hi int) float64 {
+				s := 0.0
+				for i := lo; i < hi; i++ {
+					s += data[i]
+				}
+				return s
+			})
+		c.Master(func() { total = sum })
+	})
+	fmt.Println(total)
+	// Output: 1000
+}
+
+// Worksharing with an explicit schedule: dynamic chunks of 8 over an
+// iteration space, through the ParallelFor convenience.
+func ExampleRuntime_ParallelFor() {
+	rt, err := core.New(core.WithNumThreads(3), core.WithSchedule(core.ScheduleDynamic, 8))
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	out := make([]int, 24)
+	_ = rt.ParallelFor(len(out), func(i int) { out[i] = i * i })
+	fmt.Println(out[5], out[23])
+	// Output: 25 529
+}
+
+// The single construct's copyprivate form broadcasts one thread's value
+// to the whole team.
+func ExampleSingleCopy() {
+	rt, err := core.New(core.WithNumThreads(4))
+	if err != nil {
+		panic(err)
+	}
+	defer rt.Close()
+
+	sum := 0
+	_ = rt.Parallel(func(c *core.Context) {
+		v := core.SingleCopy(c, func() int { return 7 })
+		c.Critical(func() { sum += v })
+	})
+	fmt.Println(sum)
+	// Output: 28
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// failingLayer wraps the native layer and fails selected services, so the
+// runtime's error paths can be driven deterministically.
+type failingLayer struct {
+	*NativeLayer
+	failWorker bool
+	failMutex  bool
+	failAlloc  bool
+}
+
+var errInjected = errors.New("injected layer failure")
+
+func (l *failingLayer) StartWorker(wid int, loop func()) (Worker, error) {
+	if l.failWorker {
+		return nil, errInjected
+	}
+	return l.NativeLayer.StartWorker(wid, loop)
+}
+
+func (l *failingLayer) NewMutex() (RuntimeMutex, error) {
+	if l.failMutex {
+		return nil, errInjected
+	}
+	return l.NativeLayer.NewMutex()
+}
+
+func (l *failingLayer) Alloc(size int) ([]byte, error) {
+	if l.failAlloc {
+		return nil, errInjected
+	}
+	return l.NativeLayer.Alloc(size)
+}
+
+func TestParallelSurfacesAllocFailure(t *testing.T) {
+	// gomp_malloc failing is the paper's gomp_fatal path (Listing 3); the
+	// Go runtime surfaces it as an error instead of aborting.
+	rt, err := New(WithLayer(&failingLayer{NativeLayer: NewNativeLayer(4), failAlloc: true}), WithNumThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Parallel(func(c *Context) {}); !errors.Is(err, errInjected) {
+		t.Errorf("Parallel with failing alloc = %v, want injected error", err)
+	}
+}
+
+func TestParallelSurfacesWorkerSpawnFailure(t *testing.T) {
+	rt, err := New(WithLayer(&failingLayer{NativeLayer: NewNativeLayer(4), failWorker: true}), WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := rt.Parallel(func(c *Context) {}); !errors.Is(err, errInjected) {
+		t.Errorf("Parallel with failing spawn = %v, want injected error", err)
+	}
+	// A one-thread team needs no workers and must still run.
+	if err := rt.ParallelN(1, func(c *Context) {}); err != nil {
+		t.Errorf("1-thread region with failing spawn = %v, want nil", err)
+	}
+}
+
+func TestNewLockSurfacesMutexFailure(t *testing.T) {
+	rt, err := New(WithLayer(&failingLayer{NativeLayer: NewNativeLayer(4), failMutex: true}), WithNumThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if _, err := rt.NewLock(); !errors.Is(err, errInjected) {
+		t.Errorf("NewLock = %v, want injected error", err)
+	}
+	if _, err := rt.NewNestLock(); !errors.Is(err, errInjected) {
+		t.Errorf("NewNestLock = %v, want injected error", err)
+	}
+}
+
+func TestCriticalPanicsOnMutexFailure(t *testing.T) {
+	// Inside a region the runtime has no error channel for a failed
+	// critical-section mutex; it traps, mirroring gomp_fatal.
+	rt, err := New(WithLayer(&failingLayer{NativeLayer: NewNativeLayer(4), failMutex: true}), WithNumThreads(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Critical with failing mutex did not panic")
+		}
+	}()
+	_ = rt.Parallel(func(c *Context) {
+		c.Critical(func() {})
+	})
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Schedule selects a loop worksharing policy, mirroring omp_sched_t.
+type Schedule int
+
+// Loop schedules.
+const (
+	// ScheduleStatic divides iterations into blocks assigned up front; with
+	// a chunk size, blocks are dealt round-robin.
+	ScheduleStatic Schedule = iota
+	// ScheduleDynamic hands out chunk-sized blocks from a shared counter as
+	// threads become free.
+	ScheduleDynamic
+	// ScheduleGuided hands out exponentially shrinking blocks
+	// (remaining / (2·threads), floored at the chunk size).
+	ScheduleGuided
+	// ScheduleAuto lets the runtime pick; this implementation maps it to
+	// static.
+	ScheduleAuto
+)
+
+var scheduleNames = [...]string{"static", "dynamic", "guided", "auto"}
+
+func (s Schedule) String() string {
+	if int(s) < len(scheduleNames) {
+		return scheduleNames[s]
+	}
+	return fmt.Sprintf("schedule(%d)", int(s))
+}
+
+// ParseSchedule parses an OMP_SCHEDULE-style string: "kind" or
+// "kind,chunk".
+func ParseSchedule(s string) (Schedule, int, error) {
+	kind, chunkStr, hasChunk := strings.Cut(strings.TrimSpace(strings.ToLower(s)), ",")
+	var sched Schedule
+	switch strings.TrimSpace(kind) {
+	case "static":
+		sched = ScheduleStatic
+	case "dynamic":
+		sched = ScheduleDynamic
+	case "guided":
+		sched = ScheduleGuided
+	case "auto":
+		sched = ScheduleAuto
+	default:
+		return 0, 0, fmt.Errorf("core: unknown schedule kind %q", kind)
+	}
+	chunk := 0
+	if hasChunk {
+		c, err := strconv.Atoi(strings.TrimSpace(chunkStr))
+		if err != nil || c <= 0 {
+			return 0, 0, fmt.Errorf("core: bad schedule chunk %q", chunkStr)
+		}
+		chunk = c
+	}
+	return sched, chunk, nil
+}
+
+// ICV holds the runtime's internal control variables, the subset of the
+// OpenMP ICV table this runtime honors.
+type ICV struct {
+	// NumThreads is the team size for parallel regions (nthreads-var).
+	NumThreads int
+	// Schedule and Chunk implement run-sched-var, used by loops that ask
+	// for the runtime schedule.
+	Schedule Schedule
+	Chunk    int
+	// Dynamic mirrors dyn-var; when set the runtime may shrink teams to
+	// the number of online processors.
+	Dynamic bool
+	// MaxThreads caps team sizes (thread-limit-var).
+	MaxThreads int
+}
+
+// defaultMaxThreads bounds how large a team the runtime will ever fork; a
+// backstop against runaway env settings, not a tuning knob.
+const defaultMaxThreads = 256
+
+// normalize clamps the ICVs into a sane envelope given the layer's
+// processor count.
+func (v *ICV) normalize(nprocs int) {
+	if v.MaxThreads <= 0 {
+		v.MaxThreads = defaultMaxThreads
+	}
+	if v.NumThreads <= 0 {
+		v.NumThreads = nprocs
+	}
+	if v.NumThreads > v.MaxThreads {
+		v.NumThreads = v.MaxThreads
+	}
+	if v.Dynamic && v.NumThreads > nprocs {
+		v.NumThreads = nprocs
+	}
+	if v.Chunk < 0 {
+		v.Chunk = 0
+	}
+}
+
+// ICVFromEnv builds ICVs from OpenMP environment variables via the given
+// lookup function (pass os.Getenv in production; tests inject maps).
+// Recognized: OMP_NUM_THREADS, OMP_SCHEDULE, OMP_DYNAMIC,
+// OMP_THREAD_LIMIT. Malformed values are ignored, matching libGOMP's
+// forgiving env parsing.
+func ICVFromEnv(getenv func(string) string) ICV {
+	var v ICV
+	if s := getenv("OMP_NUM_THREADS"); s != "" {
+		// A comma-separated list configures nesting levels; only the first
+		// matters here.
+		first, _, _ := strings.Cut(s, ",")
+		if n, err := strconv.Atoi(strings.TrimSpace(first)); err == nil && n > 0 {
+			v.NumThreads = n
+		}
+	}
+	if s := getenv("OMP_SCHEDULE"); s != "" {
+		if sched, chunk, err := ParseSchedule(s); err == nil {
+			v.Schedule = sched
+			v.Chunk = chunk
+		}
+	}
+	if s := getenv("OMP_DYNAMIC"); s != "" {
+		v.Dynamic = strings.EqualFold(strings.TrimSpace(s), "true") || s == "1"
+	}
+	if s := getenv("OMP_THREAD_LIMIT"); s != "" {
+		if n, err := strconv.Atoi(strings.TrimSpace(s)); err == nil && n > 0 {
+			v.MaxThreads = n
+		}
+	}
+	return v
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"openmpmca/internal/mrapi"
+)
+
+// MCADomain is the MRAPI domain the OpenMP runtime claims for itself.
+const MCADomain mrapi.DomainID = 1
+
+// mcaMasterNode is the node ID of the initial (master) thread; worker
+// nodes are numbered from mcaWorkerBase+1 upward, mirroring the paper's
+// scheme of registering every worker thread as an MRAPI node (§5B1).
+const (
+	mcaMasterNode mrapi.NodeID = 0
+	mcaWorkerBase mrapi.NodeID = 100
+	mcaShmemBase  mrapi.Key    = 0x5000
+	mcaMutexBase  mrapi.Key    = 0x9000
+)
+
+// MCAOption configures an MCALayer.
+type MCAOption func(*MCALayer)
+
+// WithBrokenMutex injects the fault the paper reports finding with its
+// validation suite (§6A): the layer hands out non-functional mutexes whose
+// lock/unlock operations do nothing. Used by the validation package to
+// prove the suite detects the bug; never enable it elsewhere.
+func WithBrokenMutex() MCAOption {
+	return func(l *MCALayer) { l.brokenMutex = true }
+}
+
+// MCALayer implements ThreadLayer on top of MRAPI, reproducing the
+// paper's MCA-libGOMP design:
+//
+//   - every pool worker is an MRAPI node whose thread is created through
+//     the node-management extension (mrapi_thread_create, Listing 2);
+//   - runtime allocations go through the shared-memory/malloc extension
+//     (mrapi_shmem_create_malloc, Listing 3);
+//   - critical-section mutexes are MRAPI mutexes (Listing 4);
+//   - the processor count comes from the MRAPI metadata resource tree
+//     (§5B4).
+type MCALayer struct {
+	sys    *mrapi.System
+	master *mrapi.Node
+
+	mu        sync.Mutex
+	nodes     map[int]*mrapi.Node // worker id -> node (0 = master)
+	nextShmem mrapi.Key
+	nextMutex mrapi.Key
+	shmems    map[*byte]*mrapi.Shmem // live allocations, keyed by buffer identity
+	mutexes   []*mrapi.Mutex
+	closed    bool
+
+	brokenMutex bool
+}
+
+// NewMCALayer binds an MCA thread layer to the given MRAPI universe
+// (typically board.NewSystem()). It initializes the master node and reads
+// the metadata tree.
+func NewMCALayer(sys *mrapi.System, opts ...MCAOption) (*MCALayer, error) {
+	master, err := sys.Initialize(MCADomain, mcaMasterNode, &mrapi.NodeAttributes{
+		Name:     "omp-master",
+		Affinity: -1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: initializing MRAPI master node: %w", err)
+	}
+	l := &MCALayer{
+		sys:       sys,
+		master:    master,
+		nodes:     map[int]*mrapi.Node{0: master},
+		nextShmem: mcaShmemBase,
+		nextMutex: mcaMutexBase,
+		shmems:    make(map[*byte]*mrapi.Shmem),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l, nil
+}
+
+// Name implements ThreadLayer.
+func (l *MCALayer) Name() string { return "mca" }
+
+// System exposes the underlying MRAPI universe (used by tests and tools).
+func (l *MCALayer) System() *mrapi.System { return l.sys }
+
+// NumProcs implements ThreadLayer by walking the MRAPI metadata resource
+// tree for online hardware threads (§5B4).
+func (l *MCALayer) NumProcs() int { return l.master.ProcessorsOnline() }
+
+// StartWorker implements ThreadLayer: it initializes an MRAPI node for the
+// worker and creates its thread through the node-management extension. The
+// node is registered in the domain's global database for the worker's
+// lifetime, exactly as the paper's runtime registers each forked thread.
+func (l *MCALayer) StartWorker(wid int, loop func()) (Worker, error) {
+	node, err := l.sys.Initialize(MCADomain, mcaWorkerBase+mrapi.NodeID(wid), &mrapi.NodeAttributes{
+		Name:     fmt.Sprintf("omp-worker-%d", wid),
+		Affinity: wid,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: initializing MRAPI node for worker %d: %w", wid, err)
+	}
+	l.mu.Lock()
+	l.nodes[wid] = node
+	l.mu.Unlock()
+
+	th, err := node.SpawnThread(mrapi.ThreadParams{
+		Name:  fmt.Sprintf("omp-worker-%d", wid),
+		Start: loop,
+	})
+	if err != nil {
+		_ = node.Finalize()
+		return nil, fmt.Errorf("core: spawning MRAPI thread for worker %d: %w", wid, err)
+	}
+	return &mcaWorker{layer: l, wid: wid, node: node, thread: th}, nil
+}
+
+type mcaWorker struct {
+	layer  *MCALayer
+	wid    int
+	node   *mrapi.Node
+	thread *mrapi.NodeThread
+}
+
+// Join waits for the worker's loop to return, then finalizes its MRAPI
+// node — the paper's post-region rundown (§5B1): exit the thread, release
+// the node's registration.
+func (w *mcaWorker) Join() {
+	w.thread.Join()
+	w.layer.mu.Lock()
+	delete(w.layer.nodes, w.wid)
+	w.layer.mu.Unlock()
+	_ = w.node.Finalize()
+}
+
+// node resolves a worker id to its MRAPI node, falling back to the master
+// for ids with no node (e.g. lock use before workers exist).
+func (l *MCALayer) node(wid int) *mrapi.Node {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n, ok := l.nodes[wid]; ok {
+		return n
+	}
+	return l.master
+}
+
+// NewMutex implements ThreadLayer with an MRAPI mutex created in the
+// domain database (Listing 4).
+func (l *MCALayer) NewMutex() (RuntimeMutex, error) {
+	if l.brokenMutex {
+		return brokenMutex{}, nil
+	}
+	l.mu.Lock()
+	key := l.nextMutex
+	l.nextMutex++
+	l.mu.Unlock()
+	m, err := l.master.MutexCreate(key, nil)
+	if err != nil {
+		return nil, fmt.Errorf("core: creating MRAPI mutex: %w", err)
+	}
+	l.mu.Lock()
+	l.mutexes = append(l.mutexes, m)
+	l.mu.Unlock()
+	return &mcaMutex{layer: l, m: m}, nil
+}
+
+type mcaMutex struct {
+	layer *MCALayer
+	m     *mrapi.Mutex
+}
+
+// Lock maps onto mrapi_mutex_lock with an infinite timeout, as in the
+// paper's gomp_mrapi_mutex_lock (Listing 4).
+func (mm *mcaMutex) Lock(wid int) {
+	node := mm.layer.node(wid)
+	if _, err := mm.m.Lock(node, mrapi.TimeoutInfinite); err != nil {
+		panic(fmt.Sprintf("core: MRAPI mutex lock failed: %v", err))
+	}
+}
+
+// Unlock maps onto mrapi_mutex_unlock.
+func (mm *mcaMutex) Unlock(wid int) {
+	node := mm.layer.node(wid)
+	if err := mm.m.Unlock(node, 0); err != nil {
+		panic(fmt.Sprintf("core: MRAPI mutex unlock failed: %v", err))
+	}
+}
+
+// brokenMutex reproduces the paper's §6A bug: a synchronization primitive
+// that silently does nothing, making critical constructs racy.
+type brokenMutex struct{}
+
+func (brokenMutex) Lock(int)   {}
+func (brokenMutex) Unlock(int) {}
+
+// Alloc implements ThreadLayer through the shared-memory/malloc extension
+// (Listing 3): a heap-kind MRAPI shmem segment attached by the master
+// node. Failure maps to an error the runtime reports as gomp_fatal would.
+func (l *MCALayer) Alloc(size int) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("core: MRAPI allocation of %d bytes", size)
+	}
+	l.mu.Lock()
+	key := l.nextShmem
+	l.nextShmem++
+	l.mu.Unlock()
+	buf, seg, err := l.master.ShmemCreateMalloc(key, size)
+	if err != nil {
+		return nil, fmt.Errorf("core: MRAPI failed memory allocation: %w", err)
+	}
+	l.mu.Lock()
+	l.shmems[&buf[0]] = seg
+	l.mu.Unlock()
+	return buf, nil
+}
+
+// Free implements ThreadLayer: detach and delete the backing MRAPI
+// segment, releasing its key — the gomp_free counterpart of Listing 3.
+// Unknown buffers (not from Alloc, or already freed) are ignored.
+func (l *MCALayer) Free(buf []byte) {
+	if len(buf) == 0 {
+		return
+	}
+	l.mu.Lock()
+	seg, ok := l.shmems[&buf[0]]
+	if ok {
+		delete(l.shmems, &buf[0])
+	}
+	l.mu.Unlock()
+	if !ok {
+		return
+	}
+	_ = seg.Detach(l.master)
+	_ = seg.Delete(l.master)
+}
+
+// Close finalizes the master node and releases every MRAPI object the
+// layer created.
+func (l *MCALayer) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	shmems := l.shmems
+	mutexes := l.mutexes
+	l.shmems, l.mutexes = nil, nil
+	l.mu.Unlock()
+
+	for _, s := range shmems {
+		_ = s.Detach(l.master)
+		_ = s.Delete(l.master)
+	}
+	for _, m := range mutexes {
+		_ = m.Delete(l.master)
+	}
+	return l.master.Finalize()
+}

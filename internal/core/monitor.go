@@ -1,0 +1,48 @@
+package core
+
+// Monitor receives the runtime's execution events. The perfmodel package
+// implements it to accumulate deterministic virtual time on a modeled
+// board; a nil monitor costs one predictable branch per event.
+//
+// Work is expressed in abstract units; the monitor decides what a unit
+// costs (perfmodel charges cycles). Charges issued between CriticalEnter
+// and CriticalExit are serialized across the team by a virtual-time
+// monitor.
+type Monitor interface {
+	// Fork fires when a team of n threads starts a parallel region.
+	Fork(n int)
+	// Join fires when the region's threads have all completed.
+	Join()
+	// Charge reports that thread tid performed the given amount of work.
+	Charge(tid int, units float64)
+	// Barrier fires when the whole team completes a barrier.
+	Barrier()
+	// CriticalEnter/CriticalExit bracket a critical section on tid.
+	CriticalEnter(tid int)
+	CriticalExit(tid int)
+	// Single fires when tid wins a single construct.
+	Single(tid int)
+	// Reduction fires when the team combines partial results.
+	Reduction(n int)
+}
+
+// monitorOrNil normalizes a possibly nil monitor so call sites stay
+// branch-free.
+func monitorOrNil(m Monitor) Monitor {
+	if m == nil {
+		return nopMonitor{}
+	}
+	return m
+}
+
+// nopMonitor discards all events.
+type nopMonitor struct{}
+
+func (nopMonitor) Fork(int)            {}
+func (nopMonitor) Join()               {}
+func (nopMonitor) Charge(int, float64) {}
+func (nopMonitor) Barrier()            {}
+func (nopMonitor) CriticalEnter(int)   {}
+func (nopMonitor) CriticalExit(int)    {}
+func (nopMonitor) Single(int)          {}
+func (nopMonitor) Reduction(int)       {}

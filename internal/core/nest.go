@@ -1,0 +1,91 @@
+package core
+
+import "sync"
+
+// NestLock is a nestable runtime lock (omp_nest_lock_t analog): the owning
+// thread may re-acquire it, with a matching number of unlocks releasing
+// it. Ownership is tracked by Context identity; nil (the initial thread)
+// counts as one distinct owner.
+type NestLock struct {
+	rt *Runtime
+	m  RuntimeMutex
+
+	mu    sync.Mutex
+	owner *Context
+	// ownedByInitial disambiguates "unowned" from "owned by the initial
+	// thread", whose Context is nil.
+	ownedByInitial bool
+	held           bool
+	depth          int
+}
+
+// NewNestLock creates a nestable lock backed by the thread layer's
+// mutual-exclusion primitive (omp_init_nest_lock).
+func (r *Runtime) NewNestLock() (*NestLock, error) {
+	m, err := r.layer.NewMutex()
+	if err != nil {
+		return nil, err
+	}
+	return &NestLock{rt: r, m: m}, nil
+}
+
+// owns reports whether c currently owns the lock. Callers hold l.mu.
+func (l *NestLock) owns(c *Context) bool {
+	if !l.held {
+		return false
+	}
+	if c == nil {
+		return l.ownedByInitial
+	}
+	return l.owner == c
+}
+
+// Lock acquires or re-acquires the lock (omp_set_nest_lock).
+func (l *NestLock) Lock(c *Context) {
+	l.mu.Lock()
+	if l.owns(c) {
+		l.depth++
+		l.mu.Unlock()
+		return
+	}
+	l.mu.Unlock()
+
+	l.m.Lock(tidOf(c))
+
+	l.mu.Lock()
+	l.held = true
+	l.owner = c
+	l.ownedByInitial = c == nil
+	l.depth = 1
+	l.mu.Unlock()
+}
+
+// Unlock releases one nesting level (omp_unset_nest_lock); the underlying
+// lock is released when the count reaches zero. Unlocking a lock the
+// caller does not own panics, as misuse of omp_unset_nest_lock is
+// undefined behaviour the runtime chooses to trap.
+func (l *NestLock) Unlock(c *Context) {
+	l.mu.Lock()
+	if !l.owns(c) {
+		l.mu.Unlock()
+		panic("core: NestLock.Unlock by non-owner")
+	}
+	l.depth--
+	release := l.depth == 0
+	if release {
+		l.held = false
+		l.owner = nil
+		l.ownedByInitial = false
+	}
+	l.mu.Unlock()
+	if release {
+		l.m.Unlock(tidOf(c))
+	}
+}
+
+// Depth reports the current nesting depth (0 when free) — diagnostic.
+func (l *NestLock) Depth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.depth
+}

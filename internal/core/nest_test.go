@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestNestLockRecursion(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		l, err := rt.NewNestLock()
+		if err != nil {
+			t.Fatal(err)
+		}
+		counter := 0
+		_ = rt.Parallel(func(c *Context) {
+			for i := 0; i < 100; i++ {
+				l.Lock(c)
+				l.Lock(c) // recursive re-acquire must not deadlock
+				counter++
+				if l.Depth() != 2 {
+					t.Errorf("depth = %d, want 2", l.Depth())
+				}
+				l.Unlock(c)
+				l.Unlock(c)
+			}
+		})
+		if counter != 400 {
+			t.Errorf("counter = %d, want 400 (lock leaked exclusion)", counter)
+		}
+		if l.Depth() != 0 {
+			t.Errorf("final depth = %d", l.Depth())
+		}
+	})
+}
+
+func TestNestLockInitialThread(t *testing.T) {
+	rt, _ := New(WithLayer(NewNativeLayer(8)), WithNumThreads(2))
+	defer rt.Close()
+	l, err := rt.NewNestLock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Lock(nil)
+	l.Lock(nil)
+	if l.Depth() != 2 {
+		t.Errorf("depth = %d", l.Depth())
+	}
+	l.Unlock(nil)
+	l.Unlock(nil)
+}
+
+func TestNestLockUnlockByNonOwnerPanics(t *testing.T) {
+	rt, _ := New(WithLayer(NewNativeLayer(8)), WithNumThreads(2))
+	defer rt.Close()
+	l, _ := rt.NewNestLock()
+	defer func() {
+		if recover() == nil {
+			t.Error("unlock of unheld nest lock did not panic")
+		}
+	}()
+	l.Unlock(nil)
+}
+
+func TestAtomicFloat64(t *testing.T) {
+	var a AtomicFloat64
+	a.Store(1.5)
+	if a.Load() != 1.5 {
+		t.Errorf("Load = %v", a.Load())
+	}
+	if got := a.Add(2.25); got != 3.75 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Max(2.0); got != 3.75 {
+		t.Errorf("Max(lower) = %v", got)
+	}
+	if got := a.Max(10.0); got != 10.0 {
+		t.Errorf("Max(higher) = %v", got)
+	}
+}
+
+func TestAtomicFloat64ConcurrentAdds(t *testing.T) {
+	rt, _ := New(WithLayer(NewNativeLayer(8)), WithNumThreads(8))
+	defer rt.Close()
+	var acc AtomicFloat64
+	_ = rt.Parallel(func(c *Context) {
+		for i := 0; i < 1000; i++ {
+			acc.Add(0.5)
+		}
+	})
+	if got := acc.Load(); got != 4000 {
+		t.Errorf("sum = %v, want 4000", got)
+	}
+}
+
+func TestOrderedSectionsRunInIterationOrder(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(6))
+		for _, sched := range []Schedule{ScheduleStatic, ScheduleDynamic, ScheduleGuided} {
+			const n = 120
+			order := make([]int, 0, n)
+			_ = rt.Parallel(func(c *Context) {
+				c.ForOpts(n, LoopOpts{Schedule: sched, Chunk: 2, Ordered: true}, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						c.Ordered(i, func() {
+							order = append(order, i) // ordered: no extra sync needed
+						})
+					}
+				})
+			})
+			if len(order) != n {
+				t.Fatalf("%v: %d ordered sections, want %d", sched, len(order), n)
+			}
+			for i, v := range order {
+				if v != i {
+					t.Fatalf("%v: order[%d] = %d — not ascending", sched, i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestOrderedOrphanedRunsInline(t *testing.T) {
+	rt, _ := New(WithLayer(NewNativeLayer(8)), WithNumThreads(2))
+	defer rt.Close()
+	ran := false
+	_ = rt.Parallel(func(c *Context) {
+		c.Master(func() {
+			c.Ordered(5, func() { ran = true })
+		})
+	})
+	if !ran {
+		t.Error("orphaned ordered did not run")
+	}
+}
+
+func TestConsecutiveOrderedLoops(t *testing.T) {
+	// Two ordered loops back to back: sequencing state must not leak.
+	rt, _ := New(WithLayer(NewNativeLayer(8)), WithNumThreads(4))
+	defer rt.Close()
+	var sum atomic.Int64
+	_ = rt.Parallel(func(c *Context) {
+		for round := 0; round < 10; round++ {
+			c.ForOpts(16, LoopOpts{Schedule: ScheduleDynamic, Ordered: true}, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					c.Ordered(i, func() { sum.Add(1) })
+				}
+			})
+		}
+	})
+	if sum.Load() != 160 {
+		t.Errorf("sum = %d, want 160", sum.Load())
+	}
+}
+
+func TestNestedParallelSerializes(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		var innerTeams atomic.Int32
+		var innerActivations atomic.Int32
+		var tasksRan atomic.Int32
+		if err := rt.Parallel(func(c *Context) {
+			err := c.Parallel(func(inner *Context) {
+				innerTeams.Add(int32(inner.NumThreads()))
+				innerActivations.Add(1)
+				inner.Barrier() // must not hang in a team of one
+				inner.Task(func() { tasksRan.Add(1) })
+			})
+			if err != nil {
+				t.Errorf("nested parallel: %v", err)
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Each of the 4 outer threads ran a serialized inner region.
+		if innerActivations.Load() != 4 {
+			t.Errorf("inner activations = %d, want 4", innerActivations.Load())
+		}
+		if innerTeams.Load() != 4 {
+			t.Errorf("inner team sizes sum = %d, want 4 (teams of one)", innerTeams.Load())
+		}
+		if tasksRan.Load() != 4 {
+			t.Errorf("inner tasks ran = %d, want 4 (drained at inner region end)", tasksRan.Load())
+		}
+	})
+}
+
+func TestThreadPrivatePersistsAcrossRegions(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		tp := NewThreadPrivate[int](func() int { return 100 })
+		// Region 1: every thread increments its own copy tid+1 times.
+		_ = rt.Parallel(func(c *Context) {
+			v := tp.Get(c)
+			for i := 0; i <= c.ThreadNum(); i++ {
+				*v++
+			}
+		})
+		// Region 2 (same team size): each thread must see ITS OWN copy.
+		var wrong atomic.Int32
+		_ = rt.Parallel(func(c *Context) {
+			if *tp.Get(c) != 100+c.ThreadNum()+1 {
+				wrong.Add(1)
+			}
+		})
+		if wrong.Load() != 0 {
+			t.Errorf("%d threads lost their threadprivate copy", wrong.Load())
+		}
+		// Aggregate outside the region.
+		sum := 0
+		copies := 0
+		tp.ForEach(func(tid int, v *int) {
+			sum += *v
+			copies++
+		})
+		if copies != 4 {
+			t.Errorf("copies = %d, want 4", copies)
+		}
+		if sum != 4*100+(1+2+3+4) {
+			t.Errorf("sum = %d", sum)
+		}
+	})
+}
+
+func TestThreadPrivateZeroInit(t *testing.T) {
+	rt, _ := New(WithLayer(NewNativeLayer(8)), WithNumThreads(2))
+	defer rt.Close()
+	tp := NewThreadPrivate[float64](nil)
+	if v := tp.Get(nil); *v != 0 {
+		t.Errorf("zero init = %v", *v)
+	}
+	*tp.Get(nil) = 2.5
+	if *tp.Get(nil) != 2.5 {
+		t.Error("initial-thread copy not stable")
+	}
+}

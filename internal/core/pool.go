@@ -1,0 +1,88 @@
+package core
+
+import "sync"
+
+// pool keeps the persistent worker threads the runtime forks teams from —
+// the paper's thread-pool reuse argument (§5B1): nodes and their threads
+// are created once and parked between regions rather than re-created per
+// region.
+//
+// Worker 0 is always the calling (master) thread and never lives in the
+// pool; pool workers are numbered from 1.
+type pool struct {
+	layer ThreadLayer
+
+	mu      sync.Mutex
+	workers []*poolWorker // index i holds worker id i+1
+	closed  bool
+}
+
+type poolWorker struct {
+	wid    int
+	jobs   chan func()
+	handle Worker
+}
+
+func newPool(layer ThreadLayer) *pool {
+	return &pool{layer: layer}
+}
+
+// ensure grows the pool so worker ids 1..n-1 exist (team size n).
+func (p *pool) ensure(n int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errClosed
+	}
+	for len(p.workers) < n-1 {
+		wid := len(p.workers) + 1
+		w := &poolWorker{wid: wid, jobs: make(chan func())}
+		handle, err := p.layer.StartWorker(wid, func() {
+			for job := range w.jobs {
+				job()
+			}
+		})
+		if err != nil {
+			return err
+		}
+		w.handle = handle
+		p.workers = append(p.workers, w)
+	}
+	return nil
+}
+
+// size reports the current number of pool workers (excluding the master).
+func (p *pool) size() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.workers)
+}
+
+// dispatch hands job to worker wid (1-based). The caller must have called
+// ensure for at least wid+1 first.
+func (p *pool) dispatch(wid int, job func()) {
+	p.mu.Lock()
+	w := p.workers[wid-1]
+	p.mu.Unlock()
+	w.jobs <- job
+}
+
+// close shuts down every worker and joins them.
+func (p *pool) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	workers := p.workers
+	p.workers = nil
+	p.mu.Unlock()
+
+	for _, w := range workers {
+		close(w.jobs)
+	}
+	for _, w := range workers {
+		w.handle.Join()
+	}
+}

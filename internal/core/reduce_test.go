@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReduceSum(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(8))
+		var results [8]int64
+		_ = rt.Parallel(func(c *Context) {
+			got := Reduce(c, 1000, int64(0),
+				func(a, b int64) int64 { return a + b },
+				func(lo, hi int) int64 {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += int64(i)
+					}
+					return s
+				})
+			results[c.ThreadNum()] = got
+		})
+		want := int64(999 * 1000 / 2)
+		for tid, got := range results {
+			if got != want {
+				t.Errorf("tid %d: reduce = %d, want %d", tid, got, want)
+			}
+		}
+	})
+}
+
+func TestReduceNonCommutativeOrder(t *testing.T) {
+	// String concatenation is associative but not commutative: combining
+	// in thread order must reassemble the input exactly.
+	rt, _ := New(WithLayer(NewNativeLayer(24)), WithNumThreads(5))
+	defer rt.Close()
+	text := "the quick brown fox jumps over the lazy dog"
+	var got string
+	_ = rt.Parallel(func(c *Context) {
+		r := Reduce(c, len(text), "",
+			func(a, b string) string { return a + b },
+			func(lo, hi int) string { return text[lo:hi] })
+		if c.ThreadNum() == 0 {
+			got = r
+		}
+	})
+	if got != text {
+		t.Errorf("reduce = %q, want %q", got, text)
+	}
+}
+
+func TestReduceMax(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(6))
+		data := make([]float64, 10000)
+		for i := range data {
+			data[i] = float64((i*2654435761)%100000) / 7
+		}
+		var want float64
+		for _, v := range data {
+			if v > want {
+				want = v
+			}
+		}
+		var got float64
+		_ = rt.Parallel(func(c *Context) {
+			r := Reduce(c, len(data), 0.0,
+				func(a, b float64) float64 {
+					if a > b {
+						return a
+					}
+					return b
+				},
+				func(lo, hi int) float64 {
+					m := 0.0
+					for i := lo; i < hi; i++ {
+						if data[i] > m {
+							m = data[i]
+						}
+					}
+					return m
+				})
+			if c.ThreadNum() == 0 {
+				got = r
+			}
+		})
+		if got != want {
+			t.Errorf("max = %v, want %v", got, want)
+		}
+	})
+}
+
+func TestReduceValues(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(7))
+		var results [7]int
+		_ = rt.Parallel(func(c *Context) {
+			got := ReduceValues(c, c.ThreadNum()+1, func(a, b int) int { return a + b })
+			results[c.ThreadNum()] = got
+		})
+		want := 7 * 8 / 2
+		for tid, got := range results {
+			if got != want {
+				t.Errorf("tid %d: %d, want %d", tid, got, want)
+			}
+		}
+	})
+}
+
+func TestConsecutiveReductionsDoNotInterfere(t *testing.T) {
+	rt, _ := New(WithLayer(NewNativeLayer(24)), WithNumThreads(4))
+	defer rt.Close()
+	bad := false
+	_ = rt.Parallel(func(c *Context) {
+		for round := 1; round <= 40; round++ {
+			got := ReduceValues(c, round, func(a, b int) int { return a + b })
+			if got != 4*round {
+				bad = true
+			}
+		}
+	})
+	if bad {
+		t.Error("a reduction result leaked across episodes")
+	}
+}
+
+func TestPropReduceEqualsSequential(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(24)), WithNumThreads(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	f := func(vals []int32) bool {
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		var got int64
+		perr := rt.Parallel(func(c *Context) {
+			r := Reduce(c, len(vals), int64(0),
+				func(a, b int64) int64 { return a + b },
+				func(lo, hi int) int64 {
+					var s int64
+					for i := lo; i < hi; i++ {
+						s += int64(vals[i])
+					}
+					return s
+				})
+			if c.ThreadNum() == 0 {
+				got = r
+			}
+		})
+		return perr == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

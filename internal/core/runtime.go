@@ -1,0 +1,312 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+var errClosed = errors.New("core: runtime is closed")
+
+// Stats aggregates runtime event counters; read them with Snapshot.
+type Stats struct {
+	Regions  atomic.Uint64 // parallel regions forked
+	Threads  atomic.Uint64 // thread-region activations (sum of team sizes)
+	Barriers atomic.Uint64 // completed barrier episodes
+	Chunks   atomic.Uint64 // loop chunks issued by dynamic/guided schedules
+	Tasks    atomic.Uint64 // explicit tasks executed
+	Crits    atomic.Uint64 // critical sections entered
+	Singles  atomic.Uint64 // single constructs won
+}
+
+// StatsSnapshot is a point-in-time copy of Stats.
+type StatsSnapshot struct {
+	Regions, Threads, Barriers, Chunks, Tasks, Crits, Singles uint64
+}
+
+// Snapshot copies the counters.
+func (s *Stats) Snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Regions:  s.Regions.Load(),
+		Threads:  s.Threads.Load(),
+		Barriers: s.Barriers.Load(),
+		Chunks:   s.Chunks.Load(),
+		Tasks:    s.Tasks.Load(),
+		Crits:    s.Crits.Load(),
+		Singles:  s.Singles.Load(),
+	}
+}
+
+// Runtime is an OpenMP-style runtime instance bound to one ThreadLayer.
+// Create one with New, fork parallel regions with Parallel/ParallelFor,
+// and Close it when done. A Runtime is safe for sequential reuse across
+// many regions; concurrent Parallel calls from different goroutines are
+// not supported (matching a single OpenMP initial thread).
+type Runtime struct {
+	layer       ThreadLayer
+	monitor     Monitor
+	barrierKind BarrierKind
+	pool        *pool
+
+	icvMu sync.Mutex
+	icv   ICV
+
+	critMu    sync.Mutex
+	criticals map[string]RuntimeMutex
+
+	epoch  time.Time
+	stats  Stats
+	closed atomic.Bool
+}
+
+// Option configures a Runtime at construction.
+type Option func(*Runtime) error
+
+// WithLayer selects the thread layer (default: NewNativeLayer(0)).
+func WithLayer(l ThreadLayer) Option {
+	return func(r *Runtime) error {
+		if l == nil {
+			return errors.New("core: nil thread layer")
+		}
+		r.layer = l
+		return nil
+	}
+}
+
+// WithNumThreads sets the default team size.
+func WithNumThreads(n int) Option {
+	return func(r *Runtime) error {
+		if n < 1 {
+			return fmt.Errorf("core: NumThreads %d < 1", n)
+		}
+		r.icv.NumThreads = n
+		return nil
+	}
+}
+
+// WithSchedule sets the runtime loop schedule (run-sched-var).
+func WithSchedule(s Schedule, chunk int) Option {
+	return func(r *Runtime) error {
+		if chunk < 0 {
+			return fmt.Errorf("core: negative chunk %d", chunk)
+		}
+		r.icv.Schedule = s
+		r.icv.Chunk = chunk
+		return nil
+	}
+}
+
+// WithMonitor installs an execution monitor (perfmodel hook).
+func WithMonitor(m Monitor) Option {
+	return func(r *Runtime) error {
+		r.monitor = monitorOrNil(m)
+		return nil
+	}
+}
+
+// WithBarrierKind selects the barrier algorithm (ablation knob).
+func WithBarrierKind(k BarrierKind) Option {
+	return func(r *Runtime) error {
+		r.barrierKind = k
+		return nil
+	}
+}
+
+// WithEnv loads ICVs from OpenMP environment variables through getenv
+// before other options apply their overrides.
+func WithEnv(getenv func(string) string) Option {
+	return func(r *Runtime) error {
+		env := ICVFromEnv(getenv)
+		if env.NumThreads > 0 {
+			r.icv.NumThreads = env.NumThreads
+		}
+		r.icv.Schedule = env.Schedule
+		if env.Chunk > 0 {
+			r.icv.Chunk = env.Chunk
+		}
+		r.icv.Dynamic = env.Dynamic
+		if env.MaxThreads > 0 {
+			r.icv.MaxThreads = env.MaxThreads
+		}
+		return nil
+	}
+}
+
+// New creates a runtime. With no options it uses the native layer and one
+// thread per host processor.
+func New(opts ...Option) (*Runtime, error) {
+	r := &Runtime{
+		monitor:   nopMonitor{},
+		criticals: make(map[string]RuntimeMutex),
+		epoch:     time.Now(),
+	}
+	for _, o := range opts {
+		if err := o(r); err != nil {
+			return nil, err
+		}
+	}
+	if r.layer == nil {
+		r.layer = NewNativeLayer(0)
+	}
+	r.icv.normalize(r.layer.NumProcs())
+	r.pool = newPool(r.layer)
+	return r, nil
+}
+
+// Layer returns the runtime's thread layer.
+func (r *Runtime) Layer() ThreadLayer { return r.layer }
+
+// Wtime returns elapsed wall-clock seconds since the runtime was created
+// (omp_get_wtime; the epoch choice follows libGOMP's
+// "per-program-start").
+func (r *Runtime) Wtime() float64 {
+	return time.Since(r.epoch).Seconds()
+}
+
+// Stats returns the live counters.
+func (r *Runtime) Stats() *Stats { return &r.stats }
+
+// NumThreads reports the current default team size
+// (omp_get_max_threads).
+func (r *Runtime) NumThreads() int {
+	r.icvMu.Lock()
+	defer r.icvMu.Unlock()
+	return r.icv.NumThreads
+}
+
+// SetNumThreads changes the default team size (omp_set_num_threads). The
+// request is clamped by thread-limit-var, and — when dynamic adjustment
+// is enabled — by the number of online processors, per the OpenMP rules
+// for dyn-var.
+func (r *Runtime) SetNumThreads(n int) {
+	if n < 1 {
+		return
+	}
+	r.icvMu.Lock()
+	defer r.icvMu.Unlock()
+	r.icv.NumThreads = n
+	r.icv.normalize(r.layer.NumProcs())
+}
+
+// RuntimeSchedule reports run-sched-var (omp_get_schedule).
+func (r *Runtime) RuntimeSchedule() (Schedule, int) {
+	r.icvMu.Lock()
+	defer r.icvMu.Unlock()
+	return r.icv.Schedule, r.icv.Chunk
+}
+
+// SetRuntimeSchedule sets run-sched-var (omp_set_schedule).
+func (r *Runtime) SetRuntimeSchedule(s Schedule, chunk int) {
+	if chunk < 0 {
+		chunk = 0
+	}
+	r.icvMu.Lock()
+	defer r.icvMu.Unlock()
+	r.icv.Schedule = s
+	r.icv.Chunk = chunk
+}
+
+// snapshotICV captures the ICVs for one region fork.
+func (r *Runtime) snapshotICV() ICV {
+	r.icvMu.Lock()
+	defer r.icvMu.Unlock()
+	return r.icv
+}
+
+// Parallel forks a team and runs body once per thread (#pragma omp
+// parallel). The master (calling goroutine) is thread 0; pool workers
+// carry the rest. The region ends with an implicit barrier that also
+// drains outstanding explicit tasks.
+func (r *Runtime) Parallel(body func(c *Context)) error {
+	return r.ParallelN(0, body)
+}
+
+// ParallelN is Parallel with an explicit team size (num_threads clause);
+// n <= 0 means "use the ICV".
+func (r *Runtime) ParallelN(n int, body func(c *Context)) error {
+	if r.closed.Load() {
+		return errClosed
+	}
+	icv := r.snapshotICV()
+	if n <= 0 {
+		n = icv.NumThreads
+	}
+	if n > icv.MaxThreads {
+		n = icv.MaxThreads
+	}
+	if n < 1 {
+		n = 1
+	}
+
+	team, err := newTeam(r, n)
+	if err != nil {
+		return err
+	}
+	// The team's bookkeeping block dies with the region (gomp_free).
+	defer r.layer.Free(team.shmem)
+	if err := r.pool.ensure(n); err != nil {
+		return err
+	}
+
+	r.monitor.Fork(n)
+	r.stats.Regions.Add(1)
+	r.stats.Threads.Add(uint64(n))
+
+	run := func(tid int) {
+		c := &Context{team: team, tid: tid, groups: []*taskGroup{{}}}
+		body(c)
+		// Implicit region-end barrier: drain the task queue, then sync.
+		team.quiesce(c)
+	}
+
+	var wg sync.WaitGroup
+	for t := 1; t < n; t++ {
+		wg.Add(1)
+		tid := t
+		r.pool.dispatch(tid, func() {
+			defer wg.Done()
+			run(tid)
+		})
+	}
+	run(0)
+	wg.Wait()
+	r.monitor.Join()
+	return nil
+}
+
+// ParallelFor forks a team and workshares iterations 0..n-1 over it with
+// the runtime schedule (#pragma omp parallel for).
+func (r *Runtime) ParallelFor(n int, body func(i int)) error {
+	return r.Parallel(func(c *Context) { c.For(n, body) })
+}
+
+// criticalMutex returns the mutex backing the named critical section,
+// creating it through the thread layer on first use.
+func (r *Runtime) criticalMutex(name string) RuntimeMutex {
+	r.critMu.Lock()
+	defer r.critMu.Unlock()
+	m, ok := r.criticals[name]
+	if !ok {
+		var err error
+		m, err = r.layer.NewMutex()
+		if err != nil {
+			// Mirrors gomp_fatal: the runtime cannot continue without its
+			// synchronization primitive.
+			panic(fmt.Sprintf("core: creating critical-section mutex: %v", err))
+		}
+		r.criticals[name] = m
+	}
+	return m
+}
+
+// Close shuts the pool down and releases the layer. The runtime is
+// unusable afterwards.
+func (r *Runtime) Close() error {
+	if !r.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	r.pool.close()
+	return r.layer.Close()
+}

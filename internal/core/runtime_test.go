@@ -1,0 +1,330 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"openmpmca/internal/platform"
+)
+
+// eachLayer runs the test body once per thread layer so every construct is
+// exercised both over the native substrate and over MRAPI.
+func eachLayer(t *testing.T, body func(t *testing.T, newRT func(opts ...Option) *Runtime)) {
+	t.Helper()
+	layers := map[string]func(t *testing.T) ThreadLayer{
+		"native": func(t *testing.T) ThreadLayer { return NewNativeLayer(24) },
+		"mca": func(t *testing.T) ThreadLayer {
+			l, err := NewMCALayer(platform.T4240RDB().NewSystem())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return l
+		},
+	}
+	for name, mk := range layers {
+		t.Run(name, func(t *testing.T) {
+			newRT := func(opts ...Option) *Runtime {
+				t.Helper()
+				all := append([]Option{WithLayer(mk(t))}, opts...)
+				rt, err := New(all...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { _ = rt.Close() })
+				return rt
+			}
+			body(t, newRT)
+		})
+	}
+}
+
+func TestParallelRunsEveryThreadOnce(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(8))
+		var mu sync.Mutex
+		var tids []int
+		if err := rt.Parallel(func(c *Context) {
+			if c.NumThreads() != 8 {
+				t.Errorf("NumThreads = %d, want 8", c.NumThreads())
+			}
+			mu.Lock()
+			tids = append(tids, c.ThreadNum())
+			mu.Unlock()
+		}); err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(tids)
+		if len(tids) != 8 {
+			t.Fatalf("got %d activations, want 8", len(tids))
+		}
+		for i, tid := range tids {
+			if tid != i {
+				t.Fatalf("thread ids = %v, want 0..7 each once", tids)
+			}
+		}
+	})
+}
+
+func TestParallelNOverridesICV(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		var n atomic.Int32
+		if err := rt.ParallelN(6, func(c *Context) { n.Add(1) }); err != nil {
+			t.Fatal(err)
+		}
+		if n.Load() != 6 {
+			t.Errorf("activations = %d, want 6", n.Load())
+		}
+	})
+}
+
+func TestParallelSingleThreadTeam(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(1))
+		ran := false
+		if err := rt.Parallel(func(c *Context) {
+			ran = true
+			if c.ThreadNum() != 0 || c.NumThreads() != 1 {
+				t.Errorf("tid/size = %d/%d", c.ThreadNum(), c.NumThreads())
+			}
+			c.Barrier() // must not hang on a team of one
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if !ran {
+			t.Error("body did not run")
+		}
+	})
+}
+
+func TestRegionsReusePoolWorkers(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		for i := 0; i < 10; i++ {
+			if err := rt.Parallel(func(c *Context) {}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := rt.pool.size(); got != 3 {
+			t.Errorf("pool size = %d, want 3 (workers reused, not re-created)", got)
+		}
+		st := rt.Stats().Snapshot()
+		if st.Regions != 10 || st.Threads != 40 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+}
+
+func TestSetNumThreads(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(24)), WithNumThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.NumThreads() != 2 {
+		t.Fatalf("NumThreads = %d", rt.NumThreads())
+	}
+	rt.SetNumThreads(12)
+	var n atomic.Int32
+	_ = rt.Parallel(func(c *Context) { n.Add(1) })
+	if n.Load() != 12 {
+		t.Errorf("activations = %d, want 12", n.Load())
+	}
+	rt.SetNumThreads(0) // ignored
+	if rt.NumThreads() != 12 {
+		t.Errorf("NumThreads after bad set = %d", rt.NumThreads())
+	}
+}
+
+func TestDefaultTeamSizeFromLayerMetadata(t *testing.T) {
+	// With no explicit thread count the MCA layer must size teams from the
+	// MRAPI resource tree: 24 hardware threads on the T4240.
+	l, err := NewMCALayer(platform.T4240RDB().NewSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(WithLayer(l))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.NumThreads() != 24 {
+		t.Errorf("default NumThreads = %d, want 24 (from metadata)", rt.NumThreads())
+	}
+}
+
+func TestCloseRejectsFurtherUse(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(2))
+		if err := rt.Parallel(func(c *Context) {}); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := rt.Parallel(func(c *Context) {}); !errors.Is(err, errClosed) {
+			t.Errorf("Parallel after Close = %v, want errClosed", err)
+		}
+		if err := rt.Close(); err != nil {
+			t.Errorf("double Close = %v, want nil", err)
+		}
+	})
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := New(WithNumThreads(0)); err == nil {
+		t.Error("WithNumThreads(0) accepted")
+	}
+	if _, err := New(WithLayer(nil)); err == nil {
+		t.Error("WithLayer(nil) accepted")
+	}
+	if _, err := New(WithSchedule(ScheduleDynamic, -1)); err == nil {
+		t.Error("negative chunk accepted")
+	}
+}
+
+func TestWithEnv(t *testing.T) {
+	env := map[string]string{
+		"OMP_NUM_THREADS": "6",
+		"OMP_SCHEDULE":    "guided,8",
+		"OMP_DYNAMIC":     "false",
+	}
+	rt, err := New(WithLayer(NewNativeLayer(24)), WithEnv(func(k string) string { return env[k] }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.NumThreads() != 6 {
+		t.Errorf("NumThreads = %d, want 6", rt.NumThreads())
+	}
+	s, c := rt.RuntimeSchedule()
+	if s != ScheduleGuided || c != 8 {
+		t.Errorf("schedule = %v,%d, want guided,8", s, c)
+	}
+}
+
+func TestScratchIsPerThread(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		if err := rt.Parallel(func(c *Context) {
+			s := c.Scratch()
+			if len(s) != teamShmemSize {
+				t.Errorf("scratch len = %d", len(s))
+			}
+			for i := range s {
+				s[i] = byte(c.ThreadNum())
+			}
+			c.Barrier()
+			// No other thread overwrote our slice.
+			for _, b := range s {
+				if b != byte(c.ThreadNum()) {
+					t.Errorf("scratch corrupted: tid %d saw %d", c.ThreadNum(), b)
+					break
+				}
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestMasterOnlyThreadZero(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(6))
+		var who atomic.Int32
+		who.Store(-1)
+		var count atomic.Int32
+		_ = rt.Parallel(func(c *Context) {
+			c.Master(func() {
+				who.Store(int32(c.ThreadNum()))
+				count.Add(1)
+			})
+		})
+		if who.Load() != 0 || count.Load() != 1 {
+			t.Errorf("master ran on tid %d, %d times", who.Load(), count.Load())
+		}
+	})
+}
+
+func TestICVNormalization(t *testing.T) {
+	v := ICV{NumThreads: 0, MaxThreads: 0}
+	v.normalize(16)
+	if v.NumThreads != 16 || v.MaxThreads != defaultMaxThreads {
+		t.Errorf("normalized = %+v", v)
+	}
+	v2 := ICV{NumThreads: 100, MaxThreads: 8}
+	v2.normalize(16)
+	if v2.NumThreads != 8 {
+		t.Errorf("NumThreads = %d, want clamped to 8", v2.NumThreads)
+	}
+	v3 := ICV{NumThreads: 40, Dynamic: true}
+	v3.normalize(16)
+	if v3.NumThreads != 16 {
+		t.Errorf("dynamic NumThreads = %d, want 16", v3.NumThreads)
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	cases := []struct {
+		in    string
+		sched Schedule
+		chunk int
+		ok    bool
+	}{
+		{"static", ScheduleStatic, 0, true},
+		{"dynamic,4", ScheduleDynamic, 4, true},
+		{"GUIDED , 16", ScheduleGuided, 16, true},
+		{"auto", ScheduleAuto, 0, true},
+		{"bogus", 0, 0, false},
+		{"static,0", 0, 0, false},
+		{"static,x", 0, 0, false},
+	}
+	for _, c := range cases {
+		s, ch, err := ParseSchedule(c.in)
+		if c.ok && (err != nil || s != c.sched || ch != c.chunk) {
+			t.Errorf("ParseSchedule(%q) = %v,%d,%v", c.in, s, ch, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", c.in)
+		}
+	}
+}
+
+func TestScheduleString(t *testing.T) {
+	if ScheduleStatic.String() != "static" || ScheduleGuided.String() != "guided" {
+		t.Error("schedule names wrong")
+	}
+	if BarrierCentral.String() != "central" || BarrierTree.String() != "tree" {
+		t.Error("barrier kind names wrong")
+	}
+}
+
+func TestWtimeAdvances(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(4)), WithNumThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	a := rt.Wtime()
+	_ = rt.Parallel(func(c *Context) { c.Barrier() })
+	b := rt.Wtime()
+	if a < 0 || b <= a {
+		t.Errorf("Wtime not monotone: %v -> %v", a, b)
+	}
+}
+
+func TestSetNumThreadsDynamicClamps(t *testing.T) {
+	env := map[string]string{"OMP_DYNAMIC": "true"}
+	rt, err := New(WithLayer(NewNativeLayer(8)), WithEnv(func(k string) string { return env[k] }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	rt.SetNumThreads(100) // dyn-var lets the runtime reduce the request
+	if got := rt.NumThreads(); got != 8 {
+		t.Errorf("dynamic NumThreads = %d, want clamped to 8", got)
+	}
+}

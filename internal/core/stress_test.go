@@ -1,0 +1,66 @@
+package core
+
+import (
+	"math/rand"
+	"sync/atomic"
+	"testing"
+)
+
+// TestStressMixedConstructs drives a deterministic pseudo-random sequence
+// of regions, each mixing worksharing loops, criticals, singles, barriers,
+// reductions and tasks, over both layers — the "whole runtime at once"
+// soak that shakes out construct interactions no focused test covers.
+func TestStressMixedConstructs(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rng := rand.New(rand.NewSource(42))
+		rt := newRT(WithNumThreads(6))
+
+		for region := 0; region < 25; region++ {
+			loopN := 16 + rng.Intn(200)
+			sched := Schedule(rng.Intn(3))
+			chunk := rng.Intn(5)
+			tasks := rng.Intn(20)
+			rounds := 1 + rng.Intn(4)
+
+			var loopSum atomic.Int64
+			var taskRan atomic.Int64
+			critCount := 0
+			var reduceGot int64
+
+			err := rt.Parallel(func(c *Context) {
+				for round := 0; round < rounds; round++ {
+					c.ForOpts(loopN, LoopOpts{Schedule: sched, Chunk: chunk}, func(lo, hi int) {
+						loopSum.Add(int64(hi - lo))
+					})
+					c.Critical(func() { critCount++ })
+					c.SingleNoWait(func() {
+						for i := 0; i < tasks; i++ {
+							c.Task(func() { taskRan.Add(1) })
+						}
+					})
+					c.TaskWait()
+					r := Reduce(c, loopN, int64(0),
+						func(a, b int64) int64 { return a + b },
+						func(lo, hi int) int64 { return int64(hi - lo) })
+					c.Master(func() { reduceGot = r })
+					c.Barrier()
+				}
+			})
+			if err != nil {
+				t.Fatalf("region %d: %v", region, err)
+			}
+			if got := loopSum.Load(); got != int64(rounds*loopN) {
+				t.Fatalf("region %d: loop sum %d, want %d", region, got, rounds*loopN)
+			}
+			if critCount != rounds*6 {
+				t.Fatalf("region %d: criticals %d, want %d", region, critCount, rounds*6)
+			}
+			if got := taskRan.Load(); got != int64(rounds*tasks) {
+				t.Fatalf("region %d: tasks %d, want %d", region, got, rounds*tasks)
+			}
+			if reduceGot != int64(loopN) {
+				t.Fatalf("region %d: reduce %d, want %d", region, reduceGot, loopN)
+			}
+		}
+	})
+}

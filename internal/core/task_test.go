@@ -1,0 +1,149 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestTasksAllExecuteBeforeRegionEnd(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		var ran atomic.Int32
+		_ = rt.Parallel(func(c *Context) {
+			c.SingleNoWait(func() {
+				for i := 0; i < 100; i++ {
+					c.Task(func() { ran.Add(1) })
+				}
+			})
+		})
+		// The implicit region-end barrier must have drained everything.
+		if ran.Load() != 100 {
+			t.Errorf("tasks ran = %d, want 100", ran.Load())
+		}
+		if got := rt.Stats().Snapshot().Tasks; got != 100 {
+			t.Errorf("Tasks stat = %d", got)
+		}
+	})
+}
+
+func TestTaskWaitBlocksForChildren(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		ok := atomic.Bool{}
+		ok.Store(true)
+		_ = rt.Parallel(func(c *Context) {
+			c.SingleNoWait(func() {
+				var done atomic.Int32
+				for i := 0; i < 50; i++ {
+					c.Task(func() { done.Add(1) })
+				}
+				c.TaskWait()
+				if done.Load() != 50 {
+					ok.Store(false)
+				}
+			})
+		})
+		if !ok.Load() {
+			t.Error("TaskWait returned before children completed")
+		}
+	})
+}
+
+func TestTaskWaitOnlyWaitsOwnChildren(t *testing.T) {
+	rt, _ := New(WithLayer(NewNativeLayer(24)), WithNumThreads(2))
+	defer rt.Close()
+	var mine atomic.Int32
+	_ = rt.Parallel(func(c *Context) {
+		if c.ThreadNum() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Task(func() { mine.Add(1) })
+			}
+			c.TaskWait()
+			if mine.Load() != 10 {
+				t.Errorf("own children done = %d, want 10", mine.Load())
+			}
+		}
+		// Thread 1 creates no tasks; its TaskWait must return immediately
+		// even while thread 0's tasks may still be queued.
+		if c.ThreadNum() == 1 {
+			c.TaskWait()
+		}
+	})
+}
+
+func TestTaskgroupWaitsNestedTasks(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		var inGroup atomic.Int32
+		var after atomic.Int32
+		_ = rt.Parallel(func(c *Context) {
+			c.SingleNoWait(func() {
+				c.Taskgroup(func() {
+					for i := 0; i < 30; i++ {
+						c.Task(func() { inGroup.Add(1) })
+					}
+				})
+				// All 30 must be complete the moment Taskgroup returns.
+				after.Store(inGroup.Load())
+			})
+		})
+		if after.Load() != 30 {
+			t.Errorf("tasks complete at taskgroup end = %d, want 30", after.Load())
+		}
+	})
+}
+
+func TestTasksRunBySiblingsUnderTaskWait(t *testing.T) {
+	// A task that busy-waits for its sibling: only completes if some other
+	// thread (or the waiter itself) picks the sibling up.
+	rt, _ := New(WithLayer(NewNativeLayer(24)), WithNumThreads(4))
+	defer rt.Close()
+	var sequence atomic.Int32
+	_ = rt.Parallel(func(c *Context) {
+		c.SingleNoWait(func() {
+			c.Task(func() { sequence.Add(1) })
+			c.Task(func() { sequence.Add(1) })
+			c.TaskWait()
+		})
+	})
+	if sequence.Load() != 2 {
+		t.Errorf("sequence = %d, want 2", sequence.Load())
+	}
+}
+
+func TestRecursiveTaskDecomposition(t *testing.T) {
+	// Fibonacci via nested taskgroups, the classic OpenMP tasking demo.
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		var fib func(c *Context, n int) int
+		fib = func(c *Context, n int) int {
+			if n < 2 {
+				return n
+			}
+			var a, b int
+			c.Taskgroup(func() {
+				c.Task(func() { a = fib(c, n-1) })
+				b = fib(c, n-2)
+			})
+			return a + b
+		}
+		var got int
+		_ = rt.Parallel(func(c *Context) {
+			c.SingleNoWait(func() { got = fib(c, 12) })
+		})
+		if got != 144 {
+			t.Errorf("fib(12) = %d, want 144", got)
+		}
+	})
+}
+
+func TestEmptyTaskWaitReturns(t *testing.T) {
+	rt, _ := New(WithLayer(NewNativeLayer(24)), WithNumThreads(3))
+	defer rt.Close()
+	if err := rt.Parallel(func(c *Context) {
+		c.TaskWait()
+		c.Taskgroup(func() {})
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

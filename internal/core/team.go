@@ -1,0 +1,156 @@
+package core
+
+import "sync"
+
+// teamShmemSize is the size of the MRAPI-allocated bookkeeping block each
+// team obtains at fork (the paper's "block of work share" per team, §5B2).
+// Its allocation exercises the layer's gomp_malloc path; per-thread scratch
+// is sliced out of it.
+const teamShmemSize = 64
+
+// Team is one parallel region's thread team: the barrier, the worksharing
+// database, the reduction slots and the task queue its threads coordinate
+// through.
+type Team struct {
+	rt   *Runtime
+	size int
+
+	barrier teamBarrier
+	// shmem is the team's runtime-allocated bookkeeping block; it comes
+	// from the thread layer (MRAPI shared memory under MCALayer).
+	shmem []byte
+
+	// Worksharing database: generation -> live workshare instance.
+	wsMu sync.Mutex
+	ws   map[int]*workshare
+
+	// Task queue shared by the team.
+	taskMu      sync.Mutex
+	taskCond    *sync.Cond
+	tasks       []*task
+	outstanding int
+}
+
+func newTeam(rt *Runtime, size int) (*Team, error) {
+	shmem, err := rt.layer.Alloc(teamShmemSize * size)
+	if err != nil {
+		return nil, err
+	}
+	t := &Team{
+		rt:      rt,
+		size:    size,
+		barrier: newBarrier(rt.barrierKind, size),
+		shmem:   shmem,
+		ws:      make(map[int]*workshare),
+	}
+	t.taskCond = sync.NewCond(&t.taskMu)
+	return t, nil
+}
+
+// Size returns the team's thread count.
+func (t *Team) Size() int { return t.size }
+
+// workshareAt returns the workshare instance for generation gen, creating
+// it if this thread arrives first.
+func (t *Team) workshareAt(gen int) *workshare {
+	t.wsMu.Lock()
+	defer t.wsMu.Unlock()
+	ws, ok := t.ws[gen]
+	if !ok {
+		ws = &workshare{}
+		t.ws[gen] = ws
+	}
+	return ws
+}
+
+// finishWorkshare records that one thread is done with the instance; the
+// last one removes it from the database so long regions do not accumulate
+// dead worksharing state.
+func (t *Team) finishWorkshare(gen int, ws *workshare) {
+	if ws.done.Add(1) == int32(t.size) {
+		t.wsMu.Lock()
+		delete(t.ws, gen)
+		t.wsMu.Unlock()
+	}
+}
+
+// Context is one thread's view of a parallel region. The runtime passes a
+// Context to the region body; every construct method is keyed off it.
+// A Context is owned by its thread and must not be shared.
+type Context struct {
+	team *Team
+	tid  int
+
+	// wsGen counts worksharing constructs (for/sections/single) this
+	// thread has entered; since every thread executes the same construct
+	// sequence, equal generations across threads denote the same source
+	// construct — the libGOMP work-share matching scheme.
+	wsGen int
+
+	// groups is the task-group stack; index 0 is the implicit group of
+	// this thread's region task.
+	groups []*taskGroup
+
+	// loopWS points at the enclosing Ordered loop's workshare while one
+	// is active, so Context.Ordered can find its sequencing state.
+	loopWS *workshare
+}
+
+// ThreadNum returns this thread's id within the team (omp_get_thread_num).
+func (c *Context) ThreadNum() int { return c.tid }
+
+// NumThreads returns the team size (omp_get_num_threads).
+func (c *Context) NumThreads() int { return c.team.size }
+
+// Runtime returns the owning runtime.
+func (c *Context) Runtime() *Runtime { return c.team.rt }
+
+// Scratch returns this thread's slice of the team's MRAPI-allocated
+// bookkeeping block — private scratch carved from runtime-managed shared
+// memory, as the paper's runtime does for its work-share blocks.
+func (c *Context) Scratch() []byte {
+	return c.team.shmem[c.tid*teamShmemSize : (c.tid+1)*teamShmemSize]
+}
+
+// Charge reports abstract work units to the runtime monitor; the
+// virtual-time performance model turns them into board cycles. A nil
+// monitor makes this a no-op.
+func (c *Context) Charge(units float64) {
+	c.team.rt.monitor.Charge(c.tid, units)
+}
+
+// Barrier executes a full team barrier (#pragma omp barrier).
+func (c *Context) Barrier() {
+	t := c.team
+	t.barrier.Wait(c.tid, func() {
+		t.rt.monitor.Barrier()
+		t.rt.stats.Barriers.Add(1)
+	})
+}
+
+// Master runs fn on thread 0 only, with no implied barrier
+// (#pragma omp master).
+func (c *Context) Master(fn func()) {
+	if c.tid == 0 {
+		fn()
+	}
+}
+
+// Parallel runs a nested parallel region. Nested parallelism is disabled
+// in this runtime (OMP_NESTED=false semantics, the usual configuration on
+// the paper's embedded targets), so the inner region executes serialized:
+// a team of one on the calling thread. Inner explicit tasks are drained
+// before it returns. The monitor sees no nested fork — the virtual clock
+// keeps attributing work to the outer thread.
+func (c *Context) Parallel(body func(*Context)) error {
+	rt := c.team.rt
+	team, err := newTeam(rt, 1)
+	if err != nil {
+		return err
+	}
+	defer rt.layer.Free(team.shmem)
+	inner := &Context{team: team, tid: 0, groups: []*taskGroup{{}}}
+	body(inner)
+	team.drain(nil)
+	return nil
+}

@@ -1,0 +1,49 @@
+package core
+
+import "sync"
+
+// ThreadPrivate is per-thread storage that persists across parallel
+// regions of one runtime — the threadprivate directive's semantics. Pool
+// workers keep their thread ids across regions (the pool never shuffles
+// them), so a thread re-encounters its own copy in later regions, exactly
+// as OpenMP guarantees for teams of constant size.
+type ThreadPrivate[T any] struct {
+	mu   sync.Mutex
+	vals map[int]*T
+	init func() T
+}
+
+// NewThreadPrivate creates a threadprivate variable; init produces each
+// thread's initial copy on first touch (the copyin-from-initializer
+// model). A nil init zero-initializes.
+func NewThreadPrivate[T any](init func() T) *ThreadPrivate[T] {
+	return &ThreadPrivate[T]{vals: make(map[int]*T), init: init}
+}
+
+// Get returns the calling thread's copy, creating it on first touch. Pass
+// nil for the initial thread outside parallel regions.
+func (tp *ThreadPrivate[T]) Get(c *Context) *T {
+	tid := tidOf(c)
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	v, ok := tp.vals[tid]
+	if !ok {
+		v = new(T)
+		if tp.init != nil {
+			*v = tp.init()
+		}
+		tp.vals[tid] = v
+	}
+	return v
+}
+
+// ForEach visits every existing copy (tid, value) outside parallel
+// execution — the aggregation step threadprivate reductions end with.
+// The visit order is unspecified.
+func (tp *ThreadPrivate[T]) ForEach(fn func(tid int, v *T)) {
+	tp.mu.Lock()
+	defer tp.mu.Unlock()
+	for tid, v := range tp.vals {
+		fn(tid, v)
+	}
+}

@@ -1,0 +1,136 @@
+package epcc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"openmpmca/internal/core"
+)
+
+// EPCC's third microbenchmark, arraybench, measures the data-environment
+// cost of parallel regions: how much a PRIVATE or FIRSTPRIVATE array of a
+// given size adds to the bare region overhead. In this runtime the
+// private-array cost is the per-thread allocation and (for firstprivate)
+// the copy-in, performed at region entry exactly where a compiler would
+// emit them.
+
+// ArrayClauses name the measured data-sharing clauses.
+var ArrayClauses = []string{"private", "firstprivate"}
+
+// ArraySizes are EPCC's 3^k sweep.
+var ArraySizes = []int{1, 3, 9, 27, 81, 243, 729, 2187, 6561, 59049}
+
+// ArrayPoint is one (clause, size) overhead measurement.
+type ArrayPoint struct {
+	Clause string
+	Size   int
+	// OverheadUS is the median per-region data-environment overhead in
+	// µs, relative to a bare parallel region.
+	OverheadUS float64
+}
+
+// arraySink defeats elision of the private arrays (see delay's sink).
+var arraySink float64
+
+// MeasureArray measures the data-environment overhead for one clause and
+// array size.
+func (s *Suite) MeasureArray(clause string, size int) (ArrayPoint, error) {
+	rt := s.rt
+	inner := s.opt.InnerReps
+
+	template := make([]float64, size)
+	for i := range template {
+		template[i] = float64(i)
+	}
+
+	var body func(c *core.Context)
+	switch clause {
+	case "private":
+		body = func(c *core.Context) {
+			private := make([]float64, size)
+			private[0] = 1
+			if private[0] < 0 {
+				arraySink = private[0]
+			}
+		}
+	case "firstprivate":
+		body = func(c *core.Context) {
+			private := make([]float64, size)
+			copy(private, template)
+			if private[size-1] < -1 {
+				arraySink = private[0]
+			}
+		}
+	default:
+		return ArrayPoint{}, fmt.Errorf("epcc: unknown array clause %q", clause)
+	}
+
+	timeRegions := func(fn func(c *core.Context)) float64 {
+		best := 0.0
+		samples := make([]float64, 0, s.opt.OuterReps)
+		for rep := 0; rep < s.opt.OuterReps; rep++ {
+			start := time.Now()
+			for j := 0; j < inner; j++ {
+				_ = rt.Parallel(fn)
+			}
+			samples = append(samples, float64(time.Since(start).Nanoseconds()))
+		}
+		sort.Float64s(samples)
+		best = samples[len(samples)/2]
+		return best
+	}
+
+	bare := timeRegions(func(c *core.Context) {})
+	loaded := timeRegions(body)
+	return ArrayPoint{
+		Clause:     clause,
+		Size:       size,
+		OverheadUS: (loaded - bare) / float64(inner) / 1e3,
+	}, nil
+}
+
+// ArrayTable holds a full arraybench sweep.
+type ArrayTable struct {
+	Threads int
+	Points  []ArrayPoint
+}
+
+// MeasureArrayTable sweeps both clauses across ArraySizes.
+func (s *Suite) MeasureArrayTable() (*ArrayTable, error) {
+	t := &ArrayTable{Threads: s.rt.NumThreads()}
+	for _, clause := range ArrayClauses {
+		for _, size := range ArraySizes {
+			p, err := s.MeasureArray(clause, size)
+			if err != nil {
+				return nil, err
+			}
+			t.Points = append(t.Points, p)
+		}
+	}
+	return t, nil
+}
+
+// Render formats the sweep as arraybench's clause × size matrix.
+func (t *ArrayTable) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EPCC arraybench — data-environment overhead (µs/region, %d threads)\n", t.Threads)
+	fmt.Fprintf(&sb, "%-14s", "clause")
+	for _, s := range ArraySizes {
+		fmt.Fprintf(&sb, "%9d", s)
+	}
+	sb.WriteString("\n" + strings.Repeat("-", 14+9*len(ArraySizes)) + "\n")
+	byClause := make(map[string][]ArrayPoint)
+	for _, p := range t.Points {
+		byClause[p.Clause] = append(byClause[p.Clause], p)
+	}
+	for _, clause := range ArrayClauses {
+		fmt.Fprintf(&sb, "%-14s", clause)
+		for _, p := range byClause[clause] {
+			fmt.Fprintf(&sb, "%9.2f", p.OverheadUS)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

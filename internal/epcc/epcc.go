@@ -1,0 +1,303 @@
+// Package epcc ports the EPCC OpenMP synchronization microbenchmarks
+// (Bull, EWOMP'99 — the paper's overhead-measurement tool, §6A) to the Go
+// OpenMP runtime, so the paper's Table I can be regenerated: the relative
+// overhead of each directive under the MCA-backed runtime versus the
+// native runtime.
+//
+// Methodology, adapted for a host whose CPU count may be smaller than the
+// team size: each construct executes innerreps times with a calibrated
+// busy-delay inside; the reference time is the SAME TOTAL delay work run
+// sequentially (the host must serialize it anyway), so
+//
+//	overhead = (constructTime − referenceTime) / innerreps
+//
+// isolates the construct's management cost — fork/join dispatch, barrier
+// episodes, lock traffic — which is exactly the part the MCA indirection
+// could slow down. Table I reports the ratio of these overheads between
+// the two thread layers, so host speed cancels.
+package epcc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"openmpmca/internal/core"
+)
+
+// Constructs lists the directives measured, in the paper's Table I order
+// (plus "lock", "ordered" and "task", which the full EPCC suites —
+// syncbench and taskbench — measure too).
+var Constructs = []string{
+	"parallel", "for", "parallel for", "barrier", "single", "critical", "reduction", "lock", "ordered", "task",
+}
+
+// Options tune a measurement run.
+type Options struct {
+	// InnerReps is how many times the construct executes per sample.
+	InnerReps int
+	// OuterReps is how many samples are taken; the median is reported.
+	OuterReps int
+	// DelayLength is the busy-delay iteration count inside constructs.
+	DelayLength int
+}
+
+// DefaultOptions returns the settings used by the Table I harness: small
+// enough to run in seconds on a laptop, large enough that construct cost
+// dominates timer noise.
+func DefaultOptions() Options {
+	return Options{InnerReps: 128, OuterReps: 7, DelayLength: 64}
+}
+
+func (o *Options) normalize() {
+	if o.InnerReps <= 0 {
+		o.InnerReps = 128
+	}
+	if o.OuterReps <= 0 {
+		o.OuterReps = 7
+	}
+	if o.DelayLength < 0 {
+		o.DelayLength = 0
+	}
+}
+
+// Measurement is one construct's overhead result.
+type Measurement struct {
+	Construct string
+	// OverheadUS is the median per-execution overhead in microseconds.
+	OverheadUS float64
+	// Samples holds every outer-rep overhead (µs), already sorted.
+	Samples []float64
+}
+
+// sink defeats dead-code elimination of the busy delay. The accumulator
+// is provably non-negative, so the store never executes and concurrent
+// delay() calls stay race-free — but the compiler cannot prove it, so the
+// loop is kept.
+var sink float64
+
+// delay is EPCC's delay(): a data-dependent floating-point spin.
+func delay(length int) {
+	a := 0.0
+	for i := 0; i < length; i++ {
+		a += float64(i&7) * 0.5
+		if a > 512 {
+			a *= 0.25
+		}
+	}
+	if a < 0 {
+		sink = a
+	}
+}
+
+// Suite measures one runtime instance.
+type Suite struct {
+	rt  *core.Runtime
+	opt Options
+	// delayNs is the calibrated cost of one delay() call.
+	delayNs float64
+}
+
+// NewSuite calibrates the delay loop against the host and returns a suite
+// bound to rt.
+func NewSuite(rt *core.Runtime, opt Options) *Suite {
+	opt.normalize()
+	s := &Suite{rt: rt, opt: opt}
+	s.delayNs = s.calibrateDelay()
+	return s
+}
+
+func (s *Suite) calibrateDelay() float64 {
+	const reps = 20000
+	best := math.MaxFloat64
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			delay(s.opt.DelayLength)
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / reps
+		if ns < best {
+			best = ns
+		}
+	}
+	return best
+}
+
+// Measure runs one construct's measurement and returns its overhead.
+func (s *Suite) Measure(construct string) (Measurement, error) {
+	fn, delaysPerRep, err := s.body(construct)
+	if err != nil {
+		return Measurement{}, err
+	}
+	samples := make([]float64, 0, s.opt.OuterReps)
+	for rep := 0; rep < s.opt.OuterReps; rep++ {
+		start := time.Now()
+		fn()
+		elapsed := float64(time.Since(start).Nanoseconds())
+		refNs := delaysPerRep * float64(s.opt.InnerReps) * s.delayNs
+		overheadUS := (elapsed - refNs) / float64(s.opt.InnerReps) / 1e3
+		samples = append(samples, overheadUS)
+	}
+	sort.Float64s(samples)
+	return Measurement{
+		Construct:  construct,
+		OverheadUS: samples[len(samples)/2],
+		Samples:    samples,
+	}, nil
+}
+
+// MeasureAll measures every construct in Constructs order.
+func (s *Suite) MeasureAll() ([]Measurement, error) {
+	out := make([]Measurement, 0, len(Constructs))
+	for _, c := range Constructs {
+		m, err := s.Measure(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// body returns the timed closure for a construct plus the number of
+// delay() executions the construct performs per inner repetition (for the
+// serialized reference).
+func (s *Suite) body(construct string) (fn func(), delaysPerRep float64, err error) {
+	rt := s.rt
+	n := rt.NumThreads()
+	inner := s.opt.InnerReps
+	d := s.opt.DelayLength
+
+	switch construct {
+	case "parallel":
+		// Fork/join per repetition — the paper's PARALLEL row.
+		return func() {
+			for j := 0; j < inner; j++ {
+				_ = rt.Parallel(func(c *core.Context) { delay(d) })
+			}
+		}, float64(n), nil
+
+	case "for":
+		// One region; a worksharing loop per repetition.
+		return func() {
+			_ = rt.Parallel(func(c *core.Context) {
+				for j := 0; j < inner; j++ {
+					c.For(n, func(i int) { delay(d) })
+				}
+			})
+		}, float64(n), nil
+
+	case "parallel for":
+		return func() {
+			for j := 0; j < inner; j++ {
+				_ = rt.ParallelFor(n, func(i int) { delay(d) })
+			}
+		}, float64(n), nil
+
+	case "barrier":
+		return func() {
+			_ = rt.Parallel(func(c *core.Context) {
+				for j := 0; j < inner; j++ {
+					delay(d)
+					c.Barrier()
+				}
+			})
+		}, float64(n), nil
+
+	case "single":
+		return func() {
+			_ = rt.Parallel(func(c *core.Context) {
+				for j := 0; j < inner; j++ {
+					c.Single(func() { delay(d) })
+				}
+			})
+		}, 1, nil
+
+	case "critical":
+		// Each thread performs inner/n criticals so the serialized delay
+		// work totals inner executions.
+		perThread := inner / n
+		if perThread == 0 {
+			perThread = 1
+		}
+		total := perThread * n
+		return func() {
+			_ = rt.Parallel(func(c *core.Context) {
+				for j := 0; j < perThread; j++ {
+					c.Critical(func() { delay(d) })
+				}
+			})
+		}, float64(total) / float64(inner), nil
+
+	case "lock":
+		perThread := inner / n
+		if perThread == 0 {
+			perThread = 1
+		}
+		total := perThread * n
+		lock, lerr := rt.NewLock()
+		if lerr != nil {
+			return nil, 0, lerr
+		}
+		return func() {
+			_ = rt.Parallel(func(c *core.Context) {
+				for j := 0; j < perThread; j++ {
+					lock.Lock(c)
+					delay(d)
+					lock.Unlock(c)
+				}
+			})
+		}, float64(total) / float64(inner), nil
+
+	case "ordered":
+		// Each repetition is an ordered loop of nthreads iterations whose
+		// ordered sections serialize a delay each.
+		return func() {
+			_ = rt.Parallel(func(c *core.Context) {
+				for j := 0; j < inner; j++ {
+					c.ForOpts(n, core.LoopOpts{Schedule: core.ScheduleStatic, Chunk: 1, Ordered: true},
+						func(lo, hi int) {
+							for i := lo; i < hi; i++ {
+								c.Ordered(i, func() { delay(d) })
+							}
+						})
+				}
+			})
+		}, float64(n), nil
+
+	case "task":
+		// EPCC taskbench's PARALLEL TASK pattern: every thread generates
+		// its share of inner explicit tasks, then waits for its children.
+		perThread := inner / n
+		if perThread == 0 {
+			perThread = 1
+		}
+		total := perThread * n
+		return func() {
+			_ = rt.Parallel(func(c *core.Context) {
+				for j := 0; j < perThread; j++ {
+					c.Task(func() { delay(d) })
+				}
+				c.TaskWait()
+			})
+		}, float64(total) / float64(inner), nil
+
+	case "reduction":
+		return func() {
+			_ = rt.Parallel(func(c *core.Context) {
+				for j := 0; j < inner; j++ {
+					_ = core.Reduce(c, n, 0.0,
+						func(a, b float64) float64 { return a + b },
+						func(lo, hi int) float64 {
+							for i := lo; i < hi; i++ {
+								delay(d)
+							}
+							return float64(hi - lo)
+						})
+				}
+			})
+		}, float64(n), nil
+	}
+	return nil, 0, fmt.Errorf("epcc: unknown construct %q", construct)
+}

@@ -1,0 +1,223 @@
+package epcc
+
+import (
+	"strings"
+	"testing"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/platform"
+)
+
+func quickOptions() Options {
+	return Options{InnerReps: 16, OuterReps: 3, DelayLength: 16}
+}
+
+func testRuntime(t *testing.T, threads int) *core.Runtime {
+	t.Helper()
+	rt, err := core.New(core.WithLayer(core.NewNativeLayer(24)), core.WithNumThreads(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	return rt
+}
+
+func TestMeasureAllConstructs(t *testing.T) {
+	rt := testRuntime(t, 4)
+	s := NewSuite(rt, quickOptions())
+	ms, err := s.MeasureAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != len(Constructs) {
+		t.Fatalf("got %d measurements, want %d", len(ms), len(Constructs))
+	}
+	for i, m := range ms {
+		if m.Construct != Constructs[i] {
+			t.Errorf("measurement %d = %q, want %q", i, m.Construct, Constructs[i])
+		}
+		if len(m.Samples) != 3 {
+			t.Errorf("%s: %d samples, want 3", m.Construct, len(m.Samples))
+		}
+		// Sorted samples; median is the middle one.
+		if m.OverheadUS != m.Samples[1] {
+			t.Errorf("%s: median %v not middle sample of %v", m.Construct, m.OverheadUS, m.Samples)
+		}
+	}
+}
+
+func TestMeasureUnknownConstruct(t *testing.T) {
+	rt := testRuntime(t, 2)
+	s := NewSuite(rt, quickOptions())
+	if _, err := s.Measure("bogus"); err == nil {
+		t.Error("unknown construct accepted")
+	}
+}
+
+func TestDelayCalibrationPositive(t *testing.T) {
+	rt := testRuntime(t, 2)
+	s := NewSuite(rt, quickOptions())
+	if s.delayNs <= 0 {
+		t.Errorf("delayNs = %v, want > 0", s.delayNs)
+	}
+	// A longer delay must calibrate to more time.
+	s2 := NewSuite(rt, Options{InnerReps: 16, OuterReps: 3, DelayLength: 1024})
+	if s2.delayNs <= s.delayNs {
+		t.Errorf("calibration not monotone: len 16 -> %v ns, len 1024 -> %v ns", s.delayNs, s2.delayNs)
+	}
+}
+
+func TestParallelOverheadPositive(t *testing.T) {
+	// Fork/join cannot be free: the measured overhead must exceed zero by
+	// more than noise.
+	rt := testRuntime(t, 4)
+	s := NewSuite(rt, Options{InnerReps: 64, OuterReps: 5, DelayLength: 16})
+	m, err := s.Measure("parallel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.OverheadUS <= 0 {
+		t.Errorf("parallel overhead = %v µs, want > 0", m.OverheadUS)
+	}
+}
+
+func TestMeasureOverMCALayer(t *testing.T) {
+	l, err := core.NewMCALayer(platform.T4240RDB().NewSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.New(core.WithLayer(l), core.WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	s := NewSuite(rt, quickOptions())
+	if _, err := s.MeasureAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRatioClampsNoise(t *testing.T) {
+	if got := ratio(0.005, 0.002); got != 1.0 {
+		t.Errorf("noise ratio = %v, want 1.0 (both clamped to floor)", got)
+	}
+	if got := ratio(2, 1); got != 2 {
+		t.Errorf("ratio = %v, want 2", got)
+	}
+	if got := ratio(-0.5, 1); got != 0.01 {
+		t.Errorf("negative mca ratio = %v, want clamped 0.01", got)
+	}
+}
+
+func TestMeasureTable1SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table measurement in -short mode")
+	}
+	res, err := MeasureTable1(platform.T4240RDB(), quickOptions(), []int{2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range Table1Constructs {
+		if len(res.Ratio[c]) != 2 {
+			t.Fatalf("%s: %d ratios, want 2", c, len(res.Ratio[c]))
+		}
+		for i, v := range res.Ratio[c] {
+			if v <= 0 {
+				t.Errorf("%s@%d: ratio %v <= 0", c, res.Threads[i], v)
+			}
+			// The paper's band is 0.41–2.39; allow generous headroom for
+			// host noise but catch order-of-magnitude blowups.
+			if v > 10 {
+				t.Errorf("%s@%d: ratio %v, MCA layer overhead blew up", c, res.Threads[i], v)
+			}
+		}
+	}
+	out := res.Render()
+	for _, want := range []string{"TABLE I", "Parallel", "Reduction", "Critical"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScheduleBench(t *testing.T) {
+	rt := testRuntime(t, 4)
+	s := NewSuite(rt, Options{InnerReps: 8, OuterReps: 3, DelayLength: 8})
+	p := s.MeasureSchedule(core.ScheduleDynamic, 4)
+	if p.Schedule != core.ScheduleDynamic || p.Chunk != 4 {
+		t.Errorf("point = %+v", p)
+	}
+}
+
+func TestScheduleTableRender(t *testing.T) {
+	rt := testRuntime(t, 3)
+	s := NewSuite(rt, Options{InnerReps: 4, OuterReps: 3, DelayLength: 4})
+	table := s.MeasureScheduleTable()
+	if len(table.Points) != 3*len(ScheduleChunks) {
+		t.Fatalf("points = %d", len(table.Points))
+	}
+	out := table.Render()
+	for _, want := range []string{"schedbench", "static", "dynamic", "guided", "128"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestOrderedAndTaskConstructsMeasured(t *testing.T) {
+	rt := testRuntime(t, 4)
+	s := NewSuite(rt, quickOptions())
+	for _, construct := range []string{"ordered", "task"} {
+		if _, err := s.Measure(construct); err != nil {
+			t.Errorf("Measure(%s): %v", construct, err)
+		}
+	}
+}
+
+func TestArrayBench(t *testing.T) {
+	rt := testRuntime(t, 4)
+	s := NewSuite(rt, Options{InnerReps: 8, OuterReps: 3, DelayLength: 4})
+	p, err := s.MeasureArray("firstprivate", 243)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Clause != "firstprivate" || p.Size != 243 {
+		t.Errorf("point = %+v", p)
+	}
+	if _, err := s.MeasureArray("shared", 1); err == nil {
+		t.Error("unknown clause accepted")
+	}
+}
+
+func TestArrayTableRender(t *testing.T) {
+	rt := testRuntime(t, 2)
+	s := NewSuite(rt, Options{InnerReps: 2, OuterReps: 1, DelayLength: 1})
+	table, err := s.MeasureArrayTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Points) != 2*len(ArraySizes) {
+		t.Fatalf("points = %d", len(table.Points))
+	}
+	out := table.Render()
+	for _, want := range []string{"arraybench", "private", "firstprivate", "59049"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	o := DefaultOptions()
+	if o.InnerReps <= 0 || o.OuterReps <= 0 || o.DelayLength <= 0 {
+		t.Errorf("defaults = %+v", o)
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{InnerReps: -1, OuterReps: 0, DelayLength: -5}
+	o.normalize()
+	if o.InnerReps <= 0 || o.OuterReps <= 0 || o.DelayLength != 0 {
+		t.Errorf("normalized = %+v", o)
+	}
+}

@@ -1,0 +1,104 @@
+package epcc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"openmpmca/internal/core"
+)
+
+// The EPCC distribution ships a second microbenchmark, schedbench, that
+// measures loop-scheduling overhead: the cost of distributing a fixed
+// iteration space under static/dynamic/guided schedules at several chunk
+// sizes. This file ports it, completing the suite the paper's §6A tool
+// provides.
+
+// SchedulePoint is one (schedule, chunk) overhead measurement.
+type SchedulePoint struct {
+	Schedule core.Schedule
+	Chunk    int
+	// OverheadUS is the median per-loop-instance overhead in µs.
+	OverheadUS float64
+}
+
+// ScheduleChunks are the chunk sizes schedbench sweeps.
+var ScheduleChunks = []int{1, 2, 4, 8, 16, 32, 64, 128}
+
+// scheduleIters is the iteration space each measured loop distributes
+// (EPCC's itersperthr × threads, fixed here for cross-run comparability).
+const scheduleIters = 1024
+
+// MeasureSchedule measures the per-instance overhead of worksharing
+// scheduleIters iterations under the given schedule and chunk.
+func (s *Suite) MeasureSchedule(sched core.Schedule, chunk int) SchedulePoint {
+	rt := s.rt
+	inner := s.opt.InnerReps
+	d := s.opt.DelayLength
+
+	samples := make([]float64, 0, s.opt.OuterReps)
+	for rep := 0; rep < s.opt.OuterReps; rep++ {
+		start := time.Now()
+		_ = rt.Parallel(func(c *core.Context) {
+			for j := 0; j < inner; j++ {
+				c.ForOpts(scheduleIters, core.LoopOpts{Schedule: sched, Chunk: chunk}, func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						delay(d)
+					}
+				})
+			}
+		})
+		elapsed := float64(time.Since(start).Nanoseconds())
+		refNs := float64(scheduleIters) * float64(inner) * s.delayNs
+		samples = append(samples, (elapsed-refNs)/float64(inner)/1e3)
+	}
+	sort.Float64s(samples)
+	return SchedulePoint{Schedule: sched, Chunk: chunk, OverheadUS: samples[len(samples)/2]}
+}
+
+// ScheduleTable holds a full schedbench sweep.
+type ScheduleTable struct {
+	Threads int
+	Points  []SchedulePoint
+}
+
+// MeasureScheduleTable sweeps static/dynamic/guided across
+// ScheduleChunks.
+func (s *Suite) MeasureScheduleTable() *ScheduleTable {
+	t := &ScheduleTable{Threads: s.rt.NumThreads()}
+	for _, sched := range []core.Schedule{core.ScheduleStatic, core.ScheduleDynamic, core.ScheduleGuided} {
+		for _, chunk := range ScheduleChunks {
+			t.Points = append(t.Points, s.MeasureSchedule(sched, chunk))
+		}
+	}
+	return t
+}
+
+// Render formats the sweep as schedbench's schedule × chunk matrix.
+func (t *ScheduleTable) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "EPCC schedbench — loop scheduling overhead (µs/instance, %d threads, %d iterations)\n",
+		t.Threads, scheduleIters)
+	fmt.Fprintf(&sb, "%-10s", "schedule")
+	for _, c := range ScheduleChunks {
+		fmt.Fprintf(&sb, "%8d", c)
+	}
+	sb.WriteString("\n" + strings.Repeat("-", 10+8*len(ScheduleChunks)) + "\n")
+	bySched := make(map[core.Schedule][]SchedulePoint)
+	order := []core.Schedule{}
+	for _, p := range t.Points {
+		if _, ok := bySched[p.Schedule]; !ok {
+			order = append(order, p.Schedule)
+		}
+		bySched[p.Schedule] = append(bySched[p.Schedule], p)
+	}
+	for _, sched := range order {
+		fmt.Fprintf(&sb, "%-10s", sched)
+		for _, p := range bySched[sched] {
+			fmt.Fprintf(&sb, "%8.2f", p.OverheadUS)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,135 @@
+package epcc
+
+import (
+	"fmt"
+	"strings"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/platform"
+)
+
+// Table1ThreadCounts are the pool sizes of the paper's Table I.
+var Table1ThreadCounts = []int{4, 8, 12, 16, 20, 24}
+
+// Table1Constructs are the rows of the paper's Table I (the full EPCC
+// suite minus lock, which the paper omits).
+var Table1Constructs = []string{
+	"parallel", "for", "parallel for", "barrier", "single", "critical", "reduction",
+}
+
+// RelativeOverheads holds the Table I payload: for each construct, the
+// ratio MCA-runtime overhead / native-runtime overhead per thread count.
+// Values near 1.0 mean the MCA layer costs nothing; below 1.0 it is
+// faster.
+type RelativeOverheads struct {
+	Board      *platform.Board
+	Threads    []int
+	Constructs []string
+	// Ratio[construct][i] corresponds to Threads[i].
+	Ratio map[string][]float64
+	// NativeUS and MCAUS keep the absolute medians for EXPERIMENTS.md.
+	NativeUS map[string][]float64
+	MCAUS    map[string][]float64
+}
+
+// newRuntime builds a runtime on the given layer sized to nthreads.
+func newRuntime(layer core.ThreadLayer, nthreads int) (*core.Runtime, error) {
+	return core.New(core.WithLayer(layer), core.WithNumThreads(nthreads))
+}
+
+// MeasureTable1 regenerates the paper's Table I on the given board: it
+// runs the EPCC suite over the native layer and over the MCA layer at each
+// thread count and forms the overhead ratios.
+func MeasureTable1(board *platform.Board, opt Options, threads []int) (*RelativeOverheads, error) {
+	if len(threads) == 0 {
+		threads = Table1ThreadCounts
+	}
+	res := &RelativeOverheads{
+		Board:      board,
+		Threads:    threads,
+		Constructs: Table1Constructs,
+		Ratio:      make(map[string][]float64),
+		NativeUS:   make(map[string][]float64),
+		MCAUS:      make(map[string][]float64),
+	}
+	for _, n := range threads {
+		native, err := measureLayer(core.NewNativeLayer(board.HWThreads()), n, opt)
+		if err != nil {
+			return nil, fmt.Errorf("epcc: native layer at %d threads: %w", n, err)
+		}
+		mcaLayer, err := core.NewMCALayer(board.NewSystem())
+		if err != nil {
+			return nil, err
+		}
+		mca, err := measureLayer(mcaLayer, n, opt)
+		if err != nil {
+			return nil, fmt.Errorf("epcc: mca layer at %d threads: %w", n, err)
+		}
+		for _, c := range Table1Constructs {
+			res.NativeUS[c] = append(res.NativeUS[c], native[c])
+			res.MCAUS[c] = append(res.MCAUS[c], mca[c])
+			res.Ratio[c] = append(res.Ratio[c], ratio(mca[c], native[c]))
+		}
+	}
+	return res, nil
+}
+
+// ratio guards against zero/negative denominators, which can occur when an
+// overhead is at timer-noise level; EPCC itself reports such cells as
+// noise. We clamp into a ratio of the absolute magnitudes.
+func ratio(mca, native float64) float64 {
+	const floorUS = 0.01 // below 10ns the measurement is pure noise
+	am, an := mca, native
+	if am < floorUS {
+		am = floorUS
+	}
+	if an < floorUS {
+		an = floorUS
+	}
+	return am / an
+}
+
+func measureLayer(layer core.ThreadLayer, nthreads int, opt Options) (map[string]float64, error) {
+	rt, err := newRuntime(layer, nthreads)
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Close()
+	s := NewSuite(rt, opt)
+	out := make(map[string]float64, len(Table1Constructs))
+	for _, c := range Table1Constructs {
+		m, err := s.Measure(c)
+		if err != nil {
+			return nil, err
+		}
+		out[c] = m.OverheadUS
+	}
+	return out, nil
+}
+
+// Render formats the result like the paper's Table I.
+func (r *RelativeOverheads) Render() string {
+	var sb strings.Builder
+	sb.WriteString("TABLE I: Relative overhead of MCA-libGOMP versus GNU OpenMP runtime\n")
+	fmt.Fprintf(&sb, "%-14s", "Directive")
+	for _, n := range r.Threads {
+		fmt.Fprintf(&sb, "%8d", n)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 14+8*len(r.Threads)) + "\n")
+	for _, c := range r.Constructs {
+		fmt.Fprintf(&sb, "%-14s", titleCase(c))
+		for _, v := range r.Ratio[c] {
+			fmt.Fprintf(&sb, "%8.2f", v)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}

@@ -1,0 +1,72 @@
+package mcapi_test
+
+import (
+	"fmt"
+
+	"openmpmca/internal/mcapi"
+)
+
+// Connectionless messaging between two nodes: create endpoints, send with
+// a priority, receive.
+func Example() {
+	sys := mcapi.NewSystem()
+	sender, err := sys.Initialize(1, 1)
+	if err != nil {
+		panic(err)
+	}
+	receiver, err := sys.Initialize(1, 2)
+	if err != nil {
+		panic(err)
+	}
+	_, _ = sender, receiver
+
+	inbox, err := receiver.CreateEndpoint(5, nil)
+	if err != nil {
+		panic(err)
+	}
+	// Senders resolve the destination by (domain, node, port).
+	to, err := sys.GetEndpoint(1, 2, 5)
+	if err != nil {
+		panic(err)
+	}
+	if err := mcapi.MsgSend(to, []byte("hello embedded world"), 0, mcapi.TimeoutInfinite); err != nil {
+		panic(err)
+	}
+	data, prio, err := mcapi.MsgRecv(inbox, mcapi.TimeoutInfinite)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%s (priority %d)\n", data, prio)
+	// Output: hello embedded world (priority 0)
+}
+
+// A connected packet channel: unidirectional FIFO pipe between two
+// endpoints.
+func ExamplePktConnect() {
+	sys := mcapi.NewSystem()
+	a, _ := sys.Initialize(1, 1)
+	b, _ := sys.Initialize(1, 2)
+	out, _ := a.CreateEndpoint(1, nil)
+	in, _ := b.CreateEndpoint(1, nil)
+
+	if err := mcapi.PktConnect(out, in); err != nil {
+		panic(err)
+	}
+	send, err := mcapi.PktOpenSend(out)
+	if err != nil {
+		panic(err)
+	}
+	recv, err := mcapi.PktOpenRecv(in)
+	if err != nil {
+		panic(err)
+	}
+	_ = send.Send([]byte("pkt-1"), mcapi.TimeoutInfinite)
+	_ = send.Send([]byte("pkt-2"), mcapi.TimeoutInfinite)
+	for i := 0; i < 2; i++ {
+		pkt, _ := recv.Recv(mcapi.TimeoutInfinite)
+		fmt.Println(string(pkt))
+	}
+	// Output:
+	// pkt-1
+	// pkt-2
+}

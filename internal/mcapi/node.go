@@ -1,0 +1,186 @@
+package mcapi
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DomainID and NodeID address MCAPI nodes; Port addresses an endpoint on
+// a node.
+type (
+	DomainID uint32
+	NodeID   uint32
+	Port     uint32
+)
+
+// PortAny asks CreateEndpoint to pick an unused port
+// (MCAPI_PORT_ANY).
+const PortAny Port = ^Port(0)
+
+// maxEndpointsPerNode mirrors MCAPI_MAX_ENDPOINTS.
+const maxEndpointsPerNode = 256
+
+// System is an MCAPI universe: the registry endpoint lookups resolve
+// against.
+type System struct {
+	mu    sync.RWMutex
+	nodes map[[2]uint32]*Node // (domain, node) -> Node
+}
+
+// NewSystem creates an empty MCAPI universe.
+func NewSystem() *System {
+	return &System{nodes: make(map[[2]uint32]*Node)}
+}
+
+// Node is an MCAPI node: an independent unit of execution owning
+// endpoints.
+type Node struct {
+	sys    *System
+	domain DomainID
+	id     NodeID
+
+	mu        sync.Mutex
+	endpoints map[Port]*Endpoint
+	nextPort  Port
+	alive     bool
+}
+
+// Initialize registers node (domain, id) in the system
+// (mcapi_initialize).
+func (s *System) Initialize(domain DomainID, id NodeID) (*Node, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := [2]uint32{uint32(domain), uint32(id)}
+	if _, dup := s.nodes[key]; dup {
+		return nil, ErrNodeInitFailed
+	}
+	n := &Node{
+		sys:       s,
+		domain:    domain,
+		id:        id,
+		endpoints: make(map[Port]*Endpoint),
+		alive:     true,
+	}
+	s.nodes[key] = n
+	return n, nil
+}
+
+// Finalize tears the node down, deleting its endpoints
+// (mcapi_finalize).
+func (n *Node) Finalize() error {
+	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		return ErrNodeNotInit
+	}
+	n.alive = false
+	eps := make([]*Endpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+
+	for _, ep := range eps {
+		_ = ep.Delete()
+	}
+
+	n.sys.mu.Lock()
+	delete(n.sys.nodes, [2]uint32{uint32(n.domain), uint32(n.id)})
+	n.sys.mu.Unlock()
+	return nil
+}
+
+// Domain returns the node's domain ID (mcapi_domain_id_get).
+func (n *Node) Domain() DomainID { return n.domain }
+
+// ID returns the node ID (mcapi_node_id_get).
+func (n *Node) ID() NodeID { return n.id }
+
+func (n *Node) String() string {
+	return fmt.Sprintf("mcapi.Node(d%d,n%d)", n.domain, n.id)
+}
+
+// CreateEndpoint creates an endpoint on the given port, or on a fresh
+// port with PortAny (mcapi_endpoint_create). attrs may be nil.
+func (n *Node) CreateEndpoint(port Port, attrs *EndpointAttributes) (*Endpoint, error) {
+	a := EndpointAttributes{QueueDepth: DefaultQueueDepth}
+	if attrs != nil {
+		a = *attrs
+		if a.QueueDepth <= 0 {
+			a.QueueDepth = DefaultQueueDepth
+		}
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return nil, ErrNodeNotInit
+	}
+	if len(n.endpoints) >= maxEndpointsPerNode {
+		return nil, ErrEndpLimit
+	}
+	if port == PortAny {
+		for {
+			if _, used := n.endpoints[n.nextPort]; !used {
+				port = n.nextPort
+				n.nextPort++
+				break
+			}
+			n.nextPort++
+		}
+	} else if _, dup := n.endpoints[port]; dup {
+		return nil, ErrEndpExists
+	}
+	ep := newEndpoint(n, port, a)
+	n.endpoints[port] = ep
+	return ep, nil
+}
+
+// GetEndpoint resolves (domain, node, port) to an endpoint
+// (mcapi_endpoint_get with an immediate timeout).
+func (s *System) GetEndpoint(domain DomainID, node NodeID, port Port) (*Endpoint, error) {
+	s.mu.RLock()
+	n, ok := s.nodes[[2]uint32{uint32(domain), uint32(node)}]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrEndpInvalid
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.endpoints[port]
+	if !ok {
+		return nil, ErrEndpInvalid
+	}
+	return ep, nil
+}
+
+// endpointPollInterval paces GetEndpointWait's retries.
+const endpointPollInterval = 500 * time.Microsecond
+
+// GetEndpointWait blocks until (domain, node, port) exists or timeout
+// elapses — the blocking form of mcapi_endpoint_get that real MCAPI
+// programs use to ride out startup ordering (a receiver may create its
+// endpoint after the sender asks for it).
+func (s *System) GetEndpointWait(domain DomainID, node NodeID, port Port, timeout Timeout) (*Endpoint, error) {
+	var deadline <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(time.Duration(timeout))
+		defer t.Stop()
+		deadline = t.C
+	}
+	for {
+		if ep, err := s.GetEndpoint(domain, node, port); err == nil {
+			return ep, nil
+		}
+		if timeout == TimeoutImmediate {
+			return nil, ErrTimeout
+		}
+		tick := time.NewTimer(endpointPollInterval)
+		select {
+		case <-tick.C:
+		case <-deadline:
+			tick.Stop()
+			return nil, ErrTimeout
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package mcapi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: a packet channel is a faithful FIFO — any sequence of
+// payloads is received intact and in order.
+func TestPropPktChannelFIFO(t *testing.T) {
+	sys := NewSystem()
+	n1, _ := sys.Initialize(1, 1)
+	n2, _ := sys.Initialize(1, 2)
+	nextPort := Port(100)
+	f := func(payloads [][]byte) bool {
+		if len(payloads) > 32 {
+			payloads = payloads[:32]
+		}
+		out, err := n1.CreateEndpoint(nextPort, &EndpointAttributes{QueueDepth: 64})
+		if err != nil {
+			return false
+		}
+		in, err := n2.CreateEndpoint(nextPort, &EndpointAttributes{QueueDepth: 64})
+		nextPort++
+		if err != nil {
+			return false
+		}
+		if err := PktConnect(out, in); err != nil {
+			return false
+		}
+		send, err := PktOpenSend(out)
+		if err != nil {
+			return false
+		}
+		recv, err := PktOpenRecv(in)
+		if err != nil {
+			return false
+		}
+		for _, p := range payloads {
+			if err := send.Send(p, TimeoutInfinite); err != nil {
+				return false
+			}
+		}
+		for _, want := range payloads {
+			got, err := recv.Recv(TimeoutImmediate)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		return recv.Available() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: messages of mixed priorities are delivered highest-priority
+// first and FIFO within a priority, for any interleaving of priorities.
+func TestPropMsgPriorityOrder(t *testing.T) {
+	sys := NewSystem()
+	n, _ := sys.Initialize(1, 1)
+	nextPort := Port(0)
+	f := func(prios []uint8) bool {
+		if len(prios) > 40 {
+			prios = prios[:40]
+		}
+		ep, err := n.CreateEndpoint(nextPort, &EndpointAttributes{QueueDepth: 64})
+		nextPort++
+		if err != nil {
+			return false
+		}
+		// Send tagged messages.
+		for seq, p8 := range prios {
+			prio := int(p8) % (MaxPriority + 1)
+			if err := MsgSend(ep, []byte{byte(prio), byte(seq)}, prio, TimeoutInfinite); err != nil {
+				return false
+			}
+		}
+		// Receive and check: priorities non-decreasing; within equal
+		// priority, sequence ascending.
+		lastPrio := -1
+		lastSeqAt := map[int]int{}
+		for range prios {
+			data, prio, err := MsgRecv(ep, TimeoutImmediate)
+			if err != nil || int(data[0]) != prio {
+				return false
+			}
+			if prio < lastPrio {
+				return false
+			}
+			lastPrio = prio
+			seq := int(data[1])
+			if prev, ok := lastSeqAt[prio]; ok && seq <= prev {
+				return false
+			}
+			lastSeqAt[prio] = seq
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

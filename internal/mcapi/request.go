@@ -1,0 +1,162 @@
+package mcapi
+
+import (
+	"sync"
+	"time"
+)
+
+// Request is a handle to a non-blocking MCAPI operation (mcapi_request_t):
+// Test polls it, Wait blocks on it, Cancel attempts to abort it.
+type Request struct {
+	mu       sync.Mutex
+	done     bool
+	canceled bool
+	err      error
+	data     []byte
+	priority int
+	doneCh   chan struct{}
+	cancelCh chan struct{}
+}
+
+func newRequest() *Request {
+	return &Request{doneCh: make(chan struct{}), cancelCh: make(chan struct{})}
+}
+
+// complete records the operation outcome unless the request was canceled
+// first.
+func (r *Request) complete(data []byte, priority int, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return
+	}
+	r.done = true
+	r.data = data
+	r.priority = priority
+	r.err = err
+	close(r.doneCh)
+}
+
+// Test reports whether the operation finished (mcapi_test); when it has,
+// the second result carries the operation error, if any.
+func (r *Request) Test() (finished bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done, r.err
+}
+
+// Wait blocks up to timeout for completion (mcapi_wait).
+func (r *Request) Wait(timeout Timeout) error {
+	if timeout == TimeoutInfinite {
+		<-r.doneCh
+	} else {
+		t := time.NewTimer(time.Duration(timeout))
+		defer t.Stop()
+		select {
+		case <-r.doneCh:
+		case <-t.C:
+			return ErrTimeout
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Cancel aborts a pending operation (mcapi_cancel). Completed requests
+// cannot be canceled.
+func (r *Request) Cancel() error {
+	r.mu.Lock()
+	if r.done {
+		r.mu.Unlock()
+		return ErrRequestInvalid
+	}
+	r.done = true
+	r.canceled = true
+	r.err = ErrRequestCanceled
+	close(r.doneCh)
+	close(r.cancelCh)
+	r.mu.Unlock()
+	return nil
+}
+
+// Payload returns a completed receive's data and priority.
+func (r *Request) Payload() ([]byte, int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.done {
+		return nil, 0, ErrRequestInvalid
+	}
+	return r.data, r.priority, r.err
+}
+
+// WaitAny blocks until one of the requests completes and returns its
+// index (mcapi_wait_any). With an empty set it returns ErrRequestInvalid.
+func WaitAny(reqs []*Request, timeout Timeout) (int, error) {
+	if len(reqs) == 0 {
+		return -1, ErrRequestInvalid
+	}
+	// Fast path: something already done.
+	for i, r := range reqs {
+		if done, _ := r.Test(); done {
+			return i, nil
+		}
+	}
+	winner := make(chan int, len(reqs))
+	for i, r := range reqs {
+		i, r := i, r
+		go func() {
+			<-r.doneCh
+			winner <- i
+		}()
+	}
+	if timeout == TimeoutInfinite {
+		return <-winner, nil
+	}
+	t := time.NewTimer(time.Duration(timeout))
+	defer t.Stop()
+	select {
+	case i := <-winner:
+		return i, nil
+	case <-t.C:
+		return -1, ErrTimeout
+	}
+}
+
+// MsgSendI is the non-blocking message send (mcapi_msg_send_i): it
+// returns immediately with a Request that completes when the message is
+// queued at the destination.
+func MsgSendI(to *Endpoint, data []byte, priority int) *Request {
+	r := newRequest()
+	buf := append([]byte(nil), data...)
+	go func() {
+		err := MsgSend(to, buf, priority, TimeoutInfinite)
+		r.complete(nil, priority, err)
+	}()
+	return r
+}
+
+// MsgRecvI is the non-blocking message receive (mcapi_msg_recv_i). The
+// payload is retrieved from the Request after completion. A canceled
+// receive re-queues nothing: cancellation only wins if it beats message
+// arrival.
+func MsgRecvI(from *Endpoint) *Request {
+	r := newRequest()
+	go func() {
+		// Poll with short slices so a Cancel can win between arrivals.
+		for {
+			select {
+			case <-r.cancelCh:
+				return
+			default:
+			}
+			data, prio, err := MsgRecv(from, Timeout(2*time.Millisecond))
+			if err == ErrTimeout {
+				continue
+			}
+			r.complete(data, prio, err)
+			return
+		}
+	}()
+	return r
+}

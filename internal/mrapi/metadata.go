@@ -1,0 +1,212 @@
+package mrapi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ResourceType classifies a node in the system resource metadata tree
+// (mrapi_rsrc_type).
+type ResourceType int
+
+const (
+	// ResSystem is the tree root.
+	ResSystem ResourceType = iota
+	// ResCPU is a physical core.
+	ResCPU
+	// ResHWThread is one SMT thread of a core.
+	ResHWThread
+	// ResCluster is a core cluster sharing a cache.
+	ResCluster
+	// ResCache is a cache (L1/L2/L3).
+	ResCache
+	// ResMemory is a DDR controller / memory bank.
+	ResMemory
+	// ResFabric is an on-chip interconnect (CoreNet).
+	ResFabric
+	// ResAccelerator is a specialized engine (DPAA, SEC, ...).
+	ResAccelerator
+	// ResCrossbar is an I/O crossbar or switch.
+	ResCrossbar
+)
+
+var resourceTypeNames = [...]string{
+	ResSystem:      "system",
+	ResCPU:         "cpu",
+	ResHWThread:    "hwthread",
+	ResCluster:     "cluster",
+	ResCache:       "cache",
+	ResMemory:      "memory",
+	ResFabric:      "fabric",
+	ResAccelerator: "accelerator",
+	ResCrossbar:    "crossbar",
+}
+
+func (t ResourceType) String() string {
+	if int(t) < len(resourceTypeNames) {
+		return resourceTypeNames[t]
+	}
+	return fmt.Sprintf("rsrc(%d)", int(t))
+}
+
+// Resource is one node of the MRAPI system resource metadata tree
+// (mrapi_resource_t). Attributes may be static (core frequency) or dynamic
+// (cores online); dynamic attributes are read through a getter so the
+// platform model can expose live values.
+type Resource struct {
+	Name     string
+	Type     ResourceType
+	Children []*Resource
+
+	mu      sync.RWMutex
+	static  map[string]any
+	dynamic map[string]func() any
+}
+
+// NewResource creates a resource tree node.
+func NewResource(name string, typ ResourceType) *Resource {
+	return &Resource{
+		Name:    name,
+		Type:    typ,
+		static:  make(map[string]any),
+		dynamic: make(map[string]func() any),
+	}
+}
+
+// AddChild appends a child and returns it for chaining.
+func (r *Resource) AddChild(c *Resource) *Resource {
+	r.Children = append(r.Children, c)
+	return c
+}
+
+// SetAttr sets a static attribute.
+func (r *Resource) SetAttr(name string, value any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.static[name] = value
+}
+
+// SetDynamicAttr installs a live attribute whose value is fetched on each
+// read (mrapi_dynamic_attributes).
+func (r *Resource) SetDynamicAttr(name string, get func() any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dynamic[name] = get
+}
+
+// Attr reads an attribute (static or dynamic). The boolean reports
+// existence.
+func (r *Resource) Attr(name string) (any, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if g, ok := r.dynamic[name]; ok {
+		return g(), true
+	}
+	v, ok := r.static[name]
+	return v, ok
+}
+
+// AttrNames returns the sorted attribute names.
+func (r *Resource) AttrNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.static)+len(r.dynamic))
+	for k := range r.static {
+		names = append(names, k)
+	}
+	for k := range r.dynamic {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Filter returns the subtree of resources matching the given type, as a
+// flat slice in depth-first order (mrapi_resources_get with a subsystem
+// filter).
+func (r *Resource) Filter(typ ResourceType) []*Resource {
+	var out []*Resource
+	r.walk(func(n *Resource) {
+		if n.Type == typ {
+			out = append(out, n)
+		}
+	})
+	return out
+}
+
+func (r *Resource) walk(f func(*Resource)) {
+	f(r)
+	for _, c := range r.Children {
+		c.walk(f)
+	}
+}
+
+// Count returns the number of resources of the given type in the tree.
+func (r *Resource) Count(typ ResourceType) int { return len(r.Filter(typ)) }
+
+// Render pretty-prints the tree, one resource per line, indented by depth —
+// the format cmd/ompmca-info uses to regenerate the paper's Figure 1.
+func (r *Resource) Render() string {
+	var b strings.Builder
+	r.render(&b, 0)
+	return b.String()
+}
+
+func (r *Resource) render(b *strings.Builder, depth int) {
+	b.WriteString(strings.Repeat("  ", depth))
+	fmt.Fprintf(b, "%s [%s]", r.Name, r.Type)
+	if names := r.AttrNames(); len(names) > 0 {
+		parts := make([]string, 0, len(names))
+		for _, n := range names {
+			v, _ := r.Attr(n)
+			parts = append(parts, fmt.Sprintf("%s=%v", n, v))
+		}
+		fmt.Fprintf(b, " {%s}", strings.Join(parts, ", "))
+	}
+	b.WriteByte('\n')
+	for _, c := range r.Children {
+		c.render(b, depth+1)
+	}
+}
+
+// ResourcesGet returns the system resource tree root (mrapi_resources_get).
+// The paper's runtime uses this to discover how many processors are online
+// (§5B4). It fails with ErrResourceInvalid when the system carries no
+// metadata.
+func (n *Node) ResourcesGet() (*Resource, error) {
+	if err := n.checkLive(); err != nil {
+		return nil, err
+	}
+	sys := n.domain.sys
+	sys.mu.RLock()
+	defer sys.mu.RUnlock()
+	if sys.resources == nil {
+		return nil, ErrResourceInvalid
+	}
+	return sys.resources, nil
+}
+
+// ProcessorsOnline reports the number of online hardware threads from the
+// metadata tree, the quantity the MCA-backed OpenMP runtime sizes its
+// default thread pool with. Falls back to 1 when no metadata is installed.
+func (n *Node) ProcessorsOnline() int {
+	root, err := n.ResourcesGet()
+	if err != nil {
+		return 1
+	}
+	online := 0
+	for _, hw := range root.Filter(ResHWThread) {
+		if v, ok := hw.Attr("online"); ok {
+			if b, isBool := v.(bool); isBool && !b {
+				continue
+			}
+		}
+		online++
+	}
+	if online == 0 {
+		return 1
+	}
+	return online
+}

@@ -1,0 +1,191 @@
+package mrapi
+
+import "sync"
+
+// MutexAttributes configure a mutex at creation (mrapi_mutex_init_attributes).
+type MutexAttributes struct {
+	// Recursive allows the owning node to re-lock; each lock returns a new
+	// LockKey and unlocks must be issued in reverse key order, matching the
+	// MRAPI recursive-mutex contract.
+	Recursive bool
+}
+
+// LockKey is the token mrapi_mutex_lock hands back; it must be presented to
+// Unlock. For recursive mutexes the key encodes the recursion depth.
+type LockKey uint32
+
+// Mutex is an MRAPI mutex: a domain-wide, key-addressed mutual-exclusion
+// primitive with optional recursion and timed acquisition. It is the
+// primitive the paper maps gomp_mutex_lock onto (Listing 4).
+type Mutex struct {
+	domain *Domain
+	key    Key
+	attrs  MutexAttributes
+
+	mu      sync.Mutex
+	held    bool
+	owner   *Node
+	depth   uint32 // recursion depth while held
+	deleted bool
+	waiters waitQueue
+}
+
+// MutexCreate registers a new mutex under key in the domain's global
+// database (mrapi_mutex_create). The creating node must be initialized.
+func (n *Node) MutexCreate(key Key, attrs *MutexAttributes) (*Mutex, error) {
+	if err := n.checkLive(); err != nil {
+		return nil, err
+	}
+	a := MutexAttributes{}
+	if attrs != nil {
+		a = *attrs
+	}
+	d := n.domain
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.mutexes[key]; dup {
+		return nil, ErrMutexExists
+	}
+	m := &Mutex{domain: d, key: key, attrs: a}
+	d.mutexes[key] = m
+	return m, nil
+}
+
+// MutexGet looks up an existing mutex by key (mrapi_mutex_get).
+func (n *Node) MutexGet(key Key) (*Mutex, error) {
+	if err := n.checkLive(); err != nil {
+		return nil, err
+	}
+	d := n.domain
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	m, ok := d.mutexes[key]
+	if !ok {
+		return nil, ErrMutexInvalid
+	}
+	return m, nil
+}
+
+// Key returns the database key the mutex was created under.
+func (m *Mutex) Key() Key { return m.key }
+
+// Attributes returns a copy of the creation attributes.
+func (m *Mutex) Attributes() MutexAttributes { return m.attrs }
+
+// Lock acquires the mutex on behalf of node, waiting up to timeout
+// (mrapi_mutex_lock). On success it returns the LockKey that must be given
+// back to Unlock. Re-locking a non-recursive mutex from its owning node
+// fails immediately with ErrMutexLocked (self-deadlock detection); on a
+// recursive mutex it succeeds and increments the key.
+func (m *Mutex) Lock(node *Node, timeout Timeout) (LockKey, error) {
+	if node == nil {
+		return 0, ErrParameter
+	}
+	if err := node.checkLive(); err != nil {
+		return 0, err
+	}
+
+	m.mu.Lock()
+	for {
+		if m.deleted {
+			m.mu.Unlock()
+			return 0, ErrMutexDeleted
+		}
+		if !m.held {
+			m.held = true
+			m.owner = node
+			m.depth = 1
+			m.mu.Unlock()
+			node.locksTaken.Add(1)
+			return LockKey(0), nil
+		}
+		if m.owner == node {
+			if !m.attrs.Recursive {
+				m.mu.Unlock()
+				return 0, ErrMutexLocked
+			}
+			m.depth++
+			k := LockKey(m.depth - 1)
+			m.mu.Unlock()
+			node.locksTaken.Add(1)
+			return k, nil
+		}
+		if timeout == TimeoutImmediate {
+			m.mu.Unlock()
+			return 0, ErrTimeout
+		}
+		if st := m.waiters.wait(&m.mu, timeout); st != Success {
+			m.mu.Unlock()
+			return 0, st
+		}
+	}
+}
+
+// Unlock releases one level of the mutex (mrapi_mutex_unlock). The lock key
+// must be the most recently issued one; recursive unlocks out of order fail
+// with ErrMutexLockOrder, unlocking from a non-owner fails with
+// ErrMutexKey, and unlocking an unheld mutex fails with ErrMutexNotLocked.
+func (m *Mutex) Unlock(node *Node, key LockKey) error {
+	if node == nil {
+		return ErrParameter
+	}
+	if err := node.checkLive(); err != nil {
+		return err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.deleted {
+		return ErrMutexDeleted
+	}
+	if !m.held {
+		return ErrMutexNotLocked
+	}
+	if m.owner != node {
+		return ErrMutexKey
+	}
+	if uint32(key) != m.depth-1 {
+		return ErrMutexLockOrder
+	}
+	m.depth--
+	if m.depth == 0 {
+		m.held = false
+		m.owner = nil
+		m.waiters.signalLocked()
+	}
+	return nil
+}
+
+// Held reports whether the mutex is currently locked (diagnostic).
+func (m *Mutex) Held() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.held
+}
+
+// Delete removes the mutex from the domain database (mrapi_mutex_delete).
+// Waiters are woken with ErrMutexDeleted. Deleting a held mutex is allowed
+// only for the owner; other nodes get ErrMutexLocked.
+func (m *Mutex) Delete(node *Node) error {
+	if err := node.checkLive(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	if m.deleted {
+		m.mu.Unlock()
+		return ErrMutexInvalid
+	}
+	if m.held && m.owner != node {
+		m.mu.Unlock()
+		return ErrMutexLocked
+	}
+	m.deleted = true
+	m.waiters.broadcastLocked()
+	m.mu.Unlock()
+
+	d := m.domain
+	d.mu.Lock()
+	delete(d.mutexes, m.key)
+	d.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,237 @@
+package mrapi
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func newTestNode(t *testing.T) *Node {
+	t.Helper()
+	sys := NewSystem(nil)
+	n, err := sys.Initialize(1, 1, nil)
+	if err != nil {
+		t.Fatalf("Initialize: %v", err)
+	}
+	return n
+}
+
+func TestInitializeRegistersNode(t *testing.T) {
+	sys := NewSystem(nil)
+	n, err := sys.Initialize(1, 42, &NodeAttributes{Name: "boss", Affinity: 3})
+	if err != nil {
+		t.Fatalf("Initialize: %v", err)
+	}
+	if n.ID() != 42 {
+		t.Errorf("ID = %d, want 42", n.ID())
+	}
+	if n.Domain().ID() != 1 {
+		t.Errorf("domain = %d, want 1", n.Domain().ID())
+	}
+	if !n.Initialized() {
+		t.Error("node should report initialized")
+	}
+	if got := n.Attributes(); got.Name != "boss" || got.Affinity != 3 {
+		t.Errorf("attributes = %+v", got)
+	}
+	d, err := sys.Domain(1)
+	if err != nil {
+		t.Fatalf("Domain: %v", err)
+	}
+	if d.NumNodes() != 1 {
+		t.Errorf("NumNodes = %d, want 1", d.NumNodes())
+	}
+	if back, err := d.Node(42); err != nil || back != n {
+		t.Errorf("Node(42) = %v, %v", back, err)
+	}
+}
+
+func TestInitializeDuplicateNodeFails(t *testing.T) {
+	sys := NewSystem(nil)
+	if _, err := sys.Initialize(1, 7, nil); err != nil {
+		t.Fatalf("first Initialize: %v", err)
+	}
+	_, err := sys.Initialize(1, 7, nil)
+	if !errors.Is(err, ErrNodeInitFailed) {
+		t.Errorf("duplicate Initialize error = %v, want ErrNodeInitFailed", err)
+	}
+}
+
+func TestSameNodeIDInDifferentDomains(t *testing.T) {
+	sys := NewSystem(nil)
+	if _, err := sys.Initialize(1, 7, nil); err != nil {
+		t.Fatalf("domain 1: %v", err)
+	}
+	if _, err := sys.Initialize(2, 7, nil); err != nil {
+		t.Fatalf("domain 2 same node id should succeed: %v", err)
+	}
+}
+
+func TestFinalizeRemovesNode(t *testing.T) {
+	sys := NewSystem(nil)
+	n, _ := sys.Initialize(1, 7, nil)
+	if err := n.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if n.Initialized() {
+		t.Error("finalized node still reports initialized")
+	}
+	if err := n.Finalize(); !errors.Is(err, ErrNodeNotInit) {
+		t.Errorf("double Finalize = %v, want ErrNodeNotInit", err)
+	}
+	d, _ := sys.Domain(1)
+	if _, err := d.Node(7); !errors.Is(err, ErrNodeInvalid) {
+		t.Errorf("lookup after finalize = %v, want ErrNodeInvalid", err)
+	}
+	// The ID can be reused after finalization.
+	if _, err := sys.Initialize(1, 7, nil); err != nil {
+		t.Errorf("re-Initialize after Finalize: %v", err)
+	}
+}
+
+func TestFinalizedNodeRejectsResourceOps(t *testing.T) {
+	n := newTestNode(t)
+	if err := n.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.MutexCreate(1, nil); !errors.Is(err, ErrNodeNotInit) {
+		t.Errorf("MutexCreate on dead node = %v", err)
+	}
+	if _, err := n.ShmemCreate(1, 16, nil); !errors.Is(err, ErrNodeNotInit) {
+		t.Errorf("ShmemCreate on dead node = %v", err)
+	}
+	if _, err := n.SpawnThread(ThreadParams{Start: func() {}}); !errors.Is(err, ErrNodeNotInit) {
+		t.Errorf("SpawnThread on dead node = %v", err)
+	}
+}
+
+func TestSpawnThreadRunsAndDeregisters(t *testing.T) {
+	n := newTestNode(t)
+	var ran atomic.Bool
+	th, err := n.SpawnThread(ThreadParams{Name: "w0", Start: func() { ran.Store(true) }})
+	if err != nil {
+		t.Fatalf("SpawnThread: %v", err)
+	}
+	th.Join()
+	if !ran.Load() {
+		t.Error("worker body did not run")
+	}
+	if th.State() != ThreadExited {
+		t.Errorf("state = %v, want ThreadExited", th.State())
+	}
+	if th.Name() != "w0" {
+		t.Errorf("name = %q", th.Name())
+	}
+	if n.NumThreads() != 0 {
+		t.Errorf("NumThreads after join = %d, want 0", n.NumThreads())
+	}
+}
+
+func TestSpawnThreadNilStart(t *testing.T) {
+	n := newTestNode(t)
+	if _, err := n.SpawnThread(ThreadParams{}); !errors.Is(err, ErrParameter) {
+		t.Errorf("nil start = %v, want ErrParameter", err)
+	}
+}
+
+func TestSpawnManyThreadsConcurrently(t *testing.T) {
+	n := newTestNode(t)
+	const workers = 50
+	var count atomic.Int64
+	var start sync.WaitGroup
+	start.Add(1)
+	threads := make([]*NodeThread, workers)
+	for i := 0; i < workers; i++ {
+		th, err := n.SpawnThread(ThreadParams{Start: func() {
+			start.Wait()
+			count.Add(1)
+		}})
+		if err != nil {
+			t.Fatalf("spawn %d: %v", i, err)
+		}
+		threads[i] = th
+	}
+	if got := n.NumThreads(); got != workers {
+		t.Errorf("NumThreads while running = %d, want %d", got, workers)
+	}
+	start.Done()
+	for _, th := range threads {
+		th.Join()
+	}
+	if count.Load() != workers {
+		t.Errorf("count = %d, want %d", count.Load(), workers)
+	}
+}
+
+func TestFinalizeJoinsRunningThreads(t *testing.T) {
+	n := newTestNode(t)
+	release := make(chan struct{})
+	var done atomic.Bool
+	if _, err := n.SpawnThread(ThreadParams{Start: func() {
+		<-release
+		done.Store(true)
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	go close(release)
+	if err := n.Finalize(); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if !done.Load() {
+		t.Error("Finalize returned before worker completed")
+	}
+}
+
+func TestThreadIDsAreUnique(t *testing.T) {
+	n := newTestNode(t)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10; i++ {
+		th, err := n.SpawnThread(ThreadParams{Start: func() {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[th.ID()] {
+			t.Fatalf("duplicate thread id %d", th.ID())
+		}
+		seen[th.ID()] = true
+		th.Join()
+	}
+}
+
+func TestDefaultSystemIsSingleton(t *testing.T) {
+	a, b := DefaultSystem(), DefaultSystem()
+	if a != b {
+		t.Error("DefaultSystem returned two instances")
+	}
+}
+
+func TestDomainsEnumeration(t *testing.T) {
+	sys := NewSystem(nil)
+	for _, d := range []DomainID{3, 9, 12} {
+		if _, err := sys.Initialize(d, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids := sys.Domains()
+	if len(ids) != 3 {
+		t.Fatalf("Domains = %v, want 3 entries", ids)
+	}
+	if _, err := sys.Domain(99); !errors.Is(err, ErrDomainInvalid) {
+		t.Errorf("unknown domain = %v, want ErrDomainInvalid", err)
+	}
+}
+
+func TestStatusErrorStrings(t *testing.T) {
+	cases := map[Status]string{
+		Success:        "MRAPI_SUCCESS",
+		ErrNodeNotInit: "MRAPI_ERR_NODE_NOTINIT",
+		ErrTimeout:     "MRAPI_TIMEOUT",
+		Status(9999):   "MRAPI_STATUS_UNKNOWN",
+	}
+	for st, want := range cases {
+		if st.Error() != want || st.String() != want {
+			t.Errorf("Status(%d) = %q, want %q", uint32(st), st.Error(), want)
+		}
+	}
+}

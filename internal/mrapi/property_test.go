@@ -1,0 +1,164 @@
+package mrapi
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any write offset/content within bounds, an rmem read-back
+// returns exactly what was written (remote memory is a faithful store).
+func TestPropRmemRoundTrip(t *testing.T) {
+	a, _ := twoNodes(t)
+	r, _ := a.RmemCreate(1, 4096, nil)
+	if err := r.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	f := func(off uint16, data []byte) bool {
+		offset := int(off) % 2048
+		if len(data) > 1024 {
+			data = data[:1024]
+		}
+		if err := r.Write(a, offset, data); err != nil {
+			return false
+		}
+		back := make([]byte, len(data))
+		if err := r.Read(a, offset, back); err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: strided write followed by strided read with identical geometry
+// is the identity, for any valid geometry.
+func TestPropRmemStridedRoundTrip(t *testing.T) {
+	a, _ := twoNodes(t)
+	r, _ := a.RmemCreate(2, 1<<16, nil)
+	if err := r.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	f := func(e, s, c uint8, seed byte) bool {
+		elem := int(e)%16 + 1
+		stride := elem + int(s)%16
+		count := int(c) % 32
+		if stride*count+elem > r.Size() {
+			return true // geometry out of range: skip
+		}
+		data := make([]byte, elem*count)
+		for i := range data {
+			data[i] = seed + byte(i)
+		}
+		if err := r.WriteStrided(a, 0, elem, stride, count, data); err != nil {
+			return false
+		}
+		back := make([]byte, len(data))
+		if err := r.ReadStrided(a, 0, elem, stride, count, back); err != nil {
+			return false
+		}
+		return bytes.Equal(back, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a recursive mutex locked k times unwinds with exactly k unlocks
+// in reverse key order, never fewer, and is free afterwards.
+func TestPropRecursiveMutexDepth(t *testing.T) {
+	a, _ := twoNodes(t)
+	m, _ := a.MutexCreate(1, &MutexAttributes{Recursive: true})
+	f := func(depth8 uint8) bool {
+		depth := int(depth8)%20 + 1
+		keys := make([]LockKey, depth)
+		for i := 0; i < depth; i++ {
+			k, err := m.Lock(a, TimeoutInfinite)
+			if err != nil {
+				return false
+			}
+			keys[i] = k
+		}
+		if !m.Held() {
+			return false
+		}
+		for i := depth - 1; i >= 0; i-- {
+			if err := m.Unlock(a, keys[i]); err != nil {
+				return false
+			}
+			held := m.Held()
+			if i > 0 && !held {
+				return false // released too early
+			}
+		}
+		return !m.Held()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a semaphore's count after a sequence of k locks and j unlocks
+// (k <= initial, j <= k) is initial - k + j.
+func TestPropSemaphoreCounting(t *testing.T) {
+	f := func(init8, locks8, posts8 uint8) bool {
+		sys := NewSystem(nil)
+		n, err := sys.Initialize(1, 1, nil)
+		if err != nil {
+			return false
+		}
+		initial := int(init8)%50 + 1
+		locks := int(locks8) % (initial + 1)
+		posts := 0
+		if locks > 0 {
+			posts = int(posts8) % (locks + 1)
+		}
+		s, err := n.SemCreate(1, initial, nil)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < locks; i++ {
+			if err := s.Lock(n, TimeoutImmediate); err != nil {
+				return false
+			}
+		}
+		for i := 0; i < posts; i++ {
+			if err := s.Unlock(n); err != nil {
+				return false
+			}
+		}
+		return s.Count() == initial-locks+posts
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SysV shmem sizes are always rounded up to whole pages and are
+// never smaller than the request; malloc shmem sizes are exact.
+func TestPropShmemSizing(t *testing.T) {
+	a, _ := twoNodes(t)
+	key := Key(0)
+	f := func(req16 uint16, useMalloc bool) bool {
+		size := int(req16)%20000 + 1
+		key++
+		kind := ShmemSysV
+		if useMalloc {
+			kind = ShmemMalloc
+		}
+		s, err := a.ShmemCreate(key, size, &ShmemAttributes{Kind: kind})
+		if err != nil {
+			return false
+		}
+		defer func() { _ = s.Delete(a) }()
+		if useMalloc {
+			return s.Size() == size
+		}
+		return s.Size() >= size && s.Size()%PageSize == 0 && s.Size()-size < PageSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

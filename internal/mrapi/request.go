@@ -1,0 +1,141 @@
+package mrapi
+
+import (
+	"sync"
+	"time"
+)
+
+// Request is a handle to a non-blocking MRAPI operation
+// (mrapi_request_t): Test polls it, Wait blocks on it, Cancel attempts to
+// abort it. The remote-memory transfer functions come in _i variants that
+// return Requests, mirroring mrapi_rmem_read_i / mrapi_rmem_write_i —
+// remote memories sit behind DMA engines, so their transfers are the
+// operations MRAPI makes asynchronous.
+type Request struct {
+	mu       sync.Mutex
+	done     bool
+	canceled bool
+	status   Status
+	doneCh   chan struct{}
+	cancelCh chan struct{}
+}
+
+func newRequest() *Request {
+	return &Request{doneCh: make(chan struct{}), cancelCh: make(chan struct{})}
+}
+
+// complete records the outcome unless the request was canceled first.
+func (r *Request) complete(st Status) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return
+	}
+	r.done = true
+	r.status = st
+	close(r.doneCh)
+}
+
+// Test reports whether the operation finished (mrapi_test); if it has,
+// err carries the operation's failure, if any.
+func (r *Request) Test() (finished bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.done {
+		return false, nil
+	}
+	return true, r.err()
+}
+
+// Wait blocks up to timeout for completion (mrapi_wait).
+func (r *Request) Wait(timeout Timeout) error {
+	if timeout == TimeoutInfinite {
+		<-r.doneCh
+	} else {
+		t := time.NewTimer(time.Duration(timeout))
+		defer t.Stop()
+		select {
+		case <-r.doneCh:
+		case <-t.C:
+			return ErrTimeout
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err()
+}
+
+func (r *Request) err() error {
+	if r.status == Success {
+		return nil
+	}
+	return r.status
+}
+
+// Cancel aborts a pending operation (mrapi_cancel). Completed requests
+// cannot be canceled.
+func (r *Request) Cancel() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.done {
+		return ErrRequestInvalid
+	}
+	r.done = true
+	r.canceled = true
+	r.status = ErrRequestCanceled
+	close(r.doneCh)
+	close(r.cancelCh)
+	return nil
+}
+
+// dmaLatencyPerBurst is the simulated DMA engine's per-burst transfer
+// time; it is what makes asynchronous transfers observable as pending.
+const dmaLatencyPerBurst = 2 * time.Microsecond
+
+// ReadI starts an asynchronous read (mrapi_rmem_read_i): the transfer
+// completes in the background after the simulated DMA latency; dst must
+// stay untouched until the request completes.
+func (r *Rmem) ReadI(n *Node, offset int, dst []byte) *Request {
+	return r.accessI(n, offset, dst, false)
+}
+
+// WriteI starts an asynchronous write (mrapi_rmem_write_i); src must stay
+// untouched until the request completes.
+func (r *Rmem) WriteI(n *Node, offset int, src []byte) *Request {
+	return r.accessI(n, offset, src, true)
+}
+
+func (r *Rmem) accessI(n *Node, offset int, data []byte, write bool) *Request {
+	req := newRequest()
+	latency := time.Duration(0)
+	if r.attrs.Access == RmemDMA {
+		latency = dmaLatencyPerBurst * time.Duration((len(data)+DMABurstSize-1)/DMABurstSize)
+	}
+	go func() {
+		if latency > 0 {
+			t := time.NewTimer(latency)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-req.cancelCh:
+				return // canceled before the engine fired
+			}
+		}
+		var err error
+		if write {
+			err = r.Write(n, offset, data)
+		} else {
+			err = r.Read(n, offset, data)
+		}
+		if err == nil {
+			req.complete(Success)
+			return
+		}
+		if st, ok := err.(Status); ok {
+			req.complete(st)
+		} else {
+			req.complete(ErrParameter)
+		}
+	}()
+	return req
+}

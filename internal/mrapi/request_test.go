@@ -1,0 +1,104 @@
+package mrapi
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+)
+
+func dmaRmem(t *testing.T) (*Node, *Rmem) {
+	t.Helper()
+	a, _ := twoNodes(t)
+	r, err := a.RmemCreate(1, 2048*DMABurstSize, &RmemAttributes{Access: RmemDMA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	return a, r
+}
+
+func TestAsyncWriteReadRoundTrip(t *testing.T) {
+	a, r := dmaRmem(t)
+	src := bytes.Repeat([]byte{0x5A}, 2*DMABurstSize)
+	wr := r.WriteI(a, 64, src)
+	if err := wr.Wait(TimeoutInfinite); err != nil {
+		t.Fatalf("async write: %v", err)
+	}
+	dst := make([]byte, len(src))
+	rd := r.ReadI(a, 64, dst)
+	if err := rd.Wait(Timeout(2 * time.Second)); err != nil {
+		t.Fatalf("async read: %v", err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Error("async round trip corrupted data")
+	}
+	if done, err := rd.Test(); !done || err != nil {
+		t.Errorf("Test after completion = %v, %v", done, err)
+	}
+}
+
+func TestAsyncTestPendingThenDone(t *testing.T) {
+	a, r := dmaRmem(t)
+	// Large transfer: many bursts => measurable simulated latency.
+	req := r.WriteI(a, 0, make([]byte, 128*DMABurstSize))
+	if done, _ := req.Test(); done {
+		t.Log("transfer completed instantly; latency model may be too fast for this host")
+	}
+	if err := req.Wait(TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	done, err := req.Test()
+	if !done || err != nil {
+		t.Errorf("Test = %v, %v", done, err)
+	}
+}
+
+func TestAsyncErrorPropagates(t *testing.T) {
+	a, r := dmaRmem(t)
+	// Unaligned DMA length fails inside the engine.
+	req := r.WriteI(a, 0, make([]byte, 10))
+	if err := req.Wait(TimeoutInfinite); !errors.Is(err, ErrRmemTypeNotValid) {
+		t.Errorf("async error = %v, want ErrRmemTypeNotValid", err)
+	}
+}
+
+func TestAsyncWaitTimeout(t *testing.T) {
+	a, r := dmaRmem(t)
+	req := r.WriteI(a, 0, make([]byte, 512*DMABurstSize)) // ~1ms simulated
+	if err := req.Wait(Timeout(1 * time.Nanosecond)); !errors.Is(err, ErrTimeout) {
+		t.Errorf("wait = %v, want ErrTimeout", err)
+	}
+	if err := req.Wait(TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsyncCancel(t *testing.T) {
+	a, r := dmaRmem(t)
+	req := r.WriteI(a, 0, make([]byte, 1024*DMABurstSize)) // ~2ms simulated
+	if err := req.Cancel(); err != nil {
+		t.Fatalf("cancel: %v", err)
+	}
+	if err := req.Wait(TimeoutInfinite); !errors.Is(err, ErrRequestCanceled) {
+		t.Errorf("wait canceled = %v", err)
+	}
+	// Canceling again fails: the request is complete.
+	if err := req.Cancel(); !errors.Is(err, ErrRequestInvalid) {
+		t.Errorf("double cancel = %v", err)
+	}
+}
+
+func TestAsyncDirectAccessHasNoLatency(t *testing.T) {
+	a, _ := twoNodes(t)
+	r, _ := a.RmemCreate(2, 256, nil) // direct access
+	if err := r.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	req := r.WriteI(a, 0, []byte("immediate"))
+	if err := req.Wait(Timeout(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,213 @@
+package mrapi
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// nNodes creates count nodes in one fresh domain.
+func nNodes(t *testing.T, count int) []*Node {
+	t.Helper()
+	sys := NewSystem(nil)
+	out := make([]*Node, count)
+	for i := range out {
+		n, err := sys.Initialize(1, NodeID(i+1), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = n
+	}
+	return out
+}
+
+func TestRWLockManyReaders(t *testing.T) {
+	ns := nNodes(t, 4)
+	l, err := ns[0].RWLockCreate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ns {
+		if err := l.Lock(n, Reader, TimeoutInfinite); err != nil {
+			t.Fatalf("reader lock: %v", err)
+		}
+	}
+	if l.Readers() != 4 {
+		t.Errorf("Readers = %d, want 4", l.Readers())
+	}
+	for _, n := range ns {
+		if err := l.Unlock(n, Reader); err != nil {
+			t.Fatalf("reader unlock: %v", err)
+		}
+	}
+}
+
+func TestRWLockWriterExcludesReaders(t *testing.T) {
+	ns := nNodes(t, 2)
+	l, _ := ns[0].RWLockCreate(1)
+	if err := l.Lock(ns[0], Writer, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Lock(ns[1], Reader, TimeoutImmediate); !errors.Is(err, ErrTimeout) {
+		t.Errorf("reader during write = %v, want ErrTimeout", err)
+	}
+	if err := l.Lock(ns[1], Writer, TimeoutImmediate); !errors.Is(err, ErrTimeout) {
+		t.Errorf("second writer = %v, want ErrTimeout", err)
+	}
+	if err := l.Unlock(ns[0], Writer); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Lock(ns[1], Reader, TimeoutInfinite); err != nil {
+		t.Errorf("reader after writer release: %v", err)
+	}
+}
+
+func TestRWLockWriterReacquireFails(t *testing.T) {
+	ns := nNodes(t, 1)
+	l, _ := ns[0].RWLockCreate(1)
+	if err := l.Lock(ns[0], Writer, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Lock(ns[0], Writer, TimeoutInfinite); !errors.Is(err, ErrRwlLocked) {
+		t.Errorf("writer self-relock = %v, want ErrRwlLocked", err)
+	}
+}
+
+func TestRWLockWriterPreference(t *testing.T) {
+	ns := nNodes(t, 3)
+	l, _ := ns[0].RWLockCreate(1)
+	// Reader holds; writer queues; a new reader must now wait behind the
+	// writer (anti-starvation policy).
+	if err := l.Lock(ns[0], Reader, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	writerGot := make(chan error, 1)
+	go func() { writerGot <- l.Lock(ns[1], Writer, TimeoutInfinite) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := l.Lock(ns[2], Reader, TimeoutImmediate); !errors.Is(err, ErrTimeout) {
+		t.Errorf("reader while writer queued = %v, want ErrTimeout", err)
+	}
+	if err := l.Unlock(ns[0], Reader); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-writerGot:
+		if err != nil {
+			t.Fatalf("queued writer: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued writer never admitted")
+	}
+	if err := l.Unlock(ns[1], Writer); err != nil {
+		t.Fatal(err)
+	}
+	// Readers flow again after the writer drains.
+	if err := l.Lock(ns[2], Reader, Timeout(time.Second)); err != nil {
+		t.Errorf("reader after writer drain: %v", err)
+	}
+}
+
+func TestRWLockUnlockErrors(t *testing.T) {
+	ns := nNodes(t, 2)
+	l, _ := ns[0].RWLockCreate(1)
+	if err := l.Unlock(ns[0], Reader); !errors.Is(err, ErrRwlNotLocked) {
+		t.Errorf("unlock unheld reader = %v", err)
+	}
+	if err := l.Unlock(ns[0], Writer); !errors.Is(err, ErrRwlNotLocked) {
+		t.Errorf("unlock unheld writer = %v", err)
+	}
+	if err := l.Lock(ns[0], Writer, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Unlock(ns[1], Writer); !errors.Is(err, ErrRwlNotLocked) {
+		t.Errorf("unlock by non-owner = %v", err)
+	}
+}
+
+func TestRWLockInvariantUnderContention(t *testing.T) {
+	ns := nNodes(t, 6)
+	l, _ := ns[0].RWLockCreate(1)
+	var data int64
+	var inWriter atomic.Int32
+	var wg sync.WaitGroup
+	for i, n := range ns {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			for iter := 0; iter < 300; iter++ {
+				if i%2 == 0 {
+					if err := l.Lock(n, Writer, TimeoutInfinite); err != nil {
+						t.Errorf("writer lock: %v", err)
+						return
+					}
+					if inWriter.Add(1) != 1 {
+						t.Error("two writers inside the lock")
+					}
+					data++
+					inWriter.Add(-1)
+					if err := l.Unlock(n, Writer); err != nil {
+						t.Errorf("writer unlock: %v", err)
+						return
+					}
+				} else {
+					if err := l.Lock(n, Reader, TimeoutInfinite); err != nil {
+						t.Errorf("reader lock: %v", err)
+						return
+					}
+					if inWriter.Load() != 0 {
+						t.Error("reader overlapped a writer")
+					}
+					_ = data
+					if err := l.Unlock(n, Reader); err != nil {
+						t.Errorf("reader unlock: %v", err)
+						return
+					}
+				}
+			}
+		}(i, n)
+	}
+	wg.Wait()
+	if data != 3*300 {
+		t.Errorf("data = %d, want %d", data, 3*300)
+	}
+}
+
+func TestRWLockDeleteWakesAll(t *testing.T) {
+	ns := nNodes(t, 3)
+	l, _ := ns[0].RWLockCreate(1)
+	if err := l.Lock(ns[0], Writer, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- l.Lock(ns[1], Reader, TimeoutInfinite) }()
+	go func() { errs <- l.Lock(ns[2], Writer, TimeoutInfinite) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := l.Delete(ns[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrRwlDeleted) {
+				t.Errorf("waiter %d error = %v, want ErrRwlDeleted", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter not woken by delete")
+		}
+	}
+}
+
+func TestRWLockDuplicateKey(t *testing.T) {
+	ns := nNodes(t, 1)
+	if _, err := ns[0].RWLockCreate(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns[0].RWLockCreate(5); !errors.Is(err, ErrRwlExists) {
+		t.Errorf("duplicate = %v, want ErrRwlExists", err)
+	}
+	if _, err := ns[0].RWLockGet(6); !errors.Is(err, ErrRwlInvalid) {
+		t.Errorf("unknown get = %v, want ErrRwlInvalid", err)
+	}
+}

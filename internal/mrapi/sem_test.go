@@ -1,0 +1,146 @@
+package mrapi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSemCreateValidation(t *testing.T) {
+	a, _ := twoNodes(t)
+	if _, err := a.SemCreate(1, -1, nil); !errors.Is(err, ErrSemValue) {
+		t.Errorf("negative initial = %v, want ErrSemValue", err)
+	}
+	if _, err := a.SemCreate(1, 5, &SemAttributes{Max: 3}); !errors.Is(err, ErrSemValue) {
+		t.Errorf("initial > max = %v, want ErrSemValue", err)
+	}
+	if _, err := a.SemCreate(1, 2, &SemAttributes{Max: 3}); err != nil {
+		t.Fatalf("valid create: %v", err)
+	}
+	if _, err := a.SemCreate(1, 0, nil); !errors.Is(err, ErrSemExists) {
+		t.Errorf("duplicate key = %v, want ErrSemExists", err)
+	}
+}
+
+func TestSemLockUnlockCounts(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.SemCreate(1, 2, nil)
+	if err := s.Lock(a, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Lock(b, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 0 {
+		t.Errorf("count = %d, want 0", s.Count())
+	}
+	if err := s.Lock(a, TimeoutImmediate); !errors.Is(err, ErrTimeout) {
+		t.Errorf("lock at zero = %v, want ErrTimeout", err)
+	}
+	if err := s.Unlock(a); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 1 {
+		t.Errorf("count after post = %d, want 1", s.Count())
+	}
+}
+
+func TestSemPostPastMaxFails(t *testing.T) {
+	a, _ := twoNodes(t)
+	s, _ := a.SemCreate(1, 1, &SemAttributes{Max: 1})
+	if err := s.Unlock(a); !errors.Is(err, ErrSemNotLocked) {
+		t.Errorf("post past max = %v, want ErrSemNotLocked", err)
+	}
+}
+
+func TestSemBlocksUntilPost(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.SemCreate(1, 0, nil)
+	got := make(chan error, 1)
+	go func() { got <- s.Lock(b, TimeoutInfinite) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := s.Unlock(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if err != nil {
+			t.Fatalf("waiter: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never released")
+	}
+}
+
+func TestSemAsMutexExcludes(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.SemCreate(1, 1, nil)
+	const iters = 1500
+	counter := 0
+	var wg sync.WaitGroup
+	for _, n := range []*Node{a, b} {
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := s.Lock(n, TimeoutInfinite); err != nil {
+					t.Errorf("Lock: %v", err)
+					return
+				}
+				counter++
+				if err := s.Unlock(n); err != nil {
+					t.Errorf("Unlock: %v", err)
+					return
+				}
+			}
+		}(n)
+	}
+	wg.Wait()
+	if counter != 2*iters {
+		t.Errorf("counter = %d, want %d", counter, 2*iters)
+	}
+}
+
+func TestSemTimeout(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.SemCreate(1, 0, nil)
+	start := time.Now()
+	if err := s.Lock(b, Timeout(20*time.Millisecond)); !errors.Is(err, ErrTimeout) {
+		t.Errorf("timed lock = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("returned before the timeout elapsed")
+	}
+}
+
+func TestSemDeleteWakesWaiters(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.SemCreate(1, 0, nil)
+	got := make(chan error, 1)
+	go func() { got <- s.Lock(b, TimeoutInfinite) }()
+	time.Sleep(5 * time.Millisecond)
+	if err := s.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-got:
+		if !errors.Is(err, ErrSemDeleted) {
+			t.Errorf("waiter error = %v, want ErrSemDeleted", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter not woken by delete")
+	}
+	if _, err := a.SemGet(1); !errors.Is(err, ErrSemInvalid) {
+		t.Errorf("get after delete = %v, want ErrSemInvalid", err)
+	}
+}
+
+func TestSemGetSharesInstance(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.SemCreate(9, 3, nil)
+	got, err := b.SemGet(9)
+	if err != nil || got != s {
+		t.Errorf("SemGet = %v, %v", got, err)
+	}
+}

@@ -1,0 +1,170 @@
+package mrapi
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestShmemCreateRoundsSysVToPages(t *testing.T) {
+	a, _ := twoNodes(t)
+	s, err := a.ShmemCreate(1, 100, nil) // default kind: SysV
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Size() != PageSize {
+		t.Errorf("SysV size = %d, want %d (page rounded)", s.Size(), PageSize)
+	}
+	m, err := a.ShmemCreate(2, 100, &ShmemAttributes{Kind: ShmemMalloc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Size() != 100 {
+		t.Errorf("malloc size = %d, want exact 100", m.Size())
+	}
+}
+
+func TestShmemCreateValidation(t *testing.T) {
+	a, _ := twoNodes(t)
+	if _, err := a.ShmemCreate(1, 0, nil); !errors.Is(err, ErrParameter) {
+		t.Errorf("zero size = %v, want ErrParameter", err)
+	}
+	if _, err := a.ShmemCreate(1, -5, nil); !errors.Is(err, ErrParameter) {
+		t.Errorf("negative size = %v, want ErrParameter", err)
+	}
+	if _, err := a.ShmemCreate(3, 8, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ShmemCreate(3, 8, nil); !errors.Is(err, ErrShmExists) {
+		t.Errorf("duplicate key = %v, want ErrShmExists", err)
+	}
+}
+
+func TestShmemSharedVisibility(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.ShmemCreate(1, 64, &ShmemAttributes{Kind: ShmemMalloc})
+	bufA, err := s.Attach(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := b.ShmemGet(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, err := sb.Attach(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(bufA, "hello from node A")
+	if got := string(bufB[:17]); got != "hello from node A" {
+		t.Errorf("node B sees %q", got)
+	}
+}
+
+func TestShmemAccessRequiresAttach(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.ShmemCreate(1, 16, nil)
+	if err := s.Detach(b); !errors.Is(err, ErrShmNotAttached) {
+		t.Errorf("detach unattached = %v, want ErrShmNotAttached", err)
+	}
+	if s.IsAttached(b) {
+		t.Error("b should not be attached")
+	}
+}
+
+func TestShmemDeleteRundown(t *testing.T) {
+	a, b := twoNodes(t)
+	s, _ := a.ShmemCreate(1, 16, nil)
+	if _, err := s.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Attach(b); err != nil {
+		t.Fatal(err)
+	}
+	// Delete with live attachments only marks the segment...
+	if err := s.Delete(a); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := a.ShmemGet(1); err != nil {
+		t.Errorf("segment should survive until last detach: %v", err)
+	}
+	if err := s.Detach(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Detach(b); err != nil {
+		t.Fatal(err)
+	}
+	// ...and the key is released after the last detach.
+	if _, err := a.ShmemGet(1); !errors.Is(err, ErrShmInvalid) {
+		t.Errorf("get after rundown = %v, want ErrShmInvalid", err)
+	}
+	if _, err := s.Attach(a); !errors.Is(err, ErrShmInvalid) {
+		t.Errorf("attach after rundown = %v, want ErrShmInvalid", err)
+	}
+}
+
+func TestShmemDeleteUnattachedImmediate(t *testing.T) {
+	a, _ := twoNodes(t)
+	s, _ := a.ShmemCreate(1, 16, nil)
+	if err := s.Delete(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ShmemGet(1); !errors.Is(err, ErrShmInvalid) {
+		t.Errorf("get after delete = %v, want ErrShmInvalid", err)
+	}
+	if err := s.Delete(a); !errors.Is(err, ErrShmInvalid) {
+		t.Errorf("double delete = %v, want ErrShmInvalid", err)
+	}
+}
+
+func TestShmemMemDomainCompatibility(t *testing.T) {
+	sys := NewSystem(nil)
+	a, _ := sys.Initialize(1, 1, &NodeAttributes{Affinity: -1, MemDomain: 1})
+	b, _ := sys.Initialize(1, 2, &NodeAttributes{Affinity: -1, MemDomain: 2})
+	s, err := a.ShmemCreate(1, 16, &ShmemAttributes{MemDomain: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Attach(a); err != nil {
+		t.Errorf("same-domain attach: %v", err)
+	}
+	if _, err := s.Attach(b); !errors.Is(err, ErrShmNodesIncompat) {
+		t.Errorf("cross-domain attach = %v, want ErrShmNodesIncompat", err)
+	}
+	// Domain 0 (interleaved) is attachable by everyone.
+	s0, _ := a.ShmemCreate(2, 16, &ShmemAttributes{MemDomain: 0})
+	if _, err := s0.Attach(b); err != nil {
+		t.Errorf("domain-0 attach: %v", err)
+	}
+}
+
+func TestShmemCreateMallocListing3(t *testing.T) {
+	// Mirrors the paper's gomp_malloc: one call yields attached heap memory.
+	a, _ := twoNodes(t)
+	buf, s, err := a.ShmemCreateMalloc(77, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 256 {
+		t.Errorf("len(buf) = %d, want 256", len(buf))
+	}
+	if s.Attributes().Kind != ShmemMalloc {
+		t.Errorf("kind = %v, want malloc", s.Attributes().Kind)
+	}
+	if !s.IsAttached(a) {
+		t.Error("creator should be attached")
+	}
+	if s.Attached() != 1 {
+		t.Errorf("Attached = %d, want 1", s.Attached())
+	}
+}
+
+func TestShmemAttachCountStat(t *testing.T) {
+	a, _ := twoNodes(t)
+	s, _ := a.ShmemCreate(1, 16, nil)
+	if _, err := s.Attach(a); err != nil {
+		t.Fatal(err)
+	}
+	if a.shmemAttachs.Load() != 1 {
+		t.Errorf("shmemAttachs = %d, want 1", a.shmemAttachs.Load())
+	}
+}

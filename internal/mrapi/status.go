@@ -1,0 +1,122 @@
+package mrapi
+
+// Status mirrors mrapi_status_t. A Status is also a Go error so MRAPI-style
+// failure codes flow through idiomatic error returns; Success is never
+// returned as an error (callers get nil).
+type Status uint32
+
+// Status codes, following the MRAPI 1.0 specification naming.
+const (
+	Success Status = iota
+
+	ErrNodeInitFailed  // node already initialized, or registration failed
+	ErrNodeNotInit     // calling node was never initialized or was finalized
+	ErrNodeFinalFailed // node finalization failed
+	ErrDomainInvalid   // no such domain
+	ErrNodeInvalid     // no such node
+	ErrParameter       // invalid parameter (nil attribute, bad size, ...)
+	ErrNotSupported    // requested attribute/operation is unsupported
+
+	ErrMutexExists    // mutex key already in use
+	ErrMutexInvalid   // unknown mutex key or deleted mutex
+	ErrMutexLocked    // non-recursive relock attempted by the owner
+	ErrMutexNotLocked // unlock of an unlocked mutex
+	ErrMutexKey       // wrong lock key passed to unlock
+	ErrMutexDeleted   // mutex deleted while waiting
+	ErrMutexLockOrder // recursive unlock out of order
+
+	ErrSemExists    // semaphore key already in use
+	ErrSemInvalid   // unknown semaphore key
+	ErrSemValue     // initial count out of range
+	ErrSemNotLocked // post would exceed the maximum count
+	ErrSemDeleted   // semaphore deleted while waiting
+
+	ErrRwlExists    // reader/writer lock key already in use
+	ErrRwlInvalid   // unknown reader/writer lock key
+	ErrRwlLocked    // relock attempted while held exclusively
+	ErrRwlNotLocked // unlock of an unheld lock
+	ErrRwlDeleted   // lock deleted while waiting
+
+	ErrShmExists        // shared-memory key already in use
+	ErrShmInvalid       // unknown shared-memory key
+	ErrShmNotAttached   // access or detach by a node that is not attached
+	ErrShmAttached      // delete while nodes are still attached
+	ErrShmNodesIncompat // node's memory domain cannot map this segment
+
+	ErrRmemExists       // remote-memory key already in use
+	ErrRmemInvalid      // unknown remote-memory key
+	ErrRmemTypeNotValid // access type unsupported by the segment
+	ErrRmemNotAttached  // access by a node that is not attached
+	ErrRmemAttached     // delete while nodes are still attached
+	ErrRmemStride       // scatter/gather stride smaller than element size
+	ErrRmemBlocked      // conflicting access in progress
+
+	ErrResourceInvalid // no such resource subsystem / bad filter
+	ErrAttrReadOnly    // attempt to set a read-only attribute
+	ErrAttrNum         // unknown attribute number
+	ErrAttrSize        // attribute size mismatch
+
+	ErrTimeout         // blocking call timed out
+	ErrRequestInvalid  // unknown asynchronous request
+	ErrRequestCanceled // asynchronous request canceled
+	ErrDeleted         // object deleted out from under a waiter
+)
+
+var statusNames = map[Status]string{
+	Success:             "MRAPI_SUCCESS",
+	ErrNodeInitFailed:   "MRAPI_ERR_NODE_INITFAILED",
+	ErrNodeNotInit:      "MRAPI_ERR_NODE_NOTINIT",
+	ErrNodeFinalFailed:  "MRAPI_ERR_NODE_FINALFAILED",
+	ErrDomainInvalid:    "MRAPI_ERR_DOMAIN_INVALID",
+	ErrNodeInvalid:      "MRAPI_ERR_NODE_INVALID",
+	ErrParameter:        "MRAPI_ERR_PARAMETER",
+	ErrNotSupported:     "MRAPI_ERR_NOT_SUPPORTED",
+	ErrMutexExists:      "MRAPI_ERR_MUTEX_EXISTS",
+	ErrMutexInvalid:     "MRAPI_ERR_MUTEX_INVALID",
+	ErrMutexLocked:      "MRAPI_ERR_MUTEX_LOCKED",
+	ErrMutexNotLocked:   "MRAPI_ERR_MUTEX_NOTLOCKED",
+	ErrMutexKey:         "MRAPI_ERR_MUTEX_KEY",
+	ErrMutexDeleted:     "MRAPI_ERR_MUTEX_DELETED",
+	ErrMutexLockOrder:   "MRAPI_ERR_MUTEX_LOCKORDER",
+	ErrSemExists:        "MRAPI_ERR_SEM_EXISTS",
+	ErrSemInvalid:       "MRAPI_ERR_SEM_INVALID",
+	ErrSemValue:         "MRAPI_ERR_SEM_VALUE",
+	ErrSemNotLocked:     "MRAPI_ERR_SEM_NOTLOCKED",
+	ErrSemDeleted:       "MRAPI_ERR_SEM_DELETED",
+	ErrRwlExists:        "MRAPI_ERR_RWL_EXISTS",
+	ErrRwlInvalid:       "MRAPI_ERR_RWL_INVALID",
+	ErrRwlLocked:        "MRAPI_ERR_RWL_LOCKED",
+	ErrRwlNotLocked:     "MRAPI_ERR_RWL_NOTLOCKED",
+	ErrRwlDeleted:       "MRAPI_ERR_RWL_DELETED",
+	ErrShmExists:        "MRAPI_ERR_SHM_EXISTS",
+	ErrShmInvalid:       "MRAPI_ERR_SHM_INVALID",
+	ErrShmNotAttached:   "MRAPI_ERR_SHM_NOTATTACHED",
+	ErrShmAttached:      "MRAPI_ERR_SHM_ATTACHED",
+	ErrShmNodesIncompat: "MRAPI_ERR_SHM_NODES_INCOMPAT",
+	ErrRmemExists:       "MRAPI_ERR_RMEM_EXISTS",
+	ErrRmemInvalid:      "MRAPI_ERR_RMEM_INVALID",
+	ErrRmemTypeNotValid: "MRAPI_ERR_RMEM_TYPENOTVALID",
+	ErrRmemNotAttached:  "MRAPI_ERR_RMEM_NOTATTACHED",
+	ErrRmemAttached:     "MRAPI_ERR_RMEM_ATTACHED",
+	ErrRmemStride:       "MRAPI_ERR_RMEM_STRIDE",
+	ErrRmemBlocked:      "MRAPI_ERR_RMEM_BLOCKED",
+	ErrResourceInvalid:  "MRAPI_ERR_RSRC_INVALID",
+	ErrAttrReadOnly:     "MRAPI_ERR_ATTR_READONLY",
+	ErrAttrNum:          "MRAPI_ERR_ATTR_NUM",
+	ErrAttrSize:         "MRAPI_ERR_ATTR_SIZE",
+	ErrTimeout:          "MRAPI_TIMEOUT",
+	ErrRequestInvalid:   "MRAPI_ERR_REQUEST_INVALID",
+	ErrRequestCanceled:  "MRAPI_ERR_REQUEST_CANCELED",
+	ErrDeleted:          "MRAPI_ERR_DELETED",
+}
+
+// Error implements the error interface, rendering the spec-style name.
+func (s Status) Error() string {
+	if n, ok := statusNames[s]; ok {
+		return n
+	}
+	return "MRAPI_STATUS_UNKNOWN"
+}
+
+// String returns the spec-style name of the status.
+func (s Status) String() string { return s.Error() }

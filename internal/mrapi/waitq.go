@@ -1,0 +1,48 @@
+package mrapi
+
+import (
+	"sync"
+	"time"
+
+	"openmpmca/internal/syncq"
+)
+
+// Timeout expresses how long a blocking MRAPI call may wait.
+// TimeoutInfinite matches MRAPI_TIMEOUT_INFINITE; TimeoutImmediate makes the
+// call non-blocking (try-lock semantics).
+type Timeout time.Duration
+
+const (
+	// TimeoutInfinite blocks until the operation completes or the object is
+	// deleted.
+	TimeoutInfinite Timeout = -1
+	// TimeoutImmediate fails with ErrTimeout if the operation cannot
+	// complete at once.
+	TimeoutImmediate Timeout = 0
+)
+
+// waitQueue adapts syncq.WaitQueue to MRAPI timeouts and status codes.
+// All methods must be called with the owning mutex held.
+type waitQueue struct {
+	q syncq.WaitQueue
+}
+
+// wait releases mu, parks until signaled or timed out, then reacquires mu.
+// The predicate is not re-checked here — callers loop in the usual
+// condition-variable style. It reports Success when signaled and
+// ErrTimeout when the timeout elapsed first.
+func (w *waitQueue) wait(mu *sync.Mutex, timeout Timeout) Status {
+	if w.q.Wait(mu, time.Duration(timeout), timeout == TimeoutInfinite) {
+		return Success
+	}
+	return ErrTimeout
+}
+
+// signalLocked wakes one waiter, if any.
+func (w *waitQueue) signalLocked() { w.q.Signal() }
+
+// broadcastLocked wakes every waiter.
+func (w *waitQueue) broadcastLocked() { w.q.Broadcast() }
+
+// len reports the number of parked waiters.
+func (w *waitQueue) len() int { return w.q.Len() }

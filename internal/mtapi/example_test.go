@@ -1,0 +1,43 @@
+package mtapi_test
+
+import (
+	"fmt"
+
+	"openmpmca/internal/mtapi"
+)
+
+// The MTAPI task life-cycle: register an action for a job, start tasks,
+// collect results through a group.
+func Example() {
+	node := mtapi.NewNode(1, 1, &mtapi.NodeAttributes{Workers: 4})
+	defer node.Shutdown()
+
+	const jobSquare mtapi.JobID = 1
+	if _, err := node.CreateAction(jobSquare, "square", func(args any) (any, error) {
+		x := args.(int)
+		return x * x, nil
+	}); err != nil {
+		panic(err)
+	}
+
+	group := node.CreateGroup()
+	for i := 1; i <= 4; i++ {
+		if _, err := group.Start(jobSquare, i, nil); err != nil {
+			panic(err)
+		}
+	}
+	if err := group.WaitAll(0); err != nil {
+		panic(err)
+	}
+
+	task, err := node.Start(jobSquare, 9, nil)
+	if err != nil {
+		panic(err)
+	}
+	res, err := task.Wait(0)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res)
+	// Output: 81
+}

@@ -1,0 +1,101 @@
+package mtapi
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property: for any number of tasks enqueued on one MTAPI queue, the
+// execution order is exactly the enqueue order, regardless of worker
+// count.
+func TestPropQueuePreservesOrder(t *testing.T) {
+	f := func(count8, workers8 uint8) bool {
+		count := int(count8)%60 + 1
+		workers := int(workers8)%6 + 1
+		n := NewNode(1, 1, &NodeAttributes{Workers: workers})
+		defer n.Shutdown()
+		var mu sync.Mutex
+		var order []int
+		if _, err := n.CreateAction(1, "rec", func(args any) (any, error) {
+			mu.Lock()
+			order = append(order, args.(int))
+			mu.Unlock()
+			return nil, nil
+		}); err != nil {
+			return false
+		}
+		q, err := n.CreateQueue(1, nil)
+		if err != nil {
+			return false
+		}
+		var last *Task
+		for i := 0; i < count; i++ {
+			task, err := q.Enqueue(i)
+			if err != nil {
+				return false
+			}
+			last = task
+		}
+		if _, err := last.Wait(0); err != nil {
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		if len(order) != count {
+			return false
+		}
+		for i, v := range order {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a group of k tasks always reports exactly k completions
+// through WaitAll, with the correct sum of results.
+func TestPropGroupCompletion(t *testing.T) {
+	f := func(k8, workers8 uint8) bool {
+		k := int(k8)%80 + 1
+		workers := int(workers8)%8 + 1
+		n := NewNode(1, 1, &NodeAttributes{Workers: workers})
+		defer n.Shutdown()
+		if _, err := n.CreateAction(1, "id", func(args any) (any, error) {
+			return args.(int) * 2, nil
+		}); err != nil {
+			return false
+		}
+		g := n.CreateGroup()
+		tasks := make([]*Task, k)
+		for i := 0; i < k; i++ {
+			task, err := g.Start(1, i, nil)
+			if err != nil {
+				return false
+			}
+			tasks[i] = task
+		}
+		if err := g.WaitAll(0); err != nil {
+			return false
+		}
+		if g.Pending() != 0 {
+			return false
+		}
+		sum := 0
+		for _, task := range tasks {
+			res, err := task.Wait(0)
+			if err != nil {
+				return false
+			}
+			sum += res.(int)
+		}
+		return sum == k*(k-1) // Σ 2i for i in [0,k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,248 @@
+package npb
+
+import (
+	"fmt"
+	"strings"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/epcc"
+	"openmpmca/internal/perfmodel"
+	"openmpmca/internal/platform"
+)
+
+// Figure4ThreadCounts is the sweep of the paper's Figure 4: 1 to 24
+// threads on the T4240.
+var Figure4ThreadCounts = []int{1, 2, 4, 8, 12, 16, 20, 24}
+
+// LayerNames identifies the two runtimes Figure 4 compares.
+var LayerNames = []string{"native", "mca"}
+
+// Figure4Point is one (layer, threads) measurement.
+type Figure4Point struct {
+	Layer   string
+	Threads int
+	// Seconds is the deterministic virtual time on the modeled board.
+	Seconds float64
+	// Speedup is relative to the same layer's 1-thread point.
+	Speedup float64
+	// Mops is the NPB-style rate: millions of kernel work units per
+	// modeled second.
+	Mops float64
+	// Verified reports the kernel's self-verification for this run.
+	Verified bool
+	Checksum float64
+}
+
+// Figure4Series is one kernel's panel in Figure 4.
+type Figure4Series struct {
+	Kernel string
+	Class  Class
+	Board  *platform.Board
+	Points []Figure4Point
+	// MCAScales are the EPCC-calibrated management-cost factors applied
+	// to the MCA layer's model (all 1.0 when calibration was off).
+	MCAScales perfmodel.Scales
+}
+
+// Figure4Options tune a panel measurement.
+type Figure4Options struct {
+	// Calibrate measures the MCA/native EPCC overhead ratios on the host
+	// first and scales the MCA layer's modeled management costs by them,
+	// so the layer gap in the panel is empirical rather than assumed.
+	Calibrate bool
+	// Scales, if non-nil, supplies pre-measured MCA cost factors and
+	// overrides Calibrate — the driver calibrates once and reuses the
+	// result across kernels.
+	Scales *perfmodel.Scales
+}
+
+// MeasureFigure4 regenerates one kernel's Figure 4 panel with default
+// options (no host calibration — fully deterministic).
+func MeasureFigure4(board *platform.Board, kernelName string, class Class, threads []int) (*Figure4Series, error) {
+	return MeasureFigure4Opts(board, kernelName, class, threads, Figure4Options{})
+}
+
+// MeasureFigure4Opts regenerates one kernel's Figure 4 panel: the kernel
+// runs through both thread layers at every thread count, with the
+// virtual-time model attached as the runtime monitor.
+func MeasureFigure4Opts(board *platform.Board, kernelName string, class Class, threads []int, opts Figure4Options) (*Figure4Series, error) {
+	if len(threads) == 0 {
+		threads = Figure4ThreadCounts
+	}
+	kern, err := New(kernelName, class)
+	if err != nil {
+		return nil, err
+	}
+	series := &Figure4Series{Kernel: kern.Name(), Class: class, Board: board, MCAScales: perfmodel.UnitScales()}
+	switch {
+	case opts.Scales != nil:
+		series.MCAScales = *opts.Scales
+	case opts.Calibrate:
+		scales, err := CalibrateMCAScales(board, maxOf(threads))
+		if err != nil {
+			return nil, fmt.Errorf("npb: calibrating layer overheads: %w", err)
+		}
+		series.MCAScales = scales
+	}
+	base := make(map[string]float64)
+
+	for _, layerName := range LayerNames {
+		scales := perfmodel.UnitScales()
+		if layerName == "mca" {
+			scales = series.MCAScales
+		}
+		for _, n := range threads {
+			seconds, res, err := runOnce(board, kern, layerName, n, scales)
+			if err != nil {
+				return nil, fmt.Errorf("npb: %s %s@%d: %w", kern.Name(), layerName, n, err)
+			}
+			pt := Figure4Point{
+				Layer:    layerName,
+				Threads:  n,
+				Seconds:  seconds,
+				Verified: res.Verified,
+				Checksum: res.Checksum,
+			}
+			if seconds > 0 {
+				pt.Mops = res.WorkUnits / seconds / 1e6
+			}
+			if n == 1 {
+				base[layerName] = seconds
+			}
+			if b := base[layerName]; b > 0 {
+				pt.Speedup = b / seconds
+			}
+			series.Points = append(series.Points, pt)
+		}
+	}
+	return series, nil
+}
+
+// CalibrateMCAScales measures both layers' EPCC overheads on the host and
+// returns the MCA/native ratios for the constructs the model scales. Three
+// independent measurement rounds are taken and the median ratio of each
+// construct is used, damping host scheduling noise.
+func CalibrateMCAScales(board *platform.Board, threads int) (perfmodel.Scales, error) {
+	opt := epcc.Options{InnerReps: 128, OuterReps: 7, DelayLength: 32}
+	const rounds = 3
+	samples := map[string][]float64{}
+	for r := 0; r < rounds; r++ {
+		res, err := epcc.MeasureTable1(board, opt, []int{threads})
+		if err != nil {
+			return perfmodel.UnitScales(), err
+		}
+		for _, c := range []string{"parallel", "barrier", "reduction"} {
+			samples[c] = append(samples[c], res.Ratio[c][0])
+		}
+	}
+	med := func(vals []float64) float64 {
+		sorted := append([]float64(nil), vals...)
+		for i := range sorted { // insertion sort: three elements
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		return sorted[len(sorted)/2]
+	}
+	return perfmodel.Scales{
+		Fork:      med(samples["parallel"]),
+		Sync:      med(samples["barrier"]),
+		Reduction: med(samples["reduction"]),
+	}, nil
+}
+
+func maxOf(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// runOnce executes the kernel on one configuration and returns the
+// modeled seconds.
+func runOnce(board *platform.Board, kern Kernel, layerName string, threads int, scales perfmodel.Scales) (float64, Result, error) {
+	var layer core.ThreadLayer
+	switch layerName {
+	case "native":
+		layer = core.NewNativeLayer(board.HWThreads())
+	case "mca":
+		l, err := core.NewMCALayer(board.NewSystem())
+		if err != nil {
+			return 0, Result{}, err
+		}
+		layer = l
+	default:
+		return 0, Result{}, fmt.Errorf("npb: unknown layer %q", layerName)
+	}
+	model := perfmodel.NewScaled(board, kern.Profile(), scales)
+	rt, err := core.New(
+		core.WithLayer(layer),
+		core.WithNumThreads(threads),
+		core.WithMonitor(model),
+	)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	defer rt.Close()
+	res, err := kern.Run(rt)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	return model.Seconds(), res, nil
+}
+
+// Render draws the series as the text analogue of a Figure 4 panel:
+// execution time and speedup per layer and thread count.
+func (s *Figure4Series) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 4 — NAS %s class %s on %s (modeled time)\n", s.Kernel, s.Class, s.Board.Name)
+	fmt.Fprintf(&sb, "%-8s %-8s %12s %10s %10s %9s\n", "layer", "threads", "time(s)", "speedup", "Mop/s", "verified")
+	sb.WriteString(strings.Repeat("-", 63) + "\n")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%-8s %-8d %12.4f %10.2f %10.1f %9v\n",
+			p.Layer, p.Threads, p.Seconds, p.Speedup, p.Mops, p.Verified)
+	}
+	return sb.String()
+}
+
+// MaxRelativeGap returns the largest |mca−native|/native time difference
+// across matching thread counts — Figure 4's claim is that this gap is
+// negligible.
+func (s *Figure4Series) MaxRelativeGap() float64 {
+	native := make(map[int]float64)
+	for _, p := range s.Points {
+		if p.Layer == "native" {
+			native[p.Threads] = p.Seconds
+		}
+	}
+	maxGap := 0.0
+	for _, p := range s.Points {
+		if p.Layer != "mca" {
+			continue
+		}
+		if n, ok := native[p.Threads]; ok && n > 0 {
+			gap := (p.Seconds - n) / n
+			if gap < 0 {
+				gap = -gap
+			}
+			if gap > maxGap {
+				maxGap = gap
+			}
+		}
+	}
+	return maxGap
+}
+
+// SpeedupAt returns the speedup of the given layer at the given thread
+// count (0 if absent).
+func (s *Figure4Series) SpeedupAt(layer string, threads int) float64 {
+	for _, p := range s.Points {
+		if p.Layer == layer && p.Threads == threads {
+			return p.Speedup
+		}
+	}
+	return 0
+}

@@ -1,0 +1,121 @@
+package npb
+
+import (
+	"strings"
+	"testing"
+
+	"openmpmca/internal/perfmodel"
+	"openmpmca/internal/platform"
+)
+
+func testBoard() *platform.Board { return platform.T4240RDB() }
+
+func TestFigure4EPShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep in -short mode")
+	}
+	s, err := MeasureFigure4(testBoard(), "EP", ClassS, []int{1, 4, 12, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper shape: EP near-ideal, both layers indistinguishable.
+	for _, layer := range LayerNames {
+		s12 := s.SpeedupAt(layer, 12)
+		s24 := s.SpeedupAt(layer, 24)
+		if s12 < 10 {
+			t.Errorf("%s: EP speedup@12 = %.2f, want ~11-12", layer, s12)
+		}
+		if s24 < 18 {
+			t.Errorf("%s: EP speedup@24 = %.2f, want near-ideal", layer, s24)
+		}
+	}
+	if gap := s.MaxRelativeGap(); gap > 0.05 {
+		t.Errorf("MCA vs native gap = %.1f%%, want < 5%%", gap*100)
+	}
+	for _, p := range s.Points {
+		if !p.Verified {
+			t.Errorf("unverified point: %+v", p)
+		}
+	}
+	out := s.Render()
+	if !strings.Contains(out, "Figure 4") || !strings.Contains(out, "T4240RDB") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFigure4MemoryBoundShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweep in -short mode")
+	}
+	s, err := MeasureFigure4(testBoard(), "IS", ClassW, []int{1, 12, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, layer := range LayerNames {
+		s12 := s.SpeedupAt(layer, 12)
+		s24 := s.SpeedupAt(layer, 24)
+		if s24 <= s12 {
+			t.Errorf("%s: IS speedup fell from 12 (%.2f) to 24 (%.2f)", layer, s12, s24)
+		}
+		// SMT knee: 24 threads far from 2x the 12-thread speedup.
+		if s24 > s12*1.6 {
+			t.Errorf("%s: no SMT knee: %.2f -> %.2f", layer, s12, s24)
+		}
+	}
+}
+
+func TestFigure4UnknownInputs(t *testing.T) {
+	if _, err := MeasureFigure4(testBoard(), "ZZ", ClassS, nil); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	k, _ := New("EP", ClassS)
+	if _, _, err := runOnce(testBoard(), k, "bogus", 2, perfmodel.UnitScales()); err == nil {
+		t.Error("unknown layer accepted")
+	}
+}
+
+func TestSpeedupAtMissing(t *testing.T) {
+	s := &Figure4Series{}
+	if got := s.SpeedupAt("native", 4); got != 0 {
+		t.Errorf("missing point speedup = %v", got)
+	}
+	if got := s.MaxRelativeGap(); got != 0 {
+		t.Errorf("empty gap = %v", got)
+	}
+}
+
+func TestPlotRendersCurves(t *testing.T) {
+	s := &Figure4Series{Kernel: "EP", Class: ClassS, Board: testBoard()}
+	for _, layer := range LayerNames {
+		for _, pt := range []Figure4Point{
+			{Layer: layer, Threads: 1, Speedup: 1},
+			{Layer: layer, Threads: 12, Speedup: 11.5},
+			{Layer: layer, Threads: 24, Speedup: 23},
+		} {
+			s.Points = append(s.Points, pt)
+		}
+	}
+	out := s.Plot()
+	if !strings.Contains(out, "EP class S speedup") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	// Coincident layers render as '*'.
+	if !strings.Contains(out, "*") {
+		t.Errorf("expected overlapping-layer marker:\n%s", out)
+	}
+	if !strings.Contains(out, "threads") || !strings.Contains(out, "24") {
+		t.Errorf("missing axis:\n%s", out)
+	}
+	// Divergent layers render distinct markers.
+	s2 := &Figure4Series{Kernel: "CG", Class: ClassS, Board: testBoard()}
+	s2.Points = []Figure4Point{
+		{Layer: "native", Threads: 1, Speedup: 1},
+		{Layer: "native", Threads: 24, Speedup: 20},
+		{Layer: "mca", Threads: 1, Speedup: 1},
+		{Layer: "mca", Threads: 24, Speedup: 8},
+	}
+	out2 := s2.Plot()
+	if !strings.Contains(out2, "N") || !strings.Contains(out2, "M") {
+		t.Errorf("divergent curves not distinct:\n%s", out2)
+	}
+}

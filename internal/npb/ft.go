@@ -1,0 +1,301 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/perfmodel"
+)
+
+// FT is the NPB 3-D fast Fourier transform kernel: a forward 3-D FFT of a
+// pseudo-random complex field, then several time steps that evolve the
+// spectrum with Gaussian exponential factors and inverse-transform it,
+// checksumming sample points each step. Pencil-parallel FFT sweeps stress
+// strided memory access with three team barriers per transform.
+//
+// Grid sizes: S = 32³ and W = 64³ run quickly on a laptop; class A is
+// scaled from NPB's 256×256×128 to 128³ (substitution recorded in
+// DESIGN.md).
+type FT struct {
+	class Class
+	n     int // grid edge, power of two
+	iters int
+
+	field   []complex128 // working spectrum/field, n³
+	initial []complex128 // initial field for verification
+	scratch [][]complex128
+}
+
+// ftAlpha is NPB's diffusion constant in the evolution factors.
+const ftAlpha = 1e-6
+
+// NewFT builds the FT kernel.
+func NewFT(class Class) (*FT, error) {
+	var k *FT
+	switch class {
+	case ClassS:
+		k = &FT{class: class, n: 32, iters: 6}
+	case ClassW:
+		k = &FT{class: class, n: 64, iters: 6}
+	case ClassA:
+		k = &FT{class: class, n: 128, iters: 6}
+	default:
+		return nil, fmt.Errorf("npb: FT has no class %q", class)
+	}
+	total := k.n * k.n * k.n
+	k.field = make([]complex128, total)
+	k.initial = make([]complex128, total)
+	x := uint64(314159265)
+	for i := range k.initial {
+		re := randlc(&x, lcgA)
+		im := randlc(&x, lcgA)
+		k.initial[i] = complex(re, im)
+	}
+	return k, nil
+}
+
+// Name implements Kernel.
+func (k *FT) Name() string { return "FT" }
+
+// Class implements Kernel.
+func (k *FT) Class() Class { return k.class }
+
+// Profile implements Kernel: FFT butterflies are compute-dense but the
+// transposed pencil sweeps stride through memory; in between EP and the
+// stencil kernels.
+func (k *FT) Profile() perfmodel.KernelProfile {
+	return perfmodel.KernelProfile{
+		Name:            "FT",
+		CyclesPerUnit:   7, // cycles per butterfly
+		SMTYield:        0.60,
+		MemoryIntensity: 0.55,
+	}
+}
+
+// Run implements Kernel.
+func (k *FT) Run(rt *core.Runtime) (Result, error) {
+	n := k.n
+	total := n * n * n
+	copy(k.field, k.initial)
+	k.scratch = make([][]complex128, rt.NumThreads())
+	checksums := make([]complex128, 0, k.iters)
+
+	err := rt.Parallel(func(c *core.Context) {
+		k.fft3d(c, k.field, +1) // forward transform once
+
+		for t := 1; t <= k.iters; t++ {
+			k.evolve(c, t)
+			// Inverse-transform a snapshot (NPB keeps the evolved
+			// spectrum and transforms into a scratch array; we transform a
+			// copy so the spectrum keeps evolving). The copy is taken by
+			// one thread and broadcast with copyprivate semantics.
+			snap := core.SingleCopy(c, func() []complex128 {
+				s := make([]complex128, total)
+				copy(s, k.field)
+				return s
+			})
+			k.fft3d(c, snap, -1)
+			sum := k.checksum(c, snap)
+			c.Master(func() { checksums = append(checksums, sum) })
+			c.Barrier()
+		}
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	verified, detail := k.verify(rt, checksums)
+	butterflies := float64(total) * math.Log2(float64(n)) * 3
+	return Result{
+		Kernel:    "FT",
+		Class:     k.class,
+		Verified:  verified,
+		Checksum:  real(checksums[len(checksums)-1]),
+		Detail:    detail,
+		WorkUnits: butterflies * float64(k.iters+1),
+	}, nil
+}
+
+// verify checks (a) a forward+inverse round trip reproduces the initial
+// field and (b) every checksum is finite. Round-trip error bounds follow
+// FFT numerical analysis: O(eps·log n).
+func (k *FT) verify(rt *core.Runtime, checksums []complex128) (bool, string) {
+	n := k.n
+	total := n * n * n
+	probe := make([]complex128, total)
+	copy(probe, k.initial)
+	if err := rt.Parallel(func(c *core.Context) {
+		k.fft3d(c, probe, +1)
+		k.fft3d(c, probe, -1)
+	}); err != nil {
+		return false, err.Error()
+	}
+	var maxErr float64
+	for i := range probe {
+		if e := cmplx.Abs(probe[i] - k.initial[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	roundTripOK := maxErr < 1e-10
+	sumsOK := true
+	for _, s := range checksums {
+		if cmplx.IsNaN(s) || cmplx.IsInf(s) {
+			sumsOK = false
+		}
+	}
+	last := checksums[len(checksums)-1]
+	return roundTripOK && sumsOK && len(checksums) == k.iters,
+		fmt.Sprintf("roundtrip max err=%.3e, checksum[%d]=(%.6e,%.6e)", maxErr, k.iters, real(last), imag(last))
+}
+
+// evolve multiplies the spectrum by the Gaussian evolution factors
+// exp(−4α π² t k̄²) with k̄ the symmetric wavenumber.
+func (k *FT) evolve(c *core.Context, t int) {
+	n := k.n
+	factor := -4 * ftAlpha * math.Pi * math.Pi * float64(t)
+	c.ForRange(n, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ki := wavenumber(i, n)
+			for j := 0; j < n; j++ {
+				kj := wavenumber(j, n)
+				base := (i*n + j) * n
+				for l := 0; l < n; l++ {
+					kl := wavenumber(l, n)
+					e := math.Exp(factor * float64(ki*ki+kj*kj+kl*kl))
+					k.field[base+l] *= complex(e, 0)
+				}
+			}
+		}
+		c.Charge(float64((hi - lo) * n * n * 4))
+	})
+}
+
+func wavenumber(i, n int) int {
+	if i >= n/2 {
+		return i - n
+	}
+	return i
+}
+
+// checksum sums the NPB probe points X[(5j) mod n, (3j) mod n, j mod n].
+func (k *FT) checksum(c *core.Context, a []complex128) complex128 {
+	n := k.n
+	probes := 1024
+	sum := core.Reduce(c, probes, complex(0, 0),
+		func(x, y complex128) complex128 { return x + y },
+		func(lo, hi int) complex128 {
+			var s complex128
+			for j := lo + 1; j <= hi; j++ {
+				idx := (((5*j)%n)*n+(3*j)%n)*n + j%n
+				s += a[idx]
+			}
+			c.Charge(float64(hi - lo))
+			return s
+		})
+	return sum / complex(float64(n*n*n), 0)
+}
+
+// fft3d performs an in-place 3-D FFT over the n³ array (dir=+1 forward,
+// −1 inverse with 1/N³ normalization), one axis at a time with
+// pencil-level worksharing.
+func (k *FT) fft3d(c *core.Context, a []complex128, dir int) {
+	n := k.n
+	buf := k.pencilScratch(c)
+
+	// Axis Z: contiguous pencils.
+	c.ForRange(n*n, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			base := p * n
+			copy(buf, a[base:base+n])
+			fft1d(buf, dir)
+			copy(a[base:base+n], buf)
+		}
+		c.Charge(float64(hi-lo) * float64(n) * math.Log2(float64(n)))
+	})
+
+	// Axis Y: stride n within each i-plane.
+	c.ForRange(n*n, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			i, l := p/n, p%n
+			base := i*n*n + l
+			for j := 0; j < n; j++ {
+				buf[j] = a[base+j*n]
+			}
+			fft1d(buf, dir)
+			for j := 0; j < n; j++ {
+				a[base+j*n] = buf[j]
+			}
+		}
+		c.Charge(float64(hi-lo) * float64(n) * math.Log2(float64(n)))
+	})
+
+	// Axis X: stride n².
+	c.ForRange(n*n, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			j, l := p/n, p%n
+			base := j*n + l
+			for i := 0; i < n; i++ {
+				buf[i] = a[base+i*n*n]
+			}
+			fft1d(buf, dir)
+			for i := 0; i < n; i++ {
+				a[base+i*n*n] = buf[i]
+			}
+		}
+		c.Charge(float64(hi-lo) * float64(n) * math.Log2(float64(n)))
+	})
+
+	if dir < 0 {
+		norm := complex(1/float64(n*n*n), 0)
+		c.ForRange(n*n, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+			for idx := lo * n; idx < hi*n; idx++ {
+				a[idx] *= norm
+			}
+			c.Charge(float64((hi - lo) * n))
+		})
+	}
+}
+
+// pencilScratch returns this thread's n-element FFT buffer, allocated on
+// first use.
+func (k *FT) pencilScratch(c *core.Context) []complex128 {
+	tid := c.ThreadNum()
+	if k.scratch[tid] == nil {
+		k.scratch[tid] = make([]complex128, k.n)
+	}
+	return k.scratch[tid]
+}
+
+// fft1d is an iterative radix-2 Cooley-Tukey transform (dir=+1 forward,
+// −1 inverse WITHOUT normalization; fft3d normalizes once).
+func fft1d(a []complex128, dir int) {
+	n := len(a)
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			a[i], a[j] = a[j], a[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := 2 * math.Pi / float64(length) * float64(dir)
+		wl := cmplx.Rect(1, ang)
+		for i := 0; i < n; i += length {
+			w := complex(1, 0)
+			half := length / 2
+			for j := 0; j < half; j++ {
+				u := a[i+j]
+				v := a[i+j+half] * w
+				a[i+j] = u + v
+				a[i+j+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}

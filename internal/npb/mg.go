@@ -1,0 +1,306 @@
+package npb
+
+import (
+	"fmt"
+	"math"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/perfmodel"
+)
+
+// MG is the NPB multigrid kernel: iterations of a V-cycle on a 3D Poisson
+// problem ∇²u = v on an n³ periodic grid, followed by a residual
+// evaluation. Each V-cycle descends through coarser grids (restriction),
+// smooths, and interpolates back up (prolongation) — a sweep-heavy,
+// stencil-bound workload with a barrier after every grid level, which is
+// what separates it from EP in Figure 4.
+//
+// Grid sizes: S = 32³, W = 64³ (NPB values); class A is scaled from NPB's
+// 256³ to 128³ so the working set fits a laptop (substitution recorded in
+// DESIGN.md); iteration counts follow NPB (4).
+type MG struct {
+	class Class
+	n     int // finest grid edge (power of two)
+	iters int
+
+	levels []*grid3 // levels[0] is the finest
+	v      *grid3   // right-hand side on the finest grid
+	r      []*grid3 // residual / restricted right-hand side per level
+	tmp    []*grid3 // scratch per level: residual sweeps cannot run in place
+}
+
+// grid3 is an n³ periodic grid stored densely.
+type grid3 struct {
+	n int
+	a []float64
+}
+
+func newGrid3(n int) *grid3 { return &grid3{n: n, a: make([]float64, n*n*n)} }
+
+func (g *grid3) at(i, j, k int) float64 { return g.a[(i*g.n+j)*g.n+k] }
+func (g *grid3) set(i, j, k int, v float64) {
+	g.a[(i*g.n+j)*g.n+k] = v
+}
+
+// wrap maps an index onto the periodic grid.
+func (g *grid3) wrap(i int) int {
+	if i < 0 {
+		return i + g.n
+	}
+	if i >= g.n {
+		return i - g.n
+	}
+	return i
+}
+
+// NewMG builds the MG kernel.
+func NewMG(class Class) (*MG, error) {
+	var k *MG
+	switch class {
+	case ClassS:
+		k = &MG{class: class, n: 32, iters: 4}
+	case ClassW:
+		k = &MG{class: class, n: 64, iters: 4}
+	case ClassA:
+		k = &MG{class: class, n: 128, iters: 4}
+	default:
+		return nil, fmt.Errorf("npb: MG has no class %q", class)
+	}
+	// Build the grid hierarchy down to 4³.
+	for n := k.n; n >= 4; n /= 2 {
+		k.levels = append(k.levels, newGrid3(n))
+		k.r = append(k.r, newGrid3(n))
+		k.tmp = append(k.tmp, newGrid3(n))
+	}
+	k.v = newGrid3(k.n)
+	k.seedRHS()
+	return k, nil
+}
+
+// seedRHS places NPB-style ±1 point charges at pseudo-random grid points.
+func (k *MG) seedRHS() {
+	x := uint64(314159265)
+	n := k.n
+	for c := 0; c < 20; c++ {
+		i := int(randlc(&x, lcgA) * float64(n))
+		j := int(randlc(&x, lcgA) * float64(n))
+		l := int(randlc(&x, lcgA) * float64(n))
+		val := 1.0
+		if c%2 == 1 {
+			val = -1.0
+		}
+		k.v.set(i%n, j%n, l%n, val)
+	}
+}
+
+// Name implements Kernel.
+func (k *MG) Name() string { return "MG" }
+
+// Class implements Kernel.
+func (k *MG) Class() Class { return k.class }
+
+// Profile implements Kernel: 27-point stencils stream whole grids through
+// the cache hierarchy.
+func (k *MG) Profile() perfmodel.KernelProfile {
+	return perfmodel.KernelProfile{
+		Name:            "MG",
+		CyclesPerUnit:   3,    // cycles per stencil point-op
+		SMTYield:        0.50, // stencil sweeps alternate stalls and FP work
+		MemoryIntensity: 0.8,
+	}
+}
+
+// stencil coefficients (NPB's class-independent a[] / c[] sets, flattened
+// to the three shell distances of a 27-point stencil).
+var (
+	mgA = [4]float64{-8.0 / 3.0, 0, 1.0 / 6.0, 1.0 / 12.0}   // residual operator A
+	mgS = [4]float64{-3.0 / 8.0, 1.0 / 32.0, -1.0 / 64.0, 0} // smoother S
+)
+
+// Run implements Kernel.
+func (k *MG) Run(rt *core.Runtime) (Result, error) {
+	u := k.levels[0]
+	for i := range u.a {
+		u.a[i] = 0
+	}
+	var initialNorm, finalNorm float64
+
+	err := rt.Parallel(func(c *core.Context) {
+		k.residual(c, u, k.v, k.r[0])
+		n0 := k.norm(c, k.r[0])
+		c.Master(func() { initialNorm = n0 })
+
+		for it := 0; it < k.iters; it++ {
+			k.vCycle(c)
+			k.residual(c, u, k.v, k.r[0])
+		}
+		nf := k.norm(c, k.r[0])
+		c.Master(func() { finalNorm = nf })
+		c.Barrier()
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Verification: the V-cycles must contract the residual (each cycle
+	// of this single-smoothing-step scheme removes roughly half the
+	// residual, so four cycles must reach ≤ 10%) and produce finite
+	// values.
+	verified := finalNorm < initialNorm*0.1 && !math.IsNaN(finalNorm)
+	pts := float64(k.n * k.n * k.n)
+	return Result{
+		Kernel:    "MG",
+		Class:     k.class,
+		Verified:  verified,
+		Checksum:  finalNorm,
+		Detail:    fmt.Sprintf("‖r₀‖=%.6e ‖r‖=%.6e contraction=%.2e", initialNorm, finalNorm, finalNorm/initialNorm),
+		WorkUnits: pts * float64(k.iters) * 60, // stencil ops per point per cycle
+	}, nil
+}
+
+// vCycle runs one V-cycle across the hierarchy.
+func (k *MG) vCycle(c *core.Context) {
+	depth := len(k.levels)
+	// Downstroke: restrict the residual and zero the coarse corrections.
+	for l := 0; l < depth-1; l++ {
+		k.restrict(c, k.r[l], k.r[l+1])
+		k.zero(c, k.levels[l+1])
+	}
+	// Coarsest solve: one smoother application on 4³.
+	k.smooth(c, k.levels[depth-1], k.r[depth-1])
+	// Upstroke: prolongate the correction, re-evaluate the level residual
+	// into scratch (a 27-point sweep cannot run in place), and smooth.
+	for l := depth - 2; l >= 0; l-- {
+		k.prolongate(c, k.levels[l+1], k.levels[l])
+		if l == 0 {
+			k.residual(c, k.levels[0], k.v, k.tmp[0])
+		} else {
+			k.residual(c, k.levels[l], k.r[l], k.tmp[l])
+		}
+		k.smooth(c, k.levels[l], k.tmp[l])
+	}
+}
+
+// zero clears a grid with plane-level worksharing.
+func (k *MG) zero(c *core.Context, g *grid3) {
+	n := g.n
+	c.ForRange(n, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+		for idx := lo * n * n; idx < hi*n*n; idx++ {
+			g.a[idx] = 0
+		}
+		c.Charge(float64((hi - lo) * n * n))
+	})
+}
+
+// apply27 sweeps a 27-point shell stencil out = op(in) with plane-level
+// worksharing; "add" accumulates into out instead of overwriting.
+func (k *MG) apply27(c *core.Context, coef [4]float64, in, out *grid3, rhs *grid3, add bool) {
+	n := in.n
+	c.ForRange(n, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			im, ip := in.wrap(i-1), in.wrap(i+1)
+			for j := 0; j < n; j++ {
+				jm, jp := in.wrap(j-1), in.wrap(j+1)
+				for l := 0; l < n; l++ {
+					lm, lp := in.wrap(l-1), in.wrap(l+1)
+					// Shell sums by Manhattan-ish distance class.
+					s0 := in.at(i, j, l)
+					s1 := in.at(im, j, l) + in.at(ip, j, l) +
+						in.at(i, jm, l) + in.at(i, jp, l) +
+						in.at(i, j, lm) + in.at(i, j, lp)
+					s2 := in.at(im, jm, l) + in.at(im, jp, l) + in.at(ip, jm, l) + in.at(ip, jp, l) +
+						in.at(im, j, lm) + in.at(im, j, lp) + in.at(ip, j, lm) + in.at(ip, j, lp) +
+						in.at(i, jm, lm) + in.at(i, jm, lp) + in.at(i, jp, lm) + in.at(i, jp, lp)
+					s3 := in.at(im, jm, lm) + in.at(im, jm, lp) + in.at(im, jp, lm) + in.at(im, jp, lp) +
+						in.at(ip, jm, lm) + in.at(ip, jm, lp) + in.at(ip, jp, lm) + in.at(ip, jp, lp)
+					v := coef[0]*s0 + coef[1]*s1 + coef[2]*s2 + coef[3]*s3
+					if rhs != nil {
+						v = rhs.at(i, j, l) - v
+					}
+					if add {
+						out.a[(i*n+j)*n+l] += v
+					} else {
+						out.a[(i*n+j)*n+l] = v
+					}
+				}
+			}
+		}
+		c.Charge(float64((hi - lo) * n * n * 30))
+	})
+}
+
+// residual computes r = v − A·u.
+func (k *MG) residual(c *core.Context, u, v, r *grid3) {
+	k.apply27(c, mgA, u, r, v, false)
+}
+
+// smooth applies u += S·r.
+func (k *MG) smooth(c *core.Context, u, r *grid3) {
+	k.apply27(c, mgS, r, u, nil, true)
+}
+
+// restrict projects the fine residual onto the next coarser grid with
+// full-weighting over 2³ cells.
+func (k *MG) restrict(c *core.Context, fine, coarse *grid3) {
+	nc := coarse.n
+	c.ForRange(nc, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < nc; j++ {
+				for l := 0; l < nc; l++ {
+					s := 0.0
+					for di := 0; di < 2; di++ {
+						for dj := 0; dj < 2; dj++ {
+							for dl := 0; dl < 2; dl++ {
+								s += fine.at(2*i+di, 2*j+dj, 2*l+dl)
+							}
+						}
+					}
+					coarse.set(i, j, l, s/8)
+				}
+			}
+		}
+		c.Charge(float64((hi - lo) * nc * nc * 9))
+	})
+}
+
+// prolongate injects the coarse correction into the fine grid (trilinear
+// into the even points, which suffices as the smoother follows).
+func (k *MG) prolongate(c *core.Context, coarse, fine *grid3) {
+	nc := coarse.n
+	c.ForRange(nc, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < nc; j++ {
+				for l := 0; l < nc; l++ {
+					v := coarse.at(i, j, l)
+					for di := 0; di < 2; di++ {
+						for dj := 0; dj < 2; dj++ {
+							for dl := 0; dl < 2; dl++ {
+								fi := (2*i + di)
+								fj := (2*j + dj)
+								fl := (2*l + dl)
+								fine.a[(fi*fine.n+fj)*fine.n+fl] += v
+							}
+						}
+					}
+				}
+			}
+		}
+		c.Charge(float64((hi - lo) * nc * nc * 9))
+	})
+}
+
+// norm computes the L2 norm of a grid via the team reduction.
+func (k *MG) norm(c *core.Context, g *grid3) float64 {
+	n := g.n
+	sum := core.Reduce(c, n, 0.0,
+		func(a, b float64) float64 { return a + b },
+		func(lo, hi int) float64 {
+			s := 0.0
+			for idx := lo * n * n; idx < hi*n*n; idx++ {
+				s += g.a[idx] * g.a[idx]
+			}
+			c.Charge(float64(2 * (hi - lo) * n * n))
+			return s
+		})
+	return math.Sqrt(sum / float64(n*n*n))
+}

@@ -1,0 +1,142 @@
+// Package npb implements the five NAS Parallel Benchmark kernels the
+// paper's Figure 4 evaluates — EP, CG, IS, MG and FT — on top of the Go
+// OpenMP runtime, with built-in verification and virtual-time measurement
+// on the modeled board.
+//
+// Problem classes follow NPB conventions where feasible on a laptop-class
+// host; MG and FT class A grids are scaled down (documented per kernel and
+// in DESIGN.md) because the original 256³ grids need multi-GB arrays. The
+// Figure 4 harness defaults to class W; shapes are class-invariant because
+// the performance model charges work proportional to the executed
+// iteration counts.
+//
+// Each kernel executes its numerical work for real through the runtime
+// under test (so verification is meaningful for either thread layer) while
+// charging abstract work units to the runtime monitor; the perfmodel
+// Monitor turns those charges into deterministic T4240 seconds.
+package npb
+
+import (
+	"fmt"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/perfmodel"
+)
+
+// Class is an NPB problem class.
+type Class byte
+
+// Problem classes: S (sample), W (workstation), A (standard).
+const (
+	ClassS Class = 'S'
+	ClassW Class = 'W'
+	ClassA Class = 'A'
+)
+
+// ParseClass converts "S"/"W"/"A" (any case) to a Class.
+func ParseClass(s string) (Class, error) {
+	if len(s) == 1 {
+		switch s[0] {
+		case 'S', 's':
+			return ClassS, nil
+		case 'W', 'w':
+			return ClassW, nil
+		case 'A', 'a':
+			return ClassA, nil
+		}
+	}
+	return 0, fmt.Errorf("npb: unknown class %q (want S, W or A)", s)
+}
+
+func (c Class) String() string { return string(c) }
+
+// Result is one kernel run's outcome.
+type Result struct {
+	Kernel   string
+	Class    Class
+	Verified bool
+	// Checksum is a kernel-specific scalar fingerprint of the numerical
+	// result; runs at different thread counts must agree (exactly for
+	// integer kernels, within tolerance for floating-point reductions).
+	Checksum float64
+	// Detail carries the human-readable verification summary.
+	Detail string
+	// WorkUnits is the total abstract work charged to the monitor.
+	WorkUnits float64
+}
+
+// Kernel is one NAS benchmark instance, reusable across runs.
+type Kernel interface {
+	// Name is the NPB kernel mnemonic ("EP", "CG", ...).
+	Name() string
+	// Class reports the problem class.
+	Class() Class
+	// Profile returns the kernel's board-interaction profile for the
+	// virtual-time model.
+	Profile() perfmodel.KernelProfile
+	// Run executes the kernel through rt and verifies the result.
+	Run(rt *core.Runtime) (Result, error)
+}
+
+// Kernels lists the Figure 4 kernel names in the paper's order.
+var Kernels = []string{"EP", "CG", "IS", "MG", "FT", "LU", "SP"}
+
+// New constructs a kernel by name and class.
+func New(name string, class Class) (Kernel, error) {
+	switch name {
+	case "EP", "ep":
+		return NewEP(class)
+	case "CG", "cg":
+		return NewCG(class)
+	case "IS", "is":
+		return NewIS(class)
+	case "MG", "mg":
+		return NewMG(class)
+	case "FT", "ft":
+		return NewFT(class)
+	case "LU", "lu":
+		return NewLU(class)
+	case "SP", "sp":
+		return NewSP(class)
+	}
+	return nil, fmt.Errorf("npb: unknown kernel %q", name)
+}
+
+// ----- NPB pseudo-random number generator -----
+
+// lcgMod is the 2^46 modulus of the NPB linear congruential generator.
+const lcgMod = uint64(1) << 46
+
+const lcgMask = lcgMod - 1
+
+// lcgA is the NPB multiplier 5^13.
+const lcgA = uint64(1220703125)
+
+// randlc advances the NPB LCG one step: x' = a·x mod 2^46, returning the
+// uniform double x'/2^46. Because 2^64 ≡ 0 (mod 2^46), the wrap-around
+// 64-bit product already carries the right low bits.
+func randlc(x *uint64, a uint64) float64 {
+	*x = (a * *x) & lcgMask
+	return float64(*x) / float64(lcgMod)
+}
+
+// lcgPow returns a^n mod 2^46 — the skip-ahead multiplier that lets each
+// thread jump the stream to its chunk in O(log n), the trick NPB EP uses
+// to parallelize the generator.
+func lcgPow(a uint64, n uint64) uint64 {
+	result := uint64(1)
+	base := a & lcgMask
+	for n > 0 {
+		if n&1 == 1 {
+			result = (result * base) & lcgMask
+		}
+		base = (base * base) & lcgMask
+		n >>= 1
+	}
+	return result
+}
+
+// lcgSkip returns the LCG state n steps ahead of seed.
+func lcgSkip(seed uint64, n uint64) uint64 {
+	return (lcgPow(lcgA, n) * seed) & lcgMask
+}

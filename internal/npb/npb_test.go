@@ -1,0 +1,450 @@
+package npb
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/perfmodel"
+)
+
+func newNPBRuntime(t *testing.T, threads int) *core.Runtime {
+	t.Helper()
+	rt, err := core.New(core.WithLayer(core.NewNativeLayer(24)), core.WithNumThreads(threads))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = rt.Close() })
+	return rt
+}
+
+func TestParseClass(t *testing.T) {
+	for in, want := range map[string]Class{"S": ClassS, "w": ClassW, "A": ClassA} {
+		got, err := ParseClass(in)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseClass("B"); err == nil {
+		t.Error("ParseClass accepted B")
+	}
+	if _, err := ParseClass(""); err == nil {
+		t.Error("ParseClass accepted empty")
+	}
+}
+
+func TestNewKernelDispatch(t *testing.T) {
+	for _, name := range Kernels {
+		k, err := New(name, ClassS)
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if k.Name() != name {
+			t.Errorf("Name = %q, want %q", k.Name(), name)
+		}
+		if k.Class() != ClassS {
+			t.Errorf("%s class = %v", name, k.Class())
+		}
+		if p := k.Profile(); p.CyclesPerUnit <= 0 || p.Name == "" {
+			t.Errorf("%s profile = %+v", name, p)
+		}
+	}
+	if _, err := New("XX", ClassS); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := New("EP", Class('Q')); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+// ----- LCG -----
+
+func TestRandlcMatchesSequential(t *testing.T) {
+	// Skip-ahead must land exactly where sequential stepping lands.
+	x := uint64(271828183)
+	for i := 0; i < 1000; i++ {
+		randlc(&x, lcgA)
+	}
+	if got := lcgSkip(271828183, 1000); got != x {
+		t.Errorf("lcgSkip(1000) = %d, sequential = %d", got, x)
+	}
+	if got := lcgSkip(271828183, 0); got != 271828183 {
+		t.Errorf("lcgSkip(0) = %d", got)
+	}
+}
+
+func TestRandlcRange(t *testing.T) {
+	x := uint64(314159265)
+	for i := 0; i < 10000; i++ {
+		v := randlc(&x, lcgA)
+		if v < 0 || v >= 1 {
+			t.Fatalf("randlc out of [0,1): %v", v)
+		}
+	}
+}
+
+// ----- kernels at class S over multiple thread counts -----
+
+func TestEPVerifiesAcrossThreadCounts(t *testing.T) {
+	k, err := NewEP(ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first Result
+	for _, threads := range []int{1, 3, 8} {
+		rt := newNPBRuntime(t, threads)
+		res, err := k.Run(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("EP@%d not verified: %s", threads, res.Detail)
+		}
+		if threads == 1 {
+			first = res
+		} else if !closeRel(res.Checksum, first.Checksum, 1e-9) {
+			t.Errorf("EP@%d checksum %v != 1-thread %v", threads, res.Checksum, first.Checksum)
+		}
+	}
+}
+
+func TestCGVerifies(t *testing.T) {
+	k, err := NewCG(ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.NNZ() <= k.n {
+		t.Fatalf("matrix degenerate: nnz=%d", k.NNZ())
+	}
+	var zeta1 float64
+	for _, threads := range []int{1, 4} {
+		rt := newNPBRuntime(t, threads)
+		res, err := k.Run(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("CG@%d not verified: %s", threads, res.Detail)
+		}
+		if threads == 1 {
+			zeta1 = res.Checksum
+		} else if !closeRel(res.Checksum, zeta1, 1e-6) {
+			t.Errorf("CG zeta differs across thread counts: %v vs %v", res.Checksum, zeta1)
+		}
+	}
+}
+
+func TestCGMatrixIsSymmetric(t *testing.T) {
+	k, _ := NewCG(ClassS)
+	// Spot-check symmetry: for a sample of entries (i,j,v), j's row must
+	// contain (i,v).
+	find := func(row, col int) (float64, bool) {
+		for p := k.rowPtr[row]; p < k.rowPtr[row+1]; p++ {
+			if int(k.colIdx[p]) == col {
+				return k.vals[p], true
+			}
+		}
+		return 0, false
+	}
+	checked := 0
+	for i := 0; i < k.n && checked < 200; i += 17 {
+		for p := k.rowPtr[i]; p < k.rowPtr[i+1]; p++ {
+			j := int(k.colIdx[p])
+			if j == i {
+				continue
+			}
+			v, ok := find(j, i)
+			if !ok {
+				t.Fatalf("A[%d,%d] exists but A[%d,%d] missing", i, j, j, i)
+			}
+			// Duplicate pairs may accumulate; both directions must carry
+			// the same total, which holds when each direction stores the
+			// same entries. Spot value check:
+			_ = v
+			checked++
+		}
+	}
+	// Diagonal dominance (Gershgorin ⇒ SPD).
+	for i := 0; i < k.n; i += 97 {
+		var diag, off float64
+		for p := k.rowPtr[i]; p < k.rowPtr[i+1]; p++ {
+			if int(k.colIdx[p]) == i {
+				diag += k.vals[p]
+			} else {
+				off += math.Abs(k.vals[p])
+			}
+		}
+		if diag <= off {
+			t.Fatalf("row %d not diagonally dominant: %v <= %v", i, diag, off)
+		}
+	}
+}
+
+func TestISVerifiesAcrossThreadCounts(t *testing.T) {
+	for _, threads := range []int{1, 4, 7} {
+		k, err := NewIS(ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := newNPBRuntime(t, threads)
+		res, err := k.Run(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("IS@%d not verified: %s", threads, res.Detail)
+		}
+	}
+}
+
+func TestMGVerifies(t *testing.T) {
+	k, err := NewMG(ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4} {
+		rt := newNPBRuntime(t, threads)
+		res, err := k.Run(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("MG@%d not verified: %s", threads, res.Detail)
+		}
+	}
+}
+
+func TestFTVerifies(t *testing.T) {
+	k, err := NewFT(ClassS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum1 float64
+	for _, threads := range []int{1, 4} {
+		rt := newNPBRuntime(t, threads)
+		res, err := k.Run(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("FT@%d not verified: %s", threads, res.Detail)
+		}
+		if threads == 1 {
+			sum1 = res.Checksum
+		} else if !closeRel(res.Checksum, sum1, 1e-9) {
+			t.Errorf("FT checksum differs: %v vs %v", res.Checksum, sum1)
+		}
+	}
+}
+
+func TestFFT1DKnownTransform(t *testing.T) {
+	// FFT of a constant is an impulse at bin 0.
+	n := 16
+	a := make([]complex128, n)
+	for i := range a {
+		a[i] = 1
+	}
+	fft1d(a, +1)
+	if math.Abs(real(a[0])-float64(n)) > 1e-12 || math.Abs(imag(a[0])) > 1e-12 {
+		t.Errorf("bin 0 = %v, want %d", a[0], n)
+	}
+	for i := 1; i < n; i++ {
+		if math.Hypot(real(a[i]), imag(a[i])) > 1e-10 {
+			t.Errorf("bin %d = %v, want 0", i, a[i])
+		}
+	}
+	// Inverse recovers the constant (after 1/n scaling).
+	fft1d(a, -1)
+	for i := range a {
+		if math.Abs(real(a[i])/float64(n)-1) > 1e-12 {
+			t.Errorf("roundtrip[%d] = %v", i, a[i])
+		}
+	}
+}
+
+func TestKernelsRunOnMCALayer(t *testing.T) {
+	// The paper's Figure 4 point: the MCA-backed runtime computes the
+	// same answers. One kernel suffices per run here; the harness tests
+	// the rest.
+	for _, name := range []string{"EP", "IS"} {
+		k, err := New(name, ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := runOnce(testBoard(), k, "mca", 4, perfmodel.UnitScales())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Errorf("%s on MCA layer not verified: %s", name, res.Detail)
+		}
+	}
+}
+
+func TestWorkChargesIndependentOfThreadCount(t *testing.T) {
+	// The virtual-time model is only sound if the total work charged is a
+	// property of the problem, not of the team size. EP's charges must be
+	// exactly equal; IS's may differ only by the histogram-merge term
+	// (which scales with nthreads by construction).
+	charge := func(threads int) float64 {
+		k, err := NewEP(ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := perfmodel.New(testBoard(), k.Profile())
+		rec := &chargeCounter{}
+		rt, err := core.New(
+			core.WithLayer(core.NewNativeLayer(24)),
+			core.WithNumThreads(threads),
+			core.WithMonitor(rec),
+		)
+		_ = m
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		if _, err := k.Run(rt); err != nil {
+			t.Fatal(err)
+		}
+		return rec.total.Load()
+	}
+	c1 := charge(1)
+	c8 := charge(8)
+	if c1 != c8 {
+		t.Errorf("EP charges differ with team size: %v vs %v", c1, c8)
+	}
+	if c1 != float64(1<<24) {
+		t.Errorf("EP charges = %v, want 2^24", c1)
+	}
+}
+
+// chargeCounter tallies Monitor charges.
+type chargeCounter struct {
+	total atomicFloat
+}
+
+func (c *chargeCounter) Fork(int)          {}
+func (c *chargeCounter) Join()             {}
+func (c *chargeCounter) Barrier()          {}
+func (c *chargeCounter) CriticalEnter(int) {}
+func (c *chargeCounter) CriticalExit(int)  {}
+func (c *chargeCounter) Single(int)        {}
+func (c *chargeCounter) Reduction(int)     {}
+func (c *chargeCounter) Charge(tid int, u float64) {
+	c.total.Add(u)
+}
+
+// atomicFloat is a tiny mutex-free accumulator for the test monitor.
+type atomicFloat struct {
+	mu  sync.Mutex
+	val float64
+}
+
+func (a *atomicFloat) Add(v float64) {
+	a.mu.Lock()
+	a.val += v
+	a.mu.Unlock()
+}
+
+func (a *atomicFloat) Load() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.val
+}
+
+func TestLUVerifiesAndIsDeterministicAcrossThreadCounts(t *testing.T) {
+	var first float64
+	for _, threads := range []int{1, 4, 9} {
+		k, err := NewLU(ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := newNPBRuntime(t, threads)
+		res, err := k.Run(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("LU@%d not verified: %s", threads, res.Detail)
+		}
+		if threads == 1 {
+			first = res.Checksum
+		} else if res.Checksum != first {
+			// Hyperplane sweeps read only barrier-ordered planes, so the
+			// result must be BIT-identical regardless of team size.
+			t.Errorf("LU@%d checksum %v != 1-thread %v (wavefront broke determinism)",
+				threads, res.Checksum, first)
+		}
+	}
+}
+
+func TestLUClassW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("class W in -short mode")
+	}
+	k, err := NewLU(ClassW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := newNPBRuntime(t, 8)
+	res, err := k.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatalf("LU class W not verified: %s", res.Detail)
+	}
+}
+
+func TestSPVerifiesAndIsDeterministicAcrossThreadCounts(t *testing.T) {
+	var first float64
+	for _, threads := range []int{1, 5, 8} {
+		k, err := NewSP(ClassS)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := newNPBRuntime(t, threads)
+		res, err := k.Run(rt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Verified {
+			t.Fatalf("SP@%d not verified: %s", threads, res.Detail)
+		}
+		if threads == 1 {
+			first = res.Checksum
+		} else if res.Checksum != first {
+			// Lines are independent; ADI must be bit-deterministic.
+			t.Errorf("SP@%d checksum %v != 1-thread %v", threads, res.Checksum, first)
+		}
+	}
+}
+
+func TestThomasSolvesTridiagonal(t *testing.T) {
+	// Verify (I − λL)x = d by residual: reconstruct A·x and compare to
+	// the original right-hand side.
+	n := 16
+	d := make([]float64, n)
+	orig := make([]float64, n)
+	x := uint64(5)
+	for i := range d {
+		d[i] = randlc(&x, lcgA) - 0.5
+		orig[i] = d[i]
+	}
+	cp := make([]float64, n)
+	thomas(d, cp)
+	b := 1 + 2*spLambda
+	for i := 0; i < n; i++ {
+		ax := b * d[i]
+		if i > 0 {
+			ax += -spLambda * d[i-1]
+		}
+		if i < n-1 {
+			ax += -spLambda * d[i+1]
+		}
+		if math.Abs(ax-orig[i]) > 1e-12 {
+			t.Fatalf("residual at %d: %v", i, ax-orig[i])
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package npb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Plot renders the panel as an ASCII speedup-vs-threads chart — the
+// visual form of the paper's Figure 4: the ideal-speedup diagonal, the
+// native curve and the MCA curve (which should lie on top of each other).
+//
+// Markers: '.' ideal, 'N' native, 'M' mca, '*' both layers on one cell.
+func (s *Figure4Series) Plot() string {
+	const rows = 16
+	points := make(map[string]map[int]float64) // layer -> threads -> speedup
+	threadSet := map[int]bool{}
+	maxSpeedup := 1.0
+	maxThreads := 1
+	for _, p := range s.Points {
+		if points[p.Layer] == nil {
+			points[p.Layer] = make(map[int]float64)
+		}
+		points[p.Layer][p.Threads] = p.Speedup
+		threadSet[p.Threads] = true
+		if p.Speedup > maxSpeedup {
+			maxSpeedup = p.Speedup
+		}
+		if p.Threads > maxThreads {
+			maxThreads = p.Threads
+		}
+	}
+	if float64(maxThreads) > maxSpeedup {
+		maxSpeedup = float64(maxThreads) // leave room for the ideal diagonal
+	}
+	threads := make([]int, 0, len(threadSet))
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+
+	// Column layout: one column per measured thread count, spaced evenly.
+	colOf := make(map[int]int, len(threads))
+	const colWidth = 4
+	for i, t := range threads {
+		colOf[t] = i * colWidth
+	}
+	width := (len(threads)-1)*colWidth + 1
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(speedup float64) int {
+		r := rows - 1 - int(speedup/maxSpeedup*float64(rows-1)+0.5)
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		return r
+	}
+	set := func(t int, speedup float64, mark byte) {
+		r, c := rowOf(speedup), colOf[t]
+		switch {
+		case grid[r][c] == ' ' || grid[r][c] == '.': // empty or ideal dot
+			grid[r][c] = mark
+		case grid[r][c] != mark:
+			grid[r][c] = '*'
+		}
+	}
+	for _, t := range threads {
+		// Ideal diagonal first, so measurements overwrite it.
+		r, c := rowOf(float64(t)), colOf[t]
+		if grid[r][c] == ' ' {
+			grid[r][c] = '.'
+		}
+	}
+	for _, t := range threads {
+		if v, ok := points["native"][t]; ok {
+			set(t, v, 'N')
+		}
+	}
+	for _, t := range threads {
+		if v, ok := points["mca"][t]; ok {
+			set(t, v, 'M')
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s class %s speedup ('.' ideal, N native, M mca, '*' both)\n", s.Kernel, s.Class)
+	for r := 0; r < rows; r++ {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%5.1f", maxSpeedup)
+		case rows - 1:
+			label = "  0.0"
+		default:
+			label = "     "
+		}
+		fmt.Fprintf(&sb, "%s |%s\n", label, string(grid[r]))
+	}
+	sb.WriteString("      +" + strings.Repeat("-", width) + "\n")
+	axis := make([]byte, width+4) // room for the last label to overhang
+	for i := range axis {
+		axis[i] = ' '
+	}
+	for _, t := range threads {
+		lbl := fmt.Sprintf("%d", t)
+		c := colOf[t]
+		for j := 0; j < len(lbl) && c+j < len(axis); j++ {
+			axis[c+j] = lbl[j]
+		}
+	}
+	sb.WriteString("       " + string(axis) + "  threads\n")
+	return sb.String()
+}

@@ -1,0 +1,301 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/platform"
+)
+
+func computeProfile() KernelProfile {
+	return KernelProfile{Name: "compute", CyclesPerUnit: 1, SMTYield: 0.9, MemoryIntensity: 0}
+}
+
+// simulate runs W work units split perfectly over n threads with one
+// barrier, and returns the modeled seconds.
+func simulate(t *testing.T, b *platform.Board, prof KernelProfile, n int, work float64) float64 {
+	t.Helper()
+	m := New(b, prof)
+	m.Fork(n)
+	for tid := 0; tid < n; tid++ {
+		m.Charge(tid, work/float64(n))
+	}
+	m.Barrier()
+	m.Join()
+	return m.Seconds()
+}
+
+func TestModelDeterministic(t *testing.T) {
+	b := platform.T4240RDB()
+	a := simulate(t, b, computeProfile(), 8, 1e9)
+	bb := simulate(t, b, computeProfile(), 8, 1e9)
+	if a != bb {
+		t.Errorf("model not deterministic: %v vs %v", a, bb)
+	}
+}
+
+func TestSpeedupMonotoneUpToCores(t *testing.T) {
+	b := platform.T4240RDB()
+	t1 := simulate(t, b, computeProfile(), 1, 1e10)
+	prev := t1
+	for n := 2; n <= b.Cores; n++ {
+		tn := simulate(t, b, computeProfile(), n, 1e10)
+		if tn >= prev {
+			t.Errorf("time did not drop from %d to %d threads: %v -> %v", n-1, n, prev, tn)
+		}
+		prev = tn
+	}
+	// Near-ideal at 12 threads for compute-bound work.
+	s12 := t1 / prev
+	if s12 < 10.5 || s12 > 12.0 {
+		t.Errorf("speedup at 12 threads = %.2f, want ~11-12", s12)
+	}
+}
+
+func TestSMTKneePast12Threads(t *testing.T) {
+	// Per-thread marginal gain must drop once SMT siblings activate.
+	b := platform.T4240RDB()
+	prof := KernelProfile{Name: "mem", CyclesPerUnit: 1, SMTYield: 0.35, MemoryIntensity: 0.6}
+	t1 := simulate(t, b, prof, 1, 1e10)
+	t12 := simulate(t, b, prof, 12, 1e10)
+	t24 := simulate(t, b, prof, 24, 1e10)
+	s12 := t1 / t12
+	s24 := t1 / t24
+	if s24 <= s12 {
+		t.Errorf("24 threads (%.2fx) should still beat 12 (%.2fx)", s24, s12)
+	}
+	gainPerThreadLow := (s24 - s12) / 12
+	gainPerThreadHigh := s12 / 12
+	if gainPerThreadLow >= gainPerThreadHigh*0.8 {
+		t.Errorf("no SMT knee: marginal gain %.3f vs base %.3f", gainPerThreadLow, gainPerThreadHigh)
+	}
+	// Memory-bound kernels land around the paper's ~15x at 24 threads.
+	if s24 < 11 || s24 > 19 {
+		t.Errorf("speedup at 24 = %.2f, want in the paper's ~15x band", s24)
+	}
+}
+
+func TestEPLikeProfileNearIdealAt24(t *testing.T) {
+	b := platform.T4240RDB()
+	prof := KernelProfile{Name: "ep", CyclesPerUnit: 1, SMTYield: 0.95, MemoryIntensity: 0.02}
+	t1 := simulate(t, b, prof, 1, 1e11)
+	t24 := simulate(t, b, prof, 24, 1e11)
+	s24 := t1 / t24
+	if s24 < 20 {
+		t.Errorf("EP-like speedup at 24 = %.2f, want near-ideal (>20)", s24)
+	}
+}
+
+func TestP4080CapsAtEightCores(t *testing.T) {
+	b := platform.P4080DS()
+	prof := computeProfile()
+	t1 := simulate(t, b, prof, 1, 1e10)
+	t8 := simulate(t, b, prof, 8, 1e10)
+	if s := t1 / t8; s < 7 || s > 8 {
+		t.Errorf("P4080 speedup at 8 = %.2f, want ~7-8", s)
+	}
+}
+
+func TestBarrierCostGrowsWithTeamAndClusters(t *testing.T) {
+	b := platform.T4240RDB()
+	m := New(b, computeProfile())
+	// 4 threads: one cluster; 8: two clusters -> penalty applies.
+	m.Fork(4)
+	c4 := m.syncCost()
+	m.Fork(8)
+	c8 := m.syncCost()
+	if c8 <= c4 {
+		t.Errorf("sync cost must grow: %v -> %v", c4, c8)
+	}
+	m.Fork(4)
+	if m.clustersSpanned() != 1 {
+		t.Errorf("4 threads span %d clusters, want 1", m.clustersSpanned())
+	}
+	m.Fork(20)
+	if m.clustersSpanned() != 3 {
+		t.Errorf("20 threads span %d clusters, want 3", m.clustersSpanned())
+	}
+}
+
+func TestCriticalChargesSerialize(t *testing.T) {
+	b := platform.T4240RDB()
+	m := New(b, computeProfile())
+	const work = 1e6
+	m.Fork(4)
+	// Each thread does `work` inside a critical: virtual time must be
+	// ~4x work, not ~1x (the serialization the paper's Table I
+	// "critical" row measures).
+	for tid := 0; tid < 4; tid++ {
+		m.CriticalEnter(tid)
+		m.Charge(tid, work)
+		m.CriticalExit(tid)
+	}
+	m.Join()
+	serialized := m.Seconds()
+
+	m2 := New(b, computeProfile())
+	m2.Fork(4)
+	for tid := 0; tid < 4; tid++ {
+		m2.Charge(tid, work)
+	}
+	m2.Join()
+	parallel := m2.Seconds()
+
+	if serialized < 3*parallel {
+		t.Errorf("critical not serialized: crit=%v par=%v", serialized, parallel)
+	}
+}
+
+func TestSharedPlacement(t *testing.T) {
+	b := platform.T4240RDB()
+	m := New(b, computeProfile())
+	m.Fork(13) // 13 threads on 12 cores: exactly one core doubled
+	sharedCount := 0
+	for tid := 0; tid < 13; tid++ {
+		if m.shared(tid, 13) {
+			sharedCount++
+		}
+	}
+	if sharedCount != 2 {
+		t.Errorf("13 threads: %d SMT-shared, want 2 (tid 0 and 12)", sharedCount)
+	}
+	if !m.shared(0, 13) || !m.shared(12, 13) || m.shared(1, 13) {
+		t.Error("wrong threads marked shared")
+	}
+	// No SMT on the P4080: nothing shares.
+	mp := New(platform.P4080DS(), computeProfile())
+	mp.Fork(8)
+	for tid := 0; tid < 8; tid++ {
+		if mp.shared(tid, 8) {
+			t.Errorf("P4080 tid %d marked shared", tid)
+		}
+	}
+}
+
+func TestResetClearsAccumulation(t *testing.T) {
+	b := platform.T4240RDB()
+	m := New(b, computeProfile())
+	m.Fork(2)
+	m.Charge(0, 1e6)
+	m.Join()
+	if m.Seconds() == 0 || m.Regions() != 1 {
+		t.Fatal("nothing accumulated")
+	}
+	m.Reset()
+	if m.Seconds() != 0 || m.Regions() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+func TestDefaultsFromBoard(t *testing.T) {
+	b := platform.T4240RDB()
+	m := New(b, KernelProfile{Name: "x"})
+	if m.Profile().SMTYield != b.SMTYield {
+		t.Errorf("SMTYield default = %v, want board %v", m.Profile().SMTYield, b.SMTYield)
+	}
+	if m.Profile().CyclesPerUnit != 1 {
+		t.Errorf("CyclesPerUnit default = %v, want 1", m.Profile().CyclesPerUnit)
+	}
+}
+
+// TestModelDrivenByRuntime wires the model into the real runtime as its
+// Monitor and checks that the virtual clock advances identically whether
+// the host executes the region on 1 OS thread or many — the property that
+// makes Figure 4 reproducible anywhere.
+func TestModelDrivenByRuntime(t *testing.T) {
+	b := platform.T4240RDB()
+	run := func(threads int) float64 {
+		m := New(b, KernelProfile{Name: "k", CyclesPerUnit: 100, SMTYield: 0.5, MemoryIntensity: 0.3})
+		rt, err := core.New(
+			core.WithLayer(core.NewNativeLayer(b.HWThreads())),
+			core.WithNumThreads(threads),
+			core.WithMonitor(m),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+		for iter := 0; iter < 3; iter++ {
+			_ = rt.Parallel(func(c *core.Context) {
+				c.ForRange(240_000, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+					c.Charge(float64(hi - lo))
+				})
+			})
+		}
+		return m.Seconds()
+	}
+	t1 := run(1)
+	t8 := run(8)
+	t24 := run(24)
+	if !(t1 > t8 && t8 > t24) {
+		t.Errorf("virtual times not decreasing: %v %v %v", t1, t8, t24)
+	}
+	// Determinism across repeated runs.
+	if a, b2 := run(8), run(8); math.Abs(a-b2) > 1e-15 {
+		t.Errorf("runtime-driven model not deterministic: %v vs %v", a, b2)
+	}
+}
+
+func TestScalesMultiplyManagementCosts(t *testing.T) {
+	b := platform.T4240RDB()
+	run := func(s Scales) float64 {
+		m := NewScaled(b, computeProfile(), s)
+		m.Fork(8)
+		for i := 0; i < 10; i++ {
+			m.Barrier()
+		}
+		m.Reduction(8)
+		m.Join()
+		return m.Seconds()
+	}
+	base := run(UnitScales())
+	doubled := run(Scales{Fork: 2, Sync: 2, Reduction: 2})
+	if doubled <= base*1.8 {
+		t.Errorf("scaled run %v not ~2x base %v", doubled, base)
+	}
+	// Zero/negative factors are normalized to 1 (noise guard).
+	if got := run(Scales{Fork: -1, Sync: 0, Reduction: 0}); got != base {
+		t.Errorf("normalized scales = %v, want %v", got, base)
+	}
+}
+
+func TestScaleAccessor(t *testing.T) {
+	m := NewScaled(platform.T4240RDB(), computeProfile(), Scales{Fork: 1.5, Sync: 1.2, Reduction: 0.9})
+	s := m.Scale()
+	if s.Fork != 1.5 || s.Sync != 1.2 || s.Reduction != 0.9 {
+		t.Errorf("Scale = %+v", s)
+	}
+	if def := New(platform.T4240RDB(), computeProfile()).Scale(); def != UnitScales() {
+		t.Errorf("default scale = %+v", def)
+	}
+}
+
+func TestUtilizationShowsImbalance(t *testing.T) {
+	m := New(platform.T4240RDB(), computeProfile())
+	if m.Utilization() != nil {
+		t.Error("utilization outside a region should be nil")
+	}
+	m.Fork(4)
+	u0 := m.Utilization()
+	if len(u0) != 4 {
+		t.Fatalf("utilization len = %d", len(u0))
+	}
+	m.Charge(0, 1000)
+	m.Charge(1, 500)
+	m.Charge(2, 1000)
+	u := m.Utilization()
+	if u[0] != 1 || u[2] != 1 {
+		t.Errorf("busiest threads = %v", u)
+	}
+	if u[1] <= 0.4 || u[1] >= 0.6 {
+		t.Errorf("half-loaded thread = %v, want ~0.5", u[1])
+	}
+	if u[3] != 0 {
+		t.Errorf("idle thread = %v", u[3])
+	}
+	m.Join()
+	if m.Utilization() != nil {
+		t.Error("utilization after join should be nil")
+	}
+}

@@ -1,0 +1,154 @@
+package platform
+
+import (
+	"strings"
+	"testing"
+
+	"openmpmca/internal/mrapi"
+)
+
+func TestT4240Shape(t *testing.T) {
+	b := T4240RDB()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Cores != 12 || b.ThreadsPerCore != 2 {
+		t.Errorf("cores/threads = %d/%d, want 12/2", b.Cores, b.ThreadsPerCore)
+	}
+	if b.HWThreads() != 24 {
+		t.Errorf("HWThreads = %d, want 24", b.HWThreads())
+	}
+	if b.Clusters() != 3 {
+		t.Errorf("Clusters = %d, want 3", b.Clusters())
+	}
+	if b.FreqMHz != 1800 {
+		t.Errorf("FreqMHz = %d, want 1800", b.FreqMHz)
+	}
+}
+
+func TestP4080Shape(t *testing.T) {
+	b := P4080DS()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.HWThreads() != 8 {
+		t.Errorf("HWThreads = %d, want 8", b.HWThreads())
+	}
+	if b.Clusters() != 1 {
+		t.Errorf("Clusters = %d, want 1 (flat)", b.Clusters())
+	}
+	// §4C: both boards have 32KB L1; P4080's L2 is 128KB per core.
+	if b.Caches[0].SizeKB != 32 || b.Caches[1].SizeKB != 128 {
+		t.Errorf("caches = %v", b.Caches)
+	}
+	if b.Caches[1].SharedBy != "core" {
+		t.Errorf("P4080 L2 should be private per core")
+	}
+}
+
+func TestLocationMapping(t *testing.T) {
+	b := T4240RDB()
+	cases := []struct {
+		hw, cluster, core, smt int
+	}{
+		{0, 0, 0, 0},
+		{1, 0, 0, 1},
+		{7, 0, 3, 1},
+		{8, 1, 4, 0},
+		{16, 2, 8, 0},
+		{23, 2, 11, 1},
+	}
+	for _, c := range cases {
+		cl, co, s := b.Location(c.hw)
+		if cl != c.cluster || co != c.core || s != c.smt {
+			t.Errorf("Location(%d) = (%d,%d,%d), want (%d,%d,%d)",
+				c.hw, cl, co, s, c.cluster, c.core, c.smt)
+		}
+	}
+}
+
+func TestValidateCatchesBadBoards(t *testing.T) {
+	bad := T4240RDB()
+	bad.Cores = 10 // not divisible into clusters of 4
+	if err := bad.Validate(); err == nil {
+		t.Error("expected cluster mismatch error")
+	}
+	bad2 := T4240RDB()
+	bad2.SMTYield = 1.5
+	if err := bad2.Validate(); err == nil {
+		t.Error("expected SMTYield range error")
+	}
+	bad3 := T4240RDB()
+	bad3.Cores = 0
+	if err := bad3.Validate(); err == nil {
+		t.Error("expected no-cores error")
+	}
+}
+
+func TestResourceTreeCounts(t *testing.T) {
+	b := T4240RDB()
+	root := b.ResourceTree()
+	if got := root.Count(mrapi.ResCPU); got != 12 {
+		t.Errorf("CPU resources = %d, want 12", got)
+	}
+	if got := root.Count(mrapi.ResHWThread); got != 24 {
+		t.Errorf("hwthread resources = %d, want 24", got)
+	}
+	if got := root.Count(mrapi.ResCluster); got != 3 {
+		t.Errorf("cluster resources = %d, want 3", got)
+	}
+	if got := root.Count(mrapi.ResMemory); got != 3 {
+		t.Errorf("memory resources = %d, want 3", got)
+	}
+	if got := root.Count(mrapi.ResFabric); got != 1 {
+		t.Errorf("fabric resources = %d, want 1", got)
+	}
+	// L1 per core + L2 per cluster + L3 on fabric = 12 + 3 + 1.
+	if got := root.Count(mrapi.ResCache); got != 16 {
+		t.Errorf("cache resources = %d, want 16", got)
+	}
+}
+
+func TestResourceTreeFeedsMRAPIMetadata(t *testing.T) {
+	b := T4240RDB()
+	sys := b.NewSystem()
+	n, err := sys.Initialize(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ProcessorsOnline(); got != 24 {
+		t.Errorf("ProcessorsOnline = %d, want 24", got)
+	}
+}
+
+func TestP4080TreeIsFlat(t *testing.T) {
+	root := P4080DS().ResourceTree()
+	if got := root.Count(mrapi.ResCluster); got != 0 {
+		t.Errorf("P4080 cluster resources = %d, want 0", got)
+	}
+	if got := root.Count(mrapi.ResCPU); got != 8 {
+		t.Errorf("CPU resources = %d, want 8", got)
+	}
+}
+
+func TestBlockDiagram(t *testing.T) {
+	out := T4240RDB().BlockDiagram()
+	for _, want := range []string{"T4240RDB", "cluster 0", "cluster 2", "CoreNet", "cpu23", "DDR"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("diagram missing %q:\n%s", want, out)
+		}
+	}
+	flat := P4080DS().BlockDiagram()
+	if strings.Contains(flat, "cluster") {
+		t.Error("P4080 diagram should not show clusters")
+	}
+}
+
+func TestCompareTable(t *testing.T) {
+	out := Compare(T4240RDB(), P4080DS())
+	for _, want := range []string{"T4240RDB", "P4080DS", "e6500", "e500mc", "threads/core"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare missing %q", want)
+		}
+	}
+}

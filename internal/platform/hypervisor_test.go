@@ -1,0 +1,142 @@
+package platform
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func newHV(t *testing.T) *Hypervisor {
+	t.Helper()
+	h, err := NewHypervisor(T4240RDB())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHypervisorPartitionLifecycle(t *testing.T) {
+	h := newHV(t)
+	p, err := h.CreatePartition("ctrl", GuestLinux, []int{0, 1, 2, 3}, 2048, "eth0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != PartitionStopped {
+		t.Errorf("state = %v, want stopped", p.State())
+	}
+	if err := h.Start("ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	if p.State() != PartitionRunning {
+		t.Errorf("state = %v, want running", p.State())
+	}
+	if err := h.DestroyPartition("ctrl"); !errors.Is(err, ErrPartitionBusy) {
+		t.Errorf("destroy running = %v, want ErrPartitionBusy", err)
+	}
+	if err := h.Stop("ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.DestroyPartition("ctrl"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Partition("ctrl"); !errors.Is(err, ErrNoPartition) {
+		t.Errorf("lookup destroyed = %v, want ErrNoPartition", err)
+	}
+	if got := len(h.FreeCPUs()); got != 24 {
+		t.Errorf("FreeCPUs after destroy = %d, want 24", got)
+	}
+	if h.FreeMemMB() != 6144 {
+		t.Errorf("FreeMemMB after destroy = %d, want 6144", h.FreeMemMB())
+	}
+}
+
+func TestHypervisorCPUExclusivity(t *testing.T) {
+	h := newHV(t)
+	if _, err := h.CreatePartition("a", GuestLinux, []int{0, 1}, 512); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreatePartition("b", GuestRTOS, []int{1, 2}, 512); !errors.Is(err, ErrCPUConflict) {
+		t.Errorf("overlapping cpus = %v, want ErrCPUConflict", err)
+	}
+	if _, err := h.CreatePartition("c", GuestRTOS, []int{5, 5}, 512); !errors.Is(err, ErrCPUConflict) {
+		t.Errorf("duplicate cpu in list = %v, want ErrCPUConflict", err)
+	}
+	if _, err := h.CreatePartition("d", GuestRTOS, []int{24}, 512); !errors.Is(err, ErrCPUOutOfRange) {
+		t.Errorf("cpu out of range = %v, want ErrCPUOutOfRange", err)
+	}
+	if _, err := h.CreatePartition("e", GuestRTOS, nil, 512); !errors.Is(err, ErrNoCPUs) {
+		t.Errorf("no cpus = %v, want ErrNoCPUs", err)
+	}
+}
+
+func TestHypervisorMemoryAccounting(t *testing.T) {
+	h := newHV(t)
+	if _, err := h.CreatePartition("big", GuestLinux, []int{0}, 6000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreatePartition("more", GuestRTOS, []int{1}, 200); !errors.Is(err, ErrMemExhausted) {
+		t.Errorf("over-commit = %v, want ErrMemExhausted", err)
+	}
+	if h.FreeMemMB() != 144 {
+		t.Errorf("FreeMemMB = %d, want 144", h.FreeMemMB())
+	}
+}
+
+func TestHypervisorDuplicateName(t *testing.T) {
+	h := newHV(t)
+	if _, err := h.CreatePartition("x", GuestLinux, []int{0}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreatePartition("x", GuestRTOS, []int{1}, 10); !errors.Is(err, ErrPartitionExists) {
+		t.Errorf("duplicate name = %v, want ErrPartitionExists", err)
+	}
+}
+
+func TestHypervisorRequiresSupport(t *testing.T) {
+	b := T4240RDB()
+	b.Hypervisor = false
+	if _, err := NewHypervisor(b); !errors.Is(err, ErrNotSupported) {
+		t.Errorf("unsupported board = %v, want ErrNotSupported", err)
+	}
+}
+
+func TestHypervisorFailedCreateLeavesStateClean(t *testing.T) {
+	h := newHV(t)
+	// cpu 30 is invalid; cpu 0 must remain free afterwards.
+	if _, err := h.CreatePartition("bad", GuestLinux, []int{0, 30}, 512); err == nil {
+		t.Fatal("expected failure")
+	}
+	if got := len(h.FreeCPUs()); got != 24 {
+		t.Errorf("FreeCPUs = %d, want 24 (no partial assignment)", got)
+	}
+	if h.FreeMemMB() != 6144 {
+		t.Errorf("FreeMemMB = %d, want 6144", h.FreeMemMB())
+	}
+}
+
+func TestHypervisorRenderFigure2(t *testing.T) {
+	h := newHV(t)
+	_, _ = h.CreatePartition("dataplane", GuestBareMetal, []int{8, 9, 10, 11}, 1024, "dpaa0")
+	_, _ = h.CreatePartition("control", GuestLinux, []int{0, 1, 2, 3}, 2048)
+	_ = h.Start("control")
+	out := h.Render()
+	for _, want := range []string{"Embedded Hypervisor", "control", "dataplane", "Bare-Metal", "running", "stopped", "unassigned: 16 cpus"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	// Partitions render sorted by name: control before dataplane.
+	if strings.Index(out, "control") > strings.Index(out, "dataplane") {
+		t.Error("partitions not sorted by name")
+	}
+}
+
+func TestPartitionsSorted(t *testing.T) {
+	h := newHV(t)
+	_, _ = h.CreatePartition("zeta", GuestLinux, []int{0}, 10)
+	_, _ = h.CreatePartition("alpha", GuestLinux, []int{1}, 10)
+	ps := h.Partitions()
+	if len(ps) != 2 || ps[0].Name != "alpha" || ps[1].Name != "zeta" {
+		t.Errorf("Partitions() order wrong: %v", ps)
+	}
+}

@@ -1,0 +1,94 @@
+package platform
+
+import (
+	"fmt"
+	"sort"
+
+	"openmpmca/internal/mrapi"
+)
+
+// PartitionResourceTree builds the MRAPI metadata tree a guest running
+// inside the named partition would observe: only the partition's hardware
+// threads (and the cores/clusters containing them), its memory share, and
+// its pass-through I/O devices. This is how an OpenMP runtime deployed in
+// one hypervisor partition sizes itself to the partition instead of the
+// whole board (§4A's partitioning put to work).
+func (h *Hypervisor) PartitionResourceTree(name string) (*mrapi.Resource, error) {
+	p, err := h.Partition(name)
+	if err != nil {
+		return nil, err
+	}
+	b := h.board
+
+	owned := make(map[int]bool, len(p.CPUs))
+	for _, c := range p.CPUs {
+		owned[c] = true
+	}
+
+	root := mrapi.NewResource(fmt.Sprintf("%s/%s", b.Name, p.Name), mrapi.ResSystem)
+	root.SetAttr("guest", string(p.Guest))
+	root.SetAttr("mhz", b.FreqMHz)
+	root.SetAttr("mem_mb", p.MemMB)
+
+	fabric := root.AddChild(mrapi.NewResource(b.Fabric, mrapi.ResFabric))
+	mem := mrapi.NewResource("DDR-share", mrapi.ResMemory)
+	mem.SetAttr("size_mb", p.MemMB)
+	fabric.AddChild(mem)
+	for _, dev := range p.IOmask {
+		fabric.AddChild(mrapi.NewResource(dev, mrapi.ResAccelerator))
+	}
+
+	// Group the owned hardware threads by core, cores by cluster.
+	coreThreads := make(map[int][]int)
+	for _, hw := range p.CPUs {
+		_, core, _ := b.Location(hw)
+		coreThreads[core] = append(coreThreads[core], hw)
+	}
+	cores := make([]int, 0, len(coreThreads))
+	for c := range coreThreads {
+		cores = append(cores, c)
+	}
+	sort.Ints(cores)
+
+	clusters := make(map[int]*mrapi.Resource)
+	parentFor := func(coreIdx int) *mrapi.Resource {
+		if b.CoresPerCluster <= 1 {
+			return fabric
+		}
+		cl := coreIdx / b.CoresPerCluster
+		node, ok := clusters[cl]
+		if !ok {
+			node = mrapi.NewResource(fmt.Sprintf("cluster-%d", cl), mrapi.ResCluster)
+			clusters[cl] = node
+			fabric.AddChild(node)
+		}
+		return node
+	}
+
+	for _, coreIdx := range cores {
+		cpu := mrapi.NewResource(fmt.Sprintf("%s-%d", b.CoreModel, coreIdx), mrapi.ResCPU)
+		cpu.SetAttr("index", coreIdx)
+		cpu.SetAttr("mhz", b.FreqMHz)
+		hws := coreThreads[coreIdx]
+		sort.Ints(hws)
+		for _, hw := range hws {
+			hwIdx := hw
+			res := mrapi.NewResource(fmt.Sprintf("cpu%d", hwIdx), mrapi.ResHWThread)
+			res.SetAttr("index", hwIdx)
+			res.SetDynamicAttr("online", func() any { return b.Online(hwIdx) })
+			cpu.AddChild(res)
+		}
+		parentFor(coreIdx).AddChild(cpu)
+	}
+	return root, nil
+}
+
+// PartitionSystem builds an MRAPI universe scoped to the partition —
+// the universe a guest OS's MCA-backed OpenMP runtime binds to.
+func (h *Hypervisor) PartitionSystem(name string) (*mrapi.System, error) {
+	tree, err := h.PartitionResourceTree(name)
+	if err != nil {
+		return nil, err
+	}
+	return mrapi.NewSystem(tree), nil
+}

@@ -1,0 +1,141 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+
+	"openmpmca/internal/mrapi"
+)
+
+func TestHotplug(t *testing.T) {
+	b := T4240RDB()
+	if b.OnlineCount() != 24 {
+		t.Fatalf("OnlineCount = %d", b.OnlineCount())
+	}
+	if err := b.SetOnline(23, false); err != nil {
+		t.Fatal(err)
+	}
+	if b.Online(23) || b.OnlineCount() != 23 {
+		t.Errorf("cpu23 still online")
+	}
+	if err := b.SetOnline(0, false); err == nil {
+		t.Error("boot CPU went offline")
+	}
+	if err := b.SetOnline(99, false); err == nil {
+		t.Error("nonexistent CPU accepted")
+	}
+	if err := b.SetOnline(23, true); err != nil {
+		t.Fatal(err)
+	}
+	if b.OnlineCount() != 24 {
+		t.Errorf("OnlineCount after replug = %d", b.OnlineCount())
+	}
+}
+
+func TestHotplugVisibleThroughMetadata(t *testing.T) {
+	// §5B4: the runtime reads the online processor count from the MRAPI
+	// metadata tree; hotplug must be visible live, without rebuilding.
+	b := T4240RDB()
+	sys := b.NewSystem()
+	n, err := sys.Initialize(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ProcessorsOnline(); got != 24 {
+		t.Fatalf("ProcessorsOnline = %d", got)
+	}
+	for _, cpu := range []int{20, 21, 22, 23} {
+		if err := b.SetOnline(cpu, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := n.ProcessorsOnline(); got != 20 {
+		t.Errorf("ProcessorsOnline after hotplug = %d, want 20", got)
+	}
+}
+
+func TestPartitionResourceTree(t *testing.T) {
+	h := newHV(t)
+	// cpus 8..11 live on cores 4,5 in cluster 1.
+	if _, err := h.CreatePartition("data", GuestBareMetal, []int{8, 9, 10, 11}, 1024, "dpaa0"); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := h.PartitionResourceTree("data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Count(mrapi.ResHWThread); got != 4 {
+		t.Errorf("partition hwthreads = %d, want 4", got)
+	}
+	if got := tree.Count(mrapi.ResCPU); got != 2 {
+		t.Errorf("partition cores = %d, want 2 (cores 4 and 5)", got)
+	}
+	if got := tree.Count(mrapi.ResCluster); got != 1 {
+		t.Errorf("partition clusters = %d, want 1", got)
+	}
+	if got := tree.Count(mrapi.ResAccelerator); got != 1 {
+		t.Errorf("pass-through devices = %d, want 1", got)
+	}
+	if v, ok := tree.Attr("mem_mb"); !ok || v.(int) != 1024 {
+		t.Errorf("mem_mb = %v", v)
+	}
+	if _, err := h.PartitionResourceTree("ghost"); !errors.Is(err, ErrNoPartition) {
+		t.Errorf("unknown partition = %v", err)
+	}
+}
+
+func TestPartitionSystemScopesProcessorCount(t *testing.T) {
+	h := newHV(t)
+	if _, err := h.CreatePartition("rt", GuestRTOS, []int{16, 17, 18, 19, 20, 21}, 512); err != nil {
+		t.Fatal(err)
+	}
+	sys, err := h.PartitionSystem("rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := sys.Initialize(1, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.ProcessorsOnline(); got != 6 {
+		t.Errorf("partition ProcessorsOnline = %d, want 6", got)
+	}
+}
+
+func TestPartitionTreeSpanningClusters(t *testing.T) {
+	h := newHV(t)
+	// cpus 0 and 23 sit in clusters 0 and 2.
+	if _, err := h.CreatePartition("span", GuestLinux, []int{0, 23}, 256); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := h.PartitionResourceTree("span")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Count(mrapi.ResCluster); got != 2 {
+		t.Errorf("clusters = %d, want 2", got)
+	}
+	if got := tree.Count(mrapi.ResCPU); got != 2 {
+		t.Errorf("cores = %d, want 2", got)
+	}
+}
+
+func TestP4080PartitionTreeFlat(t *testing.T) {
+	h, err := NewHypervisor(P4080DS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CreatePartition("p", GuestLinux, []int{0, 1, 2}, 128); err != nil {
+		t.Fatal(err)
+	}
+	tree, err := h.PartitionResourceTree("p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Count(mrapi.ResCluster); got != 0 {
+		t.Errorf("flat board partition has %d clusters", got)
+	}
+	if got := tree.Count(mrapi.ResCPU); got != 3 {
+		t.Errorf("cores = %d, want 3", got)
+	}
+}

@@ -1,0 +1,82 @@
+// Package syncq provides a timed condition variable: waiters park on
+// per-waiter channels so a timeout can abandon the wait without losing a
+// wakeup. It backs the blocking primitives of both the MRAPI and MCAPI
+// implementations.
+package syncq
+
+import (
+	"sync"
+	"time"
+)
+
+// WaitQueue is a timed condition variable. All methods must be called with
+// the owning mutex held.
+type WaitQueue struct {
+	waiters []chan struct{}
+}
+
+// Wait releases mu, parks until signaled or timed out, then reacquires mu.
+// infinite ignores d. It reports true when signaled (the caller must
+// re-check its predicate, condition-variable style) and false on timeout.
+func (q *WaitQueue) Wait(mu *sync.Mutex, d time.Duration, infinite bool) bool {
+	ch := make(chan struct{}, 1)
+	q.waiters = append(q.waiters, ch)
+	mu.Unlock()
+
+	signaled := true
+	if infinite {
+		<-ch
+	} else {
+		t := time.NewTimer(d)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			signaled = false
+		}
+	}
+
+	mu.Lock()
+	if !signaled {
+		// Remove our channel if still queued; if it is gone we were
+		// signaled concurrently with the timeout — pass the wakeup on so
+		// it is not lost.
+		found := false
+		for i, w := range q.waiters {
+			if w == ch {
+				q.waiters = append(q.waiters[:i], q.waiters[i+1:]...)
+				found = true
+				break
+			}
+		}
+		if !found {
+			select {
+			case <-ch:
+				q.Signal()
+			default:
+			}
+		}
+	}
+	return signaled
+}
+
+// Signal wakes one waiter, if any.
+func (q *WaitQueue) Signal() {
+	if len(q.waiters) == 0 {
+		return
+	}
+	ch := q.waiters[0]
+	q.waiters = q.waiters[1:]
+	ch <- struct{}{}
+}
+
+// Broadcast wakes every waiter.
+func (q *WaitQueue) Broadcast() {
+	for _, ch := range q.waiters {
+		ch <- struct{}{}
+	}
+	q.waiters = nil
+}
+
+// Len reports the number of parked waiters.
+func (q *WaitQueue) Len() int { return len(q.waiters) }

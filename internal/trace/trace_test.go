@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/perfmodel"
+	"openmpmca/internal/platform"
+)
+
+func TestRecorderCapturesRegionStructure(t *testing.T) {
+	rec := NewRecorder(0)
+	rt, err := core.New(
+		core.WithLayer(core.NewNativeLayer(8)),
+		core.WithNumThreads(4),
+		core.WithMonitor(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	_ = rt.Parallel(func(c *core.Context) {
+		c.Charge(10)
+		c.Barrier()
+		c.Single(func() {})
+		c.Critical(func() { c.Charge(1) })
+	})
+
+	s := rec.Summary()
+	if s.Forks != 1 || s.Joins != 1 {
+		t.Errorf("forks/joins = %d/%d", s.Forks, s.Joins)
+	}
+	if s.Singles != 1 {
+		t.Errorf("singles = %d", s.Singles)
+	}
+	if s.Criticals != 4 {
+		t.Errorf("criticals = %d, want 4 (one per thread)", s.Criticals)
+	}
+	// 4 threads × (10 + 1) units.
+	if s.UnitsCharged != 44 {
+		t.Errorf("units = %v, want 44", s.UnitsCharged)
+	}
+	if len(s.UnitsByThread) != 4 {
+		t.Errorf("threads charged = %d", len(s.UnitsByThread))
+	}
+	// explicit barrier + single barrier + implicit region barrier = 3.
+	if s.Barriers != 3 {
+		t.Errorf("barriers = %d, want 3", s.Barriers)
+	}
+
+	events := rec.Events()
+	if len(events) == 0 || events[0].Kind != EvFork {
+		t.Fatalf("first event = %v, want fork", events)
+	}
+	if last := events[len(events)-1]; last.Kind != EvJoin {
+		t.Errorf("last event = %v, want join", last)
+	}
+	// Sequence numbers are strictly increasing.
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("sequence not increasing at %d", i)
+		}
+	}
+}
+
+func TestRecorderRingBound(t *testing.T) {
+	rec := NewRecorder(8)
+	for i := 0; i < 20; i++ {
+		rec.Charge(0, 1)
+	}
+	events := rec.Events()
+	if len(events) != 8 {
+		t.Fatalf("retained %d events, want 8", len(events))
+	}
+	// Oldest retained is #12.
+	if events[0].Seq != 12 || events[7].Seq != 19 {
+		t.Errorf("ring window = [%d, %d], want [12, 19]", events[0].Seq, events[7].Seq)
+	}
+	s := rec.Summary()
+	if s.ChargeEvents != 20 || s.UnitsCharged != 20 {
+		t.Errorf("aggregates must span the whole run: %+v", s)
+	}
+	if s.Dropped != 12 {
+		t.Errorf("dropped = %d, want 12", s.Dropped)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	rec := NewRecorder(4)
+	rec.Fork(2)
+	rec.Charge(1, 5)
+	rec.Reset()
+	if len(rec.Events()) != 0 {
+		t.Error("events survived reset")
+	}
+	s := rec.Summary()
+	if s.Forks != 0 || s.UnitsCharged != 0 || s.Dropped != 0 {
+		t.Errorf("summary survived reset: %+v", s)
+	}
+}
+
+func TestRenderReadable(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Fork(3)
+	rec.Charge(2, 7.5)
+	rec.Barrier()
+	out := rec.Render()
+	for _, want := range []string{"fork n=3", "charge tid=2 units=7.5", "barrier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if EventKind(99).String() != "event(99)" {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestTeeFansOut(t *testing.T) {
+	recA := NewRecorder(16)
+	recB := NewRecorder(16)
+	tee := NewTee(recA, nil, recB)
+	if len(tee) != 2 {
+		t.Fatalf("tee kept %d monitors, want 2 (nil skipped)", len(tee))
+	}
+	tee.Fork(2)
+	tee.Charge(0, 3)
+	tee.CriticalEnter(1)
+	tee.CriticalExit(1)
+	tee.Single(0)
+	tee.Reduction(2)
+	tee.Barrier()
+	tee.Join()
+	for i, rec := range []*Recorder{recA, recB} {
+		s := rec.Summary()
+		if s.Forks != 1 || s.UnitsCharged != 3 || s.Criticals != 1 || s.Singles != 1 || s.Reductions != 1 || s.Barriers != 1 || s.Joins != 1 {
+			t.Errorf("monitor %d missed events: %+v", i, s)
+		}
+	}
+}
+
+func TestTeeWithModelTracesAndTimes(t *testing.T) {
+	// Trace and time the same run: the recorder's charge total and the
+	// model's virtual clock must both be populated from one execution.
+	board := platform.T4240RDB()
+	model := perfmodel.New(board, perfmodel.KernelProfile{Name: "k", CyclesPerUnit: 100})
+	rec := NewRecorder(0)
+	rt, err := core.New(
+		core.WithLayer(core.NewNativeLayer(board.HWThreads())),
+		core.WithNumThreads(6),
+		core.WithMonitor(NewTee(model, rec)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	_ = rt.Parallel(func(c *core.Context) {
+		c.ForRange(6000, core.LoopOpts{Schedule: core.ScheduleStatic}, func(lo, hi int) {
+			c.Charge(float64(hi - lo))
+		})
+	})
+	if model.Seconds() <= 0 {
+		t.Error("model saw no time")
+	}
+	if got := rec.Summary().UnitsCharged; got != 6000 {
+		t.Errorf("recorder units = %v, want 6000", got)
+	}
+}

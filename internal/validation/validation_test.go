@@ -1,0 +1,110 @@
+package validation
+
+import (
+	"testing"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/platform"
+)
+
+func mkNative() (*core.Runtime, error) {
+	return core.New(core.WithLayer(core.NewNativeLayer(24)), core.WithNumThreads(teamSize))
+}
+
+func mkMCA() (*core.Runtime, error) {
+	l, err := core.NewMCALayer(platform.T4240RDB().NewSystem())
+	if err != nil {
+		return nil, err
+	}
+	return core.New(core.WithLayer(l), core.WithNumThreads(teamSize))
+}
+
+func TestSuiteIsSortedAndNamed(t *testing.T) {
+	tests := Suite()
+	if len(tests) < 15 {
+		t.Fatalf("suite has only %d tests", len(tests))
+	}
+	for i := 1; i < len(tests); i++ {
+		if tests[i-1].Name >= tests[i].Name {
+			t.Errorf("suite not sorted at %q >= %q", tests[i-1].Name, tests[i].Name)
+		}
+	}
+	for _, tst := range tests {
+		if tst.Run == nil {
+			t.Errorf("%s has no Run", tst.Name)
+		}
+	}
+}
+
+func TestRunAllNativePasses(t *testing.T) {
+	outcomes, err := RunAll(mkNative, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if !o.Passed() {
+			t.Errorf("%s failed (%d/%d): %s (crossOK=%v)", o.Name, o.Failures, o.Runs, o.Detail, o.CrossOK)
+		}
+		if o.Runs != 2 {
+			t.Errorf("%s ran %d times, want 2", o.Name, o.Runs)
+		}
+	}
+}
+
+func TestRunAllMCAPasses(t *testing.T) {
+	outcomes, err := RunAll(mkMCA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range outcomes {
+		if !o.Passed() {
+			t.Errorf("%s failed on MCA layer (%d/%d): %s (crossOK=%v)", o.Name, o.Failures, o.Runs, o.Detail, o.CrossOK)
+		}
+	}
+}
+
+func TestBrokenMutexRegression(t *testing.T) {
+	// E6: the paper's §6A bug. The injected MRAPI mutex fault must be
+	// caught by the critical check, and the fixed layer must pass.
+	if err := BrokenMutexRegression(platform.T4240RDB()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndividualChecksDetectInjectedFault(t *testing.T) {
+	// The critical check must fail when the layer's mutex is a no-op.
+	l, err := core.NewMCALayer(platform.T4240RDB().NewSystem(), core.WithBrokenMutex())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := core.New(core.WithLayer(l), core.WithNumThreads(teamSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if err := checkCritical(rt); err == nil {
+		t.Error("checkCritical passed with a broken mutex")
+	}
+}
+
+func TestOutcomePassed(t *testing.T) {
+	if (Outcome{Runs: 3, Failures: 0, CrossOK: true}).Passed() != true {
+		t.Error("clean outcome should pass")
+	}
+	if (Outcome{Runs: 3, Failures: 1, CrossOK: true}).Passed() {
+		t.Error("failing outcome should not pass")
+	}
+	if (Outcome{Runs: 3, CrossOK: false}).Passed() {
+		t.Error("broken crosscheck should not pass")
+	}
+}
+
+func TestRunAllDefaultsReps(t *testing.T) {
+	outcomes, err := RunAll(mkNative, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcomes[0].Runs != 3 {
+		t.Errorf("default reps = %d, want 3", outcomes[0].Runs)
+	}
+}
