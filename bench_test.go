@@ -17,6 +17,7 @@ package openmpmca
 // T4240), alongside the usual wall ns/op of regenerating the experiment.
 
 import (
+	"fmt"
 	"testing"
 
 	"openmpmca/internal/board"
@@ -48,13 +49,17 @@ func nativeRuntime(b *testing.B, threads int, opts ...core.Option) *core.Runtime
 	return rt
 }
 
-func mcaRuntime(b *testing.B, threads int) *core.Runtime {
+func mcaRuntime(b *testing.B, threads int, opts ...core.Option) *core.Runtime {
 	b.Helper()
 	l, err := core.NewMCALayer(platform.T4240RDB().NewSystem())
 	if err != nil {
 		b.Fatal(err)
 	}
-	rt, err := core.New(core.WithLayer(l), core.WithNumThreads(threads))
+	all := append([]core.Option{
+		core.WithLayer(l),
+		core.WithNumThreads(threads),
+	}, opts...)
+	rt, err := core.New(all...)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -322,6 +327,54 @@ func BenchmarkAblationSchedule(b *testing.B) {
 		})
 	}
 	_ = sink
+}
+
+// BenchmarkTaskScheduler is the EPCC taskbench pattern (task generation +
+// taskwait from every thread) run against both task schedulers — the
+// per-worker stealing deques and the legacy team-shared queue kept as the
+// ablation baseline — on both layers across team sizes. Each task writes
+// its own slot so the measured cost is scheduling, not cache-line
+// ping-pong on a shared counter.
+func BenchmarkTaskScheduler(b *testing.B) {
+	const tasksPerRegion = 256
+	layers := []struct {
+		name  string
+		newRT func(b *testing.B, threads int, opts ...core.Option) *core.Runtime
+	}{
+		{"native", nativeRuntime},
+		{"mca", mcaRuntime},
+	}
+	for _, kind := range []core.TaskQueue{core.TaskQueueShared, core.TaskQueueSteal} {
+		for _, layer := range layers {
+			for _, threads := range []int{1, 2, 4, 8} {
+				name := fmt.Sprintf("%s/%s/%d", kind, layer.name, threads)
+				b.Run(name, func(b *testing.B) {
+					rt := layer.newRT(b, threads, core.WithTaskQueue(kind))
+					slots := make([]int, threads*tasksPerRegion)
+					per := tasksPerRegion / threads
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := rt.Parallel(func(c *core.Context) {
+							base := c.ThreadNum() * tasksPerRegion
+							for j := 0; j < per; j++ {
+								slot := base + j
+								c.Task(func() { slots[slot]++ })
+							}
+							c.TaskWait()
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					b.StopTimer()
+					s := rt.Stats().Snapshot()
+					if s.Tasks == 0 {
+						b.Fatal("no tasks executed")
+					}
+					b.ReportMetric(float64(s.Steals)/float64(b.N), "steals/op")
+				})
+			}
+		}
+	}
 }
 
 // ----- substrate micro-benchmarks -----

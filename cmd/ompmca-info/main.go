@@ -1,7 +1,8 @@
 // Command ompmca-info renders the platform artifacts of the paper's §4:
 // the T4240RDB block diagram (Figure 1), a hypervisor partitioning demo
-// (Figure 2), the T4240-vs-P4080 comparison (§4C), and the MRAPI metadata
-// resource tree the runtime reads (§5B4).
+// (Figure 2), the T4240-vs-P4080 comparison (§4C), the MRAPI metadata
+// resource tree the runtime reads (§5B4), and the runtime's scheduler
+// counters from a sample tasking workload.
 package main
 
 import (
@@ -9,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"openmpmca/internal/core"
 	"openmpmca/internal/platform"
 )
 
@@ -20,9 +22,11 @@ func main() {
 		hypervisor = flag.Bool("hypervisor", false, "render a hypervisor partition demo (Figure 2)")
 		compare    = flag.Bool("compare", false, "render the T4240 vs P4080 comparison (§4C)")
 		tree       = flag.Bool("tree", false, "render the MRAPI metadata resource tree")
+		stats      = flag.Bool("stats", false, "run a sample tasking workload and print runtime scheduler counters")
+		threads    = flag.Int("threads", 8, "team size for -stats")
 	)
 	flag.Parse()
-	all := !*diagram && !*hypervisor && !*compare && !*tree
+	all := !*diagram && !*hypervisor && !*compare && !*tree && !*stats
 
 	t4 := platform.T4240RDB()
 	if *diagram || all {
@@ -53,6 +57,69 @@ func main() {
 		fmt.Println("=== MRAPI metadata resource tree (mrapi_resources_get) ===")
 		fmt.Println(t4.ResourceTree().Render())
 	}
+	if *stats || all {
+		fmt.Println("=== runtime scheduler counters (task workload) ===")
+		if err := printStats(t4, *threads); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printStats runs the same recursive tasking workload on the native and the
+// MCA-backed runtime and prints each one's counter snapshot, making the
+// work-stealing scheduler's behavior (local pops vs steals vs failed
+// probes) observable from the command line.
+func printStats(board *platform.Board, threads int) error {
+	layers := []struct {
+		name  string
+		layer func() (core.ThreadLayer, error)
+	}{
+		{"native", func() (core.ThreadLayer, error) {
+			return core.NewNativeLayer(board.HWThreads()), nil
+		}},
+		{"mca", func() (core.ThreadLayer, error) {
+			return core.NewMCALayer(board.NewSystem())
+		}},
+	}
+	for _, lc := range layers {
+		l, err := lc.layer()
+		if err != nil {
+			return err
+		}
+		rt, err := core.New(core.WithLayer(l), core.WithNumThreads(threads))
+		if err != nil {
+			return err
+		}
+		err = rt.Parallel(func(c *core.Context) {
+			c.SingleNoWait(func() {
+				var fib func(c *core.Context, n int) int
+				fib = func(c *core.Context, n int) int {
+					if n < 2 {
+						return n
+					}
+					var a, b int
+					c.Taskgroup(func() {
+						c.Task(func() { a = fib(c, n-1) })
+						b = fib(c, n-2)
+					})
+					return a + b
+				}
+				fib(c, 16)
+			})
+		})
+		if err != nil {
+			return err
+		}
+		s := rt.Stats().Snapshot()
+		fmt.Printf("%-6s  queue=%s regions=%d threads=%d barriers=%d tasks=%d\n",
+			lc.name, rt.TaskQueueKind(), s.Regions, s.Threads, s.Barriers, s.Tasks)
+		fmt.Printf("        local-pops=%d steals=%d steal-fails=%d\n",
+			s.LocalPops, s.Steals, s.StealFails)
+		if err := rt.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func mustPartition(hv *platform.Hypervisor, name string, guest platform.GuestOS, cpus []int, memMB int, io ...string) {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"openmpmca/internal/mrapi"
 )
@@ -31,6 +32,14 @@ func WithBrokenMutex() MCAOption {
 	return func(l *MCALayer) { l.brokenMutex = true }
 }
 
+// WithAllocDebug makes Free trap (panic) when handed a sub-slice of a live
+// Alloc result instead of silently leaking the MRAPI segment — the debug
+// mode for hunting gomp_free misuse. Without it such frees are counted in
+// FreeMisses and the segment stays live until Close.
+func WithAllocDebug() MCAOption {
+	return func(l *MCALayer) { l.allocDebug = true }
+}
+
 // MCALayer implements ThreadLayer on top of MRAPI, reproducing the
 // paper's MCA-libGOMP design:
 //
@@ -49,11 +58,23 @@ type MCALayer struct {
 	nodes     map[int]*mrapi.Node // worker id -> node (0 = master)
 	nextShmem mrapi.Key
 	nextMutex mrapi.Key
-	shmems    map[*byte]*mrapi.Shmem // live allocations, keyed by buffer identity
+	shmems    map[*byte]*mcaAlloc // live allocations, keyed by base pointer
 	mutexes   []*mrapi.Mutex
 	closed    bool
 
+	// freeMisses counts Free calls that matched no live allocation —
+	// leaked MRAPI segment keys unless the buffer never came from Alloc.
+	freeMisses int
+
 	brokenMutex bool
+	allocDebug  bool
+}
+
+// mcaAlloc is one live Alloc result: the backing MRAPI segment and the
+// buffer it returned (kept so sub-slice frees can be diagnosed).
+type mcaAlloc struct {
+	seg *mrapi.Shmem
+	buf []byte
 }
 
 // NewMCALayer binds an MCA thread layer to the given MRAPI universe
@@ -73,7 +94,7 @@ func NewMCALayer(sys *mrapi.System, opts ...MCAOption) (*MCALayer, error) {
 		nodes:     map[int]*mrapi.Node{0: master},
 		nextShmem: mcaShmemBase,
 		nextMutex: mcaMutexBase,
-		shmems:    make(map[*byte]*mrapi.Shmem),
+		shmems:    make(map[*byte]*mcaAlloc),
 	}
 	for _, o := range opts {
 		o(l)
@@ -204,6 +225,10 @@ func (l *MCALayer) Alloc(size int) ([]byte, error) {
 		return nil, fmt.Errorf("core: MRAPI allocation of %d bytes", size)
 	}
 	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("core: MRAPI allocation after layer close")
+	}
 	key := l.nextShmem
 	l.nextShmem++
 	l.mu.Unlock()
@@ -212,29 +237,77 @@ func (l *MCALayer) Alloc(size int) ([]byte, error) {
 		return nil, fmt.Errorf("core: MRAPI failed memory allocation: %w", err)
 	}
 	l.mu.Lock()
-	l.shmems[&buf[0]] = seg
+	if l.closed {
+		// Lost the race with Close: release the fresh segment instead of
+		// stranding it past the layer's lifetime.
+		l.mu.Unlock()
+		_ = seg.Detach(l.master)
+		_ = seg.Delete(l.master)
+		return nil, fmt.Errorf("core: MRAPI allocation after layer close")
+	}
+	l.shmems[unsafe.SliceData(buf)] = &mcaAlloc{seg: seg, buf: buf}
 	l.mu.Unlock()
 	return buf, nil
 }
 
 // Free implements ThreadLayer: detach and delete the backing MRAPI
 // segment, releasing its key — the gomp_free counterpart of Listing 3.
-// Unknown buffers (not from Alloc, or already freed) are ignored.
+//
+// Buffers are matched by base pointer (unsafe.SliceData), so any reslice
+// that keeps the base — buf[:0], buf[:n] — frees the segment correctly;
+// the seed's &buf[0] key silently leaked zero-length reslices. A buffer
+// matching no live allocation is counted in FreeMisses; under
+// WithAllocDebug a miss that points *inside* a live allocation (a
+// sub-slice like buf[1:], a guaranteed segment-key leak) panics instead.
 func (l *MCALayer) Free(buf []byte) {
-	if len(buf) == 0 {
+	if cap(buf) == 0 {
 		return
 	}
+	base := unsafe.SliceData(buf[:cap(buf)])
 	l.mu.Lock()
-	seg, ok := l.shmems[&buf[0]]
+	a, ok := l.shmems[base]
 	if ok {
-		delete(l.shmems, &buf[0])
-	}
-	l.mu.Unlock()
-	if !ok {
+		delete(l.shmems, base)
+		l.mu.Unlock()
+		_ = a.seg.Detach(l.master)
+		_ = a.seg.Delete(l.master)
 		return
 	}
-	_ = seg.Detach(l.master)
-	_ = seg.Delete(l.master)
+	l.freeMisses++
+	trap := l.allocDebug && l.insideLiveAllocLocked(base)
+	l.mu.Unlock()
+	if trap {
+		panic("core: MCALayer.Free of a sub-slice of a live MRAPI allocation (segment key would leak)")
+	}
+}
+
+// insideLiveAllocLocked reports whether p points strictly inside one of
+// the live allocations' buffers. Callers hold l.mu.
+func (l *MCALayer) insideLiveAllocLocked(p *byte) bool {
+	addr := uintptr(unsafe.Pointer(p))
+	for base, a := range l.shmems {
+		lo := uintptr(unsafe.Pointer(base))
+		if addr > lo && addr < lo+uintptr(len(a.buf)) {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveAllocs reports the number of Alloc segments not yet freed — the
+// layer's leak count if the runtime is done with all of them.
+func (l *MCALayer) LiveAllocs() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.shmems)
+}
+
+// FreeMisses reports how many Free calls matched no live allocation
+// (sub-slices, double frees, foreign buffers).
+func (l *MCALayer) FreeMisses() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.freeMisses
 }
 
 // Close finalizes the master node and releases every MRAPI object the
@@ -251,9 +324,9 @@ func (l *MCALayer) Close() error {
 	l.shmems, l.mutexes = nil, nil
 	l.mu.Unlock()
 
-	for _, s := range shmems {
-		_ = s.Detach(l.master)
-		_ = s.Delete(l.master)
+	for _, a := range shmems {
+		_ = a.seg.Detach(l.master)
+		_ = a.seg.Delete(l.master)
 	}
 	for _, m := range mutexes {
 		_ = m.Delete(l.master)

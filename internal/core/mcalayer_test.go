@@ -239,3 +239,76 @@ func TestMCALayerFreeUnknownBufferIgnored(t *testing.T) {
 	l.Free(buf)
 	l.Free(buf) // double free: no-op
 }
+
+func TestMCALayerFreeByBasePointerHandlesReslices(t *testing.T) {
+	l := newMCA(t)
+	defer l.Close()
+	buf, err := l.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.LiveAllocs(); got != 1 {
+		t.Fatalf("LiveAllocs = %d, want 1", got)
+	}
+	// A reslice that keeps the base pointer — even zero-length — must
+	// release the segment; the seed's &buf[0] key leaked buf[:0].
+	l.Free(buf[:0])
+	if got := l.LiveAllocs(); got != 0 {
+		t.Errorf("LiveAllocs after Free(buf[:0]) = %d, want 0 (segment leaked)", got)
+	}
+	if got := l.FreeMisses(); got != 0 {
+		t.Errorf("FreeMisses = %d, want 0", got)
+	}
+}
+
+func TestMCALayerFreeSubSliceCountsAsLeak(t *testing.T) {
+	l := newMCA(t)
+	defer l.Close()
+	buf, err := l.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// buf[1:] has a different base: the segment must stay live and the
+	// miss must be visible through the leak accessors.
+	l.Free(buf[1:])
+	if got := l.LiveAllocs(); got != 1 {
+		t.Errorf("LiveAllocs after sub-slice Free = %d, want 1", got)
+	}
+	if got := l.FreeMisses(); got != 1 {
+		t.Errorf("FreeMisses = %d, want 1", got)
+	}
+	// The real buffer still frees normally afterwards.
+	l.Free(buf)
+	if got := l.LiveAllocs(); got != 0 {
+		t.Errorf("LiveAllocs after real Free = %d, want 0", got)
+	}
+}
+
+func TestMCALayerAllocDebugTrapsSubSliceFree(t *testing.T) {
+	l := newMCA(t, WithAllocDebug())
+	defer l.Close()
+	buf, err := l.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Free of a live allocation's sub-slice did not panic in debug mode")
+		}
+	}()
+	l.Free(buf[8:])
+}
+
+func TestMCALayerAllocDebugIgnoresForeignBuffer(t *testing.T) {
+	// A buffer that never came from Alloc is a miss, not a trap, even in
+	// debug mode.
+	l := newMCA(t, WithAllocDebug())
+	defer l.Close()
+	if _, err := l.Alloc(64); err != nil {
+		t.Fatal(err)
+	}
+	l.Free(make([]byte, 16))
+	if got := l.FreeMisses(); got != 1 {
+		t.Errorf("FreeMisses = %d, want 1", got)
+	}
+}

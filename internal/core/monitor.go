@@ -24,6 +24,18 @@ type Monitor interface {
 	Single(tid int)
 	// Reduction fires when the team combines partial results.
 	Reduction(n int)
+	// Task fires when tid finishes executing an explicit task.
+	Task(tid int)
+	// Steal fires when thief claims a task from victim's deque — the
+	// scheduler-structure visibility a work-stealing runtime owes its
+	// observability layer.
+	Steal(thief, victim int)
+	// NestedFork/NestedJoin bracket a serialized nested parallel region
+	// (team of one) on tid. They are distinct from Fork/Join so a
+	// virtual-time monitor can keep attributing nested work to the outer
+	// thread while tracing monitors still see the nested structure.
+	NestedFork(tid, n int)
+	NestedJoin(tid int)
 }
 
 // monitorOrNil normalizes a possibly nil monitor so call sites stay
@@ -46,3 +58,7 @@ func (nopMonitor) CriticalEnter(int)   {}
 func (nopMonitor) CriticalExit(int)    {}
 func (nopMonitor) Single(int)          {}
 func (nopMonitor) Reduction(int)       {}
+func (nopMonitor) Task(int)            {}
+func (nopMonitor) Steal(int, int)      {}
+func (nopMonitor) NestedFork(int, int) {}
+func (nopMonitor) NestedJoin(int)      {}

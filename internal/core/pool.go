@@ -32,7 +32,7 @@ func (p *pool) ensure(n int) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return errClosed
+		return ErrClosed
 	}
 	for len(p.workers) < n-1 {
 		wid := len(p.workers) + 1
@@ -58,16 +58,30 @@ func (p *pool) size() int {
 	return len(p.workers)
 }
 
-// dispatch hands job to worker wid (1-based). The caller must have called
-// ensure for at least wid+1 first.
-func (p *pool) dispatch(wid int, job func()) {
+// dispatchAll hands jobs[i] to worker i+1, all under one critical section.
+// The batch is all-or-nothing: a concurrent close either wins the lock
+// first — every send is refused with ErrClosed, no worker starts — or
+// waits until every job is handed over. This closes the seed's race where
+// close(w.jobs) then a late dispatch sent on a closed channel (panic) and
+// p.workers = nil made the index panic; it also prevents a partial team,
+// which would hang forever on the region-end barrier. Holding the lock
+// across the sends is safe: workers never touch p.mu, and by the fork
+// protocol every targeted worker is parked in its receive loop.
+func (p *pool) dispatchAll(jobs []func()) error {
 	p.mu.Lock()
-	w := p.workers[wid-1]
-	p.mu.Unlock()
-	w.jobs <- job
+	defer p.mu.Unlock()
+	if p.closed || len(jobs) > len(p.workers) {
+		return ErrClosed
+	}
+	for i, job := range jobs {
+		p.workers[i].jobs <- job
+	}
+	return nil
 }
 
-// close shuts down every worker and joins them.
+// close shuts down every worker and joins them. The jobs channels are
+// closed under the lock so a concurrent dispatchAll can never send on a
+// closed channel.
 func (p *pool) close() {
 	p.mu.Lock()
 	if p.closed {
@@ -77,11 +91,11 @@ func (p *pool) close() {
 	p.closed = true
 	workers := p.workers
 	p.workers = nil
-	p.mu.Unlock()
-
 	for _, w := range workers {
 		close(w.jobs)
 	}
+	p.mu.Unlock()
+
 	for _, w := range workers {
 		w.handle.Join()
 	}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestParallelRacingCloseNeverPanics(t *testing.T) {
+	// Seed regression: Close between ensure and dispatch either made
+	// dispatch index a nil p.workers (panic) or send on a closed jobs
+	// channel (panic). Now the fork must either run fully or fail with
+	// ErrClosed — never panic, never hang a partial team on its barrier.
+	for round := 0; round < 30; round++ {
+		rt, err := New(WithLayer(NewNativeLayer(8)), WithNumThreads(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				if err := rt.Parallel(func(c *Context) {}); err != nil {
+					if !errors.Is(err, ErrClosed) {
+						t.Errorf("Parallel during close: %v, want ErrClosed", err)
+					}
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			_ = rt.Close()
+		}()
+		close(start)
+		wg.Wait()
+	}
+}
+
+func TestDispatchAllAfterCloseReturnsErrClosed(t *testing.T) {
+	p := newPool(NewNativeLayer(4))
+	if err := p.ensure(3); err != nil {
+		t.Fatal(err)
+	}
+	p.close()
+	if err := p.dispatchAll([]func(){func() {}}); !errors.Is(err, ErrClosed) {
+		t.Errorf("dispatchAll after close = %v, want ErrClosed", err)
+	}
+	// Idempotent close stays safe.
+	p.close()
+}
+
+func TestDispatchAllRefusesOversizedBatch(t *testing.T) {
+	p := newPool(NewNativeLayer(4))
+	if err := p.ensure(2); err != nil { // one worker
+		t.Fatal(err)
+	}
+	defer p.close()
+	if err := p.dispatchAll(make([]func(), 5)); !errors.Is(err, ErrClosed) {
+		t.Errorf("oversized dispatchAll = %v, want ErrClosed", err)
+	}
+}

@@ -8,34 +8,48 @@ import (
 	"time"
 )
 
-var errClosed = errors.New("core: runtime is closed")
+// ErrClosed is returned by Parallel (and the worker pool underneath) when
+// the runtime has been Closed; a fork racing Close is refused whole with
+// this error instead of panicking or hanging a partial team.
+var ErrClosed = errors.New("core: runtime is closed")
 
 // Stats aggregates runtime event counters; read them with Snapshot.
 type Stats struct {
-	Regions  atomic.Uint64 // parallel regions forked
+	Regions  atomic.Uint64 // parallel regions forked (incl. serialized nested ones)
 	Threads  atomic.Uint64 // thread-region activations (sum of team sizes)
 	Barriers atomic.Uint64 // completed barrier episodes
 	Chunks   atomic.Uint64 // loop chunks issued by dynamic/guided schedules
 	Tasks    atomic.Uint64 // explicit tasks executed
 	Crits    atomic.Uint64 // critical sections entered
 	Singles  atomic.Uint64 // single constructs won
+
+	// Task-scheduler structure (see task.go): how executed tasks were
+	// claimed. LocalPops + Steals can trail Tasks when a full deque
+	// forces undeferred execution.
+	LocalPops  atomic.Uint64 // tasks popped from the claiming thread's own deque
+	Steals     atomic.Uint64 // tasks stolen from a victim's deque head
+	StealFails atomic.Uint64 // victim probes that found an empty deque
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
 	Regions, Threads, Barriers, Chunks, Tasks, Crits, Singles uint64
+	LocalPops, Steals, StealFails                             uint64
 }
 
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Regions:  s.Regions.Load(),
-		Threads:  s.Threads.Load(),
-		Barriers: s.Barriers.Load(),
-		Chunks:   s.Chunks.Load(),
-		Tasks:    s.Tasks.Load(),
-		Crits:    s.Crits.Load(),
-		Singles:  s.Singles.Load(),
+		Regions:    s.Regions.Load(),
+		Threads:    s.Threads.Load(),
+		Barriers:   s.Barriers.Load(),
+		Chunks:     s.Chunks.Load(),
+		Tasks:      s.Tasks.Load(),
+		Crits:      s.Crits.Load(),
+		Singles:    s.Singles.Load(),
+		LocalPops:  s.LocalPops.Load(),
+		Steals:     s.Steals.Load(),
+		StealFails: s.StealFails.Load(),
 	}
 }
 
@@ -48,6 +62,7 @@ type Runtime struct {
 	layer       ThreadLayer
 	monitor     Monitor
 	barrierKind BarrierKind
+	taskQueue   TaskQueue
 	pool        *pool
 
 	icvMu sync.Mutex
@@ -113,6 +128,21 @@ func WithBarrierKind(k BarrierKind) Option {
 		return nil
 	}
 }
+
+// WithTaskQueue selects the task-scheduler structure (ablation knob):
+// per-worker stealing deques (default) or the legacy single shared queue.
+func WithTaskQueue(k TaskQueue) Option {
+	return func(r *Runtime) error {
+		if k != TaskQueueSteal && k != TaskQueueShared {
+			return fmt.Errorf("core: unknown task queue kind %d", int(k))
+		}
+		r.taskQueue = k
+		return nil
+	}
+}
+
+// TaskQueueKind reports the runtime's task-scheduler structure.
+func (r *Runtime) TaskQueueKind() TaskQueue { return r.taskQueue }
 
 // WithEnv loads ICVs from OpenMP environment variables through getenv
 // before other options apply their overrides.
@@ -227,7 +257,7 @@ func (r *Runtime) Parallel(body func(c *Context)) error {
 // n <= 0 means "use the ICV".
 func (r *Runtime) ParallelN(n int, body func(c *Context)) error {
 	if r.closed.Load() {
-		return errClosed
+		return ErrClosed
 	}
 	icv := r.snapshotICV()
 	if n <= 0 {
@@ -250,26 +280,35 @@ func (r *Runtime) ParallelN(n int, body func(c *Context)) error {
 		return err
 	}
 
-	r.monitor.Fork(n)
-	r.stats.Regions.Add(1)
-	r.stats.Threads.Add(uint64(n))
-
 	run := func(tid int) {
 		c := &Context{team: team, tid: tid, groups: []*taskGroup{{}}}
 		body(c)
-		// Implicit region-end barrier: drain the task queue, then sync.
+		// Implicit region-end barrier: drain the task queues, then sync.
 		team.quiesce(c)
 	}
 
+	// Jobs for workers 1..n-1 are handed over in one all-or-nothing batch:
+	// a Close racing this fork either refuses the whole batch (ErrClosed,
+	// no worker started, nothing waits on the team barrier) or happens
+	// after every send. Partial teams — which would hang the region-end
+	// barrier — cannot form.
 	var wg sync.WaitGroup
+	wg.Add(n - 1)
+	jobs := make([]func(), n-1)
 	for t := 1; t < n; t++ {
-		wg.Add(1)
 		tid := t
-		r.pool.dispatch(tid, func() {
+		jobs[t-1] = func() {
 			defer wg.Done()
 			run(tid)
-		})
+		}
 	}
+	r.monitor.Fork(n)
+	if err := r.pool.dispatchAll(jobs); err != nil {
+		r.monitor.Join()
+		return err
+	}
+	r.stats.Regions.Add(1)
+	r.stats.Threads.Add(uint64(n))
 	run(0)
 	wg.Wait()
 	r.monitor.Join()

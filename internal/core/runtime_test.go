@@ -165,8 +165,8 @@ func TestCloseRejectsFurtherUse(t *testing.T) {
 		if err := rt.Close(); err != nil {
 			t.Fatal(err)
 		}
-		if err := rt.Parallel(func(c *Context) {}); !errors.Is(err, errClosed) {
-			t.Errorf("Parallel after Close = %v, want errClosed", err)
+		if err := rt.Parallel(func(c *Context) {}); !errors.Is(err, ErrClosed) {
+			t.Errorf("Parallel after Close = %v, want ErrClosed", err)
 		}
 		if err := rt.Close(); err != nil {
 			t.Errorf("double Close = %v, want nil", err)

@@ -64,3 +64,93 @@ func TestStressMixedConstructs(t *testing.T) {
 		}
 	})
 }
+
+// TestStressTaskStealingAcrossTaskgroups hammers the per-worker deques
+// from every thread at once: concurrent pushes, local pops, steals and
+// group drains, with nested taskgroups spawning second-generation tasks.
+// The -race CI target runs this; it is the memory-model audit of the
+// stealing scheduler's push/steal/wake protocol.
+func TestStressTaskStealingAcrossTaskgroups(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(8))
+		const rounds = 6
+		for round := 0; round < rounds; round++ {
+			var ran atomic.Int64
+			err := rt.Parallel(func(c *Context) {
+				// Every thread is a producer: its own taskgroup of tasks
+				// that each spawn a child into the same group.
+				for rep := 0; rep < 3; rep++ {
+					c.Taskgroup(func() {
+						for i := 0; i < 40; i++ {
+							c.Task(func() {
+								ran.Add(1)
+								c.Task(func() { ran.Add(1) })
+							})
+						}
+					})
+					c.TaskWait() // stray-child guard: group must be empty
+				}
+			})
+			if err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+			if got := ran.Load(); got != 8*3*40*2 {
+				t.Fatalf("round %d: tasks ran = %d, want %d", round, got, 8*3*40*2)
+			}
+		}
+		s := rt.Stats().Snapshot()
+		if s.LocalPops+s.Steals > s.Tasks {
+			t.Errorf("claim counters exceed executions: pops %d + steals %d > tasks %d",
+				s.LocalPops, s.Steals, s.Tasks)
+		}
+	})
+}
+
+// TestStressOrderedDynamicNoWait drives Ordered sections inside a
+// dynamic-schedule loop that skips its end-of-loop barrier: fast threads
+// run ahead into later loop instances while stragglers still sequence the
+// previous one, so instance matching, ordered sequencing and workshare
+// cleanup are all exercised against each other.
+func TestStressOrderedDynamicNoWait(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(6))
+		const rounds, n = 8, 60
+		orders := make([][]int, rounds)
+		for r := range orders {
+			orders[r] = make([]int, 0, n)
+		}
+		var total atomic.Int64
+		err := rt.Parallel(func(c *Context) {
+			for r := 0; r < rounds; r++ {
+				round := r
+				c.ForOpts(n, LoopOpts{Schedule: ScheduleDynamic, Chunk: 3, Ordered: true, NoWait: true},
+					func(lo, hi int) {
+						for i := lo; i < hi; i++ {
+							c.Ordered(i, func() {
+								// Ordered serializes within the instance; each
+								// round has its own slice, so no extra sync.
+								orders[round] = append(orders[round], i)
+								total.Add(1)
+							})
+						}
+					})
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total.Load() != rounds*n {
+			t.Fatalf("ordered sections = %d, want %d", total.Load(), rounds*n)
+		}
+		for r, order := range orders {
+			if len(order) != n {
+				t.Fatalf("round %d: %d sections, want %d", r, len(order), n)
+			}
+			for i, v := range order {
+				if v != i {
+					t.Fatalf("round %d: order[%d] = %d — not ascending", r, i, v)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"sync/atomic"
 	"testing"
 )
@@ -145,5 +146,115 @@ func TestEmptyTaskWaitReturns(t *testing.T) {
 		c.Taskgroup(func() {})
 	}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestTaskSchedulerCountersAccountEveryTask(t *testing.T) {
+	eachLayer(t, func(t *testing.T, newRT func(...Option) *Runtime) {
+		rt := newRT(WithNumThreads(4))
+		var ran atomic.Int32
+		_ = rt.Parallel(func(c *Context) {
+			c.SingleNoWait(func() {
+				for i := 0; i < 100; i++ {
+					c.Task(func() { ran.Add(1) })
+				}
+			})
+		})
+		if ran.Load() != 100 {
+			t.Fatalf("tasks ran = %d", ran.Load())
+		}
+		s := rt.Stats().Snapshot()
+		// 100 tasks fit one deque (capacity 256): every execution was a
+		// local pop or a steal, never an undeferred overflow.
+		if s.LocalPops+s.Steals != s.Tasks || s.Tasks != 100 {
+			t.Errorf("LocalPops %d + Steals %d != Tasks %d", s.LocalPops, s.Steals, s.Tasks)
+		}
+	})
+}
+
+func TestTaskDequeOverflowRunsUndeferred(t *testing.T) {
+	// A single-thread team spawning far beyond dequeCapacity: the bounded
+	// deque must shed the excess by running tasks undeferred, not grow or
+	// deadlock.
+	rt, _ := New(WithLayer(NewNativeLayer(4)), WithNumThreads(1))
+	defer rt.Close()
+	const n = dequeCapacity * 4
+	var ran atomic.Int32
+	_ = rt.Parallel(func(c *Context) {
+		for i := 0; i < n; i++ {
+			c.Task(func() { ran.Add(1) })
+		}
+		c.TaskWait()
+	})
+	if ran.Load() != n {
+		t.Fatalf("tasks ran = %d, want %d", ran.Load(), n)
+	}
+	s := rt.Stats().Snapshot()
+	if s.Tasks != n {
+		t.Errorf("Tasks = %d, want %d", s.Tasks, n)
+	}
+	if s.LocalPops >= n {
+		t.Errorf("LocalPops = %d: overflow never ran undeferred", s.LocalPops)
+	}
+}
+
+func TestSharedTaskQueueAblationKeepsSemantics(t *testing.T) {
+	// The legacy single-queue scheduler stays available as an ablation
+	// baseline; the tasking semantics must be identical.
+	rt, _ := New(WithLayer(NewNativeLayer(8)), WithNumThreads(4), WithTaskQueue(TaskQueueShared))
+	defer rt.Close()
+	if rt.TaskQueueKind() != TaskQueueShared {
+		t.Fatalf("TaskQueueKind = %v", rt.TaskQueueKind())
+	}
+	var fib func(c *Context, n int) int
+	fib = func(c *Context, n int) int {
+		if n < 2 {
+			return n
+		}
+		var a, b int
+		c.Taskgroup(func() {
+			c.Task(func() { a = fib(c, n-1) })
+			b = fib(c, n-2)
+		})
+		return a + b
+	}
+	var got int
+	_ = rt.Parallel(func(c *Context) {
+		c.SingleNoWait(func() { got = fib(c, 10) })
+	})
+	if got != 55 {
+		t.Errorf("fib(10) = %d, want 55", got)
+	}
+	s := rt.Stats().Snapshot()
+	if s.Steals != 0 {
+		t.Errorf("shared queue recorded %d steals", s.Steals)
+	}
+}
+
+func TestStealsHappenWhenOneThreadProduces(t *testing.T) {
+	// One producer spawns three tasks that can only complete together:
+	// each spins until all three have been claimed, so three DISTINCT
+	// threads must claim them — at least two by stealing from the
+	// producer's deque. The counter must move.
+	rt, _ := New(WithLayer(NewNativeLayer(8)), WithNumThreads(4))
+	defer rt.Close()
+	var arrived atomic.Int32
+	_ = rt.Parallel(func(c *Context) {
+		c.SingleNoWait(func() {
+			for i := 0; i < 3; i++ {
+				c.Task(func() {
+					arrived.Add(1)
+					for arrived.Load() < 3 {
+						runtime.Gosched()
+					}
+				})
+			}
+		})
+	})
+	if arrived.Load() != 3 {
+		t.Fatalf("tasks ran = %d", arrived.Load())
+	}
+	if got := rt.Stats().Snapshot().Steals; got < 2 {
+		t.Errorf("Steals = %d, want >= 2 (three co-blocking tasks, one producer)", got)
 	}
 }

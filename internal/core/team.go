@@ -1,6 +1,9 @@
 package core
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // teamShmemSize is the size of the MRAPI-allocated bookkeeping block each
 // team obtains at fork (the paper's "block of work share" per team, §5B2).
@@ -9,8 +12,8 @@ import "sync"
 const teamShmemSize = 64
 
 // Team is one parallel region's thread team: the barrier, the worksharing
-// database, the reduction slots and the task queue its threads coordinate
-// through.
+// database, the reduction slots and the task scheduler its threads
+// coordinate through.
 type Team struct {
 	rt   *Runtime
 	size int
@@ -24,11 +27,15 @@ type Team struct {
 	wsMu sync.Mutex
 	ws   map[int]*workshare
 
-	// Task queue shared by the team.
-	taskMu      sync.Mutex
-	taskCond    *sync.Cond
-	tasks       []*task
-	outstanding int
+	// Task scheduler state. deques holds one bounded deque per thread
+	// (TaskQueueSteal) or a single team-shared one (TaskQueueShared);
+	// see task.go for the push/pop/steal protocol.
+	deques      []*taskDeque
+	queued      atomic.Int64 // tasks sitting in deques, not yet claimed
+	outstanding atomic.Int64 // tasks created but not yet retired
+	idlers      atomic.Int32 // drainers parked in idleWait
+	idleMu      sync.Mutex
+	idleCond    *sync.Cond
 }
 
 func newTeam(rt *Runtime, size int) (*Team, error) {
@@ -43,7 +50,12 @@ func newTeam(rt *Runtime, size int) (*Team, error) {
 		shmem:   shmem,
 		ws:      make(map[int]*workshare),
 	}
-	t.taskCond = sync.NewCond(&t.taskMu)
+	ndeques := size
+	if rt.taskQueue == TaskQueueShared {
+		ndeques = 1
+	}
+	t.deques = newTaskDequeSlab(ndeques, dequeCapacity)
+	t.idleCond = sync.NewCond(&t.idleMu)
 	return t, nil
 }
 
@@ -88,8 +100,13 @@ type Context struct {
 	wsGen int
 
 	// groups is the task-group stack; index 0 is the implicit group of
-	// this thread's region task.
-	groups []*taskGroup
+	// this thread's region task. groupMu guards it because task bodies
+	// may call their creating thread's Context from whichever thread
+	// claimed them (the recursive-decomposition idiom in task_test.go),
+	// racing the owner's Taskgroup push/pop; the lock is per-Context and
+	// all but uncontended.
+	groupMu sync.Mutex
+	groups  []*taskGroup
 
 	// loopWS points at the enclosing Ordered loop's workshare while one
 	// is active, so Context.Ordered can find its sequencing state.
@@ -140,8 +157,10 @@ func (c *Context) Master(fn func()) {
 // in this runtime (OMP_NESTED=false semantics, the usual configuration on
 // the paper's embedded targets), so the inner region executes serialized:
 // a team of one on the calling thread. Inner explicit tasks are drained
-// before it returns. The monitor sees no nested fork — the virtual clock
-// keeps attributing work to the outer thread.
+// before it returns. The serialized region still counts: Stats sees one
+// region of one thread, and the monitor gets NestedFork/NestedJoin — the
+// dedicated events that let traces show nested structure without
+// disturbing the outer region's virtual clocks.
 func (c *Context) Parallel(body func(*Context)) error {
 	rt := c.team.rt
 	team, err := newTeam(rt, 1)
@@ -149,8 +168,12 @@ func (c *Context) Parallel(body func(*Context)) error {
 		return err
 	}
 	defer rt.layer.Free(team.shmem)
+	rt.monitor.NestedFork(c.tid, 1)
+	rt.stats.Regions.Add(1)
+	rt.stats.Threads.Add(1)
 	inner := &Context{team: team, tid: 0, groups: []*taskGroup{{}}}
 	body(inner)
-	team.drain(nil)
+	team.drain(0, nil)
+	rt.monitor.NestedJoin(c.tid)
 	return nil
 }

@@ -323,6 +323,22 @@ func (m *Model) Reduction(n int) {
 	m.alignLocked(m.syncCost() + float64(n)*20*m.scale.Reduction)
 }
 
+// Task is a no-op for the model: a task body's work reaches the clocks
+// through the Charge calls it issues on the executing thread, so charging
+// dispatch again here would double-count.
+func (m *Model) Task(int) {}
+
+// Steal is a no-op for the model: steal cost on the modeled board is a
+// per-worker lock handoff, far below the model's resolution.
+func (m *Model) Steal(int, int) {}
+
+// NestedFork keeps attributing a serialized nested region's work to the
+// outer thread; unlike Fork it must not reset the region clocks.
+func (m *Model) NestedFork(int, int) {}
+
+// NestedJoin mirrors NestedFork.
+func (m *Model) NestedJoin(int) {}
+
 // Utilization reports, for the current (unfinished) region, each
 // thread's busy fraction relative to the busiest thread — the imbalance
 // view a profiler would show. Empty outside a region.

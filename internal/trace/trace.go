@@ -26,6 +26,10 @@ const (
 	EvCriticalExit
 	EvSingle
 	EvReduction
+	EvTask
+	EvSteal
+	EvNestedFork
+	EvNestedJoin
 )
 
 var kindNames = [...]string{
@@ -37,6 +41,10 @@ var kindNames = [...]string{
 	EvCriticalExit:  "critical-",
 	EvSingle:        "single",
 	EvReduction:     "reduction",
+	EvTask:          "task",
+	EvSteal:         "steal",
+	EvNestedFork:    "nested-fork",
+	EvNestedJoin:    "nested-join",
 }
 
 func (k EventKind) String() string {
@@ -49,9 +57,11 @@ func (k EventKind) String() string {
 // Event is one recorded runtime event.
 type Event struct {
 	Kind EventKind
-	// Tid is the thread the event belongs to (-1 for team-wide events).
+	// Tid is the thread the event belongs to (-1 for team-wide events;
+	// the thief for EvSteal, the outer thread for EvNestedFork/Join).
 	Tid int
-	// Units carries the charge amount or the team size, by kind.
+	// Units carries the charge amount or the team size, by kind; for
+	// EvSteal it is the victim's thread id.
 	Units float64
 	// Seq is the global sequence number.
 	Seq uint64
@@ -68,6 +78,8 @@ func (e Event) String() string {
 type Summary struct {
 	Forks, Joins, Barriers, Singles, Reductions uint64
 	Criticals                                   uint64
+	Tasks, Steals                               uint64
+	NestedForks, NestedJoins                    uint64
 	ChargeEvents                                uint64
 	UnitsCharged                                float64
 	UnitsByThread                               map[int]float64
@@ -128,6 +140,14 @@ func (r *Recorder) record(kind EventKind, tid int, units float64) {
 		r.sum.Reductions++
 	case EvCriticalEnter:
 		r.sum.Criticals++
+	case EvTask:
+		r.sum.Tasks++
+	case EvSteal:
+		r.sum.Steals++
+	case EvNestedFork:
+		r.sum.NestedForks++
+	case EvNestedJoin:
+		r.sum.NestedJoins++
 	case EvCharge:
 		r.sum.ChargeEvents++
 		r.sum.UnitsCharged += units
@@ -158,6 +178,19 @@ func (r *Recorder) Single(tid int) { r.record(EvSingle, tid, 0) }
 
 // Reduction implements core.Monitor.
 func (r *Recorder) Reduction(n int) { r.record(EvReduction, -1, float64(n)) }
+
+// Task implements core.Monitor.
+func (r *Recorder) Task(tid int) { r.record(EvTask, tid, 0) }
+
+// Steal implements core.Monitor; the thief is the event's thread, the
+// victim travels in Units.
+func (r *Recorder) Steal(thief, victim int) { r.record(EvSteal, thief, float64(victim)) }
+
+// NestedFork implements core.Monitor.
+func (r *Recorder) NestedFork(tid, n int) { r.record(EvNestedFork, tid, float64(n)) }
+
+// NestedJoin implements core.Monitor.
+func (r *Recorder) NestedJoin(tid int) { r.record(EvNestedJoin, tid, 0) }
 
 var _ core.Monitor = (*Recorder)(nil)
 
@@ -277,6 +310,34 @@ func (t Tee) Single(tid int) {
 func (t Tee) Reduction(n int) {
 	for _, m := range t {
 		m.Reduction(n)
+	}
+}
+
+// Task implements core.Monitor.
+func (t Tee) Task(tid int) {
+	for _, m := range t {
+		m.Task(tid)
+	}
+}
+
+// Steal implements core.Monitor.
+func (t Tee) Steal(thief, victim int) {
+	for _, m := range t {
+		m.Steal(thief, victim)
+	}
+}
+
+// NestedFork implements core.Monitor.
+func (t Tee) NestedFork(tid, n int) {
+	for _, m := range t {
+		m.NestedFork(tid, n)
+	}
+}
+
+// NestedJoin implements core.Monitor.
+func (t Tee) NestedJoin(tid int) {
+	for _, m := range t {
+		m.NestedJoin(tid)
 	}
 }
 

@@ -130,6 +130,10 @@ func TestTeeFansOut(t *testing.T) {
 	tee.CriticalExit(1)
 	tee.Single(0)
 	tee.Reduction(2)
+	tee.Task(1)
+	tee.Steal(1, 0)
+	tee.NestedFork(0, 1)
+	tee.NestedJoin(0)
 	tee.Barrier()
 	tee.Join()
 	for i, rec := range []*Recorder{recA, recB} {
@@ -137,6 +141,99 @@ func TestTeeFansOut(t *testing.T) {
 		if s.Forks != 1 || s.UnitsCharged != 3 || s.Criticals != 1 || s.Singles != 1 || s.Reductions != 1 || s.Barriers != 1 || s.Joins != 1 {
 			t.Errorf("monitor %d missed events: %+v", i, s)
 		}
+		if s.Tasks != 1 || s.Steals != 1 || s.NestedForks != 1 || s.NestedJoins != 1 {
+			t.Errorf("monitor %d missed task-scheduler events: %+v", i, s)
+		}
+	}
+}
+
+func TestRecorderCapturesTaskAndStealEvents(t *testing.T) {
+	rec := NewRecorder(0)
+	rt, err := core.New(
+		core.WithLayer(core.NewNativeLayer(8)),
+		core.WithNumThreads(4),
+		core.WithMonitor(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	_ = rt.Parallel(func(c *core.Context) {
+		c.SingleNoWait(func() {
+			for i := 0; i < 20; i++ {
+				c.Task(func() {})
+			}
+			c.TaskWait()
+		})
+	})
+	s := rec.Summary()
+	if s.Tasks != 20 {
+		t.Errorf("task events = %d, want 20", s.Tasks)
+	}
+	// Steals are interleaving-dependent; the event count must agree with
+	// the runtime's own counter either way.
+	if got := rt.Stats().Snapshot().Steals; s.Steals != got {
+		t.Errorf("steal events = %d, stats counter = %d", s.Steals, got)
+	}
+}
+
+func TestStealEventRecordsThiefAndVictim(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Steal(2, 5)
+	events := rec.Events()
+	if len(events) != 1 || events[0].Kind != EvSteal {
+		t.Fatalf("events = %v, want one steal", events)
+	}
+	if events[0].Tid != 2 || events[0].Units != 5 {
+		t.Errorf("steal tid=%d units=%v, want thief 2 / victim 5", events[0].Tid, events[0].Units)
+	}
+	if out := rec.Render(); !strings.Contains(out, "steal tid=2") {
+		t.Errorf("render missing steal event:\n%s", out)
+	}
+}
+
+func TestNestedParallelTracedAndCounted(t *testing.T) {
+	// A nested Parallel serializes to a team of one, but it must still be
+	// visible: nested fork/join events in the trace, and a region + thread
+	// in the runtime stats.
+	rec := NewRecorder(0)
+	rt, err := core.New(
+		core.WithLayer(core.NewNativeLayer(8)),
+		core.WithNumThreads(2),
+		core.WithMonitor(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	var innerThreads int
+	_ = rt.Parallel(func(c *core.Context) {
+		c.Single(func() {
+			if err := c.Parallel(func(inner *core.Context) {
+				innerThreads = inner.NumThreads()
+				inner.Task(func() {})
+				inner.TaskWait()
+			}); err != nil {
+				t.Error(err)
+			}
+		})
+	})
+	if innerThreads != 1 {
+		t.Errorf("nested team size = %d, want 1 (serialized)", innerThreads)
+	}
+	s := rec.Summary()
+	if s.Forks != 1 || s.Joins != 1 {
+		t.Errorf("outer forks/joins = %d/%d, want 1/1 (nested must not masquerade as outer)", s.Forks, s.Joins)
+	}
+	if s.NestedForks != 1 || s.NestedJoins != 1 {
+		t.Errorf("nested forks/joins = %d/%d, want 1/1", s.NestedForks, s.NestedJoins)
+	}
+	if s.Tasks != 1 {
+		t.Errorf("task events = %d, want 1 (the nested region's task)", s.Tasks)
+	}
+	st := rt.Stats().Snapshot()
+	if st.Regions != 2 || st.Threads != 3 {
+		t.Errorf("stats regions=%d threads=%d, want 2 regions / 3 activations", st.Regions, st.Threads)
 	}
 }
 
