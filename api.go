@@ -1,0 +1,157 @@
+package openmpmca
+
+import (
+	"openmpmca/internal/core"
+)
+
+// The root package fronts the runtime implementation in internal/core with
+// a stable, importable surface: aliases for the core types (so values flow
+// freely between the facade and in-module code that still imports
+// internal/core) plus thin wrappers for the constructors. Programs should
+// import "openmpmca" and never reach into internal/.
+
+// Runtime is an OpenMP-style runtime instance; see New.
+//
+// A Runtime is safe for concurrent use by multiple goroutines: overlapping
+// parallel regions lease warm teams and disjoint pool workers, panics in
+// region bodies are contained into RegionPanicError results, and
+// WithMaxConcurrentRegions bounds how many regions may be in flight.
+type Runtime = core.Runtime
+
+// Context is the per-thread handle a parallel region's body receives: it
+// carries the thread number and the worksharing, tasking and
+// synchronization constructs (For, Sections, Single, Critical, Barrier,
+// Task, ...).
+type Context = core.Context
+
+// Option configures a Runtime at construction; see New.
+type Option = core.Option
+
+// Stats is the runtime's live counter set; StatsSnapshot a point-in-time
+// copy of it.
+type (
+	Stats         = core.Stats
+	StatsSnapshot = core.StatsSnapshot
+)
+
+// ThreadLayer is the substrate a Runtime forks threads and allocates
+// runtime memory through — the native Go layer or the MCA (MRAPI) layer.
+type ThreadLayer = core.ThreadLayer
+
+// Monitor observes runtime events (forks, barriers, criticals, cancels);
+// see WithMonitor.
+type Monitor = core.Monitor
+
+// Schedule selects a loop iteration schedule.
+type Schedule = core.Schedule
+
+// Loop schedules (schedule clause / OMP_SCHEDULE).
+const (
+	ScheduleStatic  = core.ScheduleStatic
+	ScheduleDynamic = core.ScheduleDynamic
+	ScheduleGuided  = core.ScheduleGuided
+	ScheduleAuto    = core.ScheduleAuto
+)
+
+// BarrierKind selects the team barrier algorithm.
+type BarrierKind = core.BarrierKind
+
+// Barrier algorithms (ablation knob).
+const (
+	BarrierCentral = core.BarrierCentral
+	BarrierTree    = core.BarrierTree
+)
+
+// TaskQueue selects the task-scheduler structure.
+type TaskQueue = core.TaskQueue
+
+// Task-scheduler structures (ablation knob).
+const (
+	TaskQueueSteal  = core.TaskQueueSteal
+	TaskQueueShared = core.TaskQueueShared
+)
+
+// Lock and NestLock are the omp_lock_t / omp_nest_lock_t counterparts;
+// create them with Runtime.NewLock / Runtime.NewNestLock.
+type (
+	Lock     = core.Lock
+	NestLock = core.NestLock
+)
+
+// Error sentinels. Every error a Runtime returns matches at most one of
+// these under errors.Is:
+//
+//   - ErrClosed: the fork (or lock creation) raced or followed Close;
+//   - ErrSaturated: the admission queue behind WithMaxConcurrentRegions
+//     was full — backpressure, retry later;
+//   - ErrCanceled: the region was torn down early; the cause (the ctx
+//     error, e.g. context.DeadlineExceeded) is wrapped alongside;
+//   - ErrInvalidOption: an option constructor rejected its argument and
+//     New refused to build the runtime.
+var (
+	ErrClosed        = core.ErrClosed
+	ErrSaturated     = core.ErrSaturated
+	ErrCanceled      = core.ErrCanceled
+	ErrInvalidOption = core.ErrInvalidOption
+)
+
+// RegionPanicError is what a fork returns when a region body panicked:
+// the first panic value with its stack, retrievable with errors.As. The
+// panicking team was canceled and its structures rebuilt; the Runtime
+// stays fully usable.
+type RegionPanicError = core.RegionPanicError
+
+// New creates a runtime. With no options it runs on the native thread
+// layer with one thread per host processor:
+//
+//	rt, err := openmpmca.New()
+//	defer rt.Close()
+//	err = rt.ParallelFor(n, func(i int) { out[i] = f(in[i]) })
+func New(opts ...Option) (*Runtime, error) { return core.New(opts...) }
+
+// NewNativeLayer builds the plain-goroutine thread layer; nprocs <= 0
+// means "use the host processor count".
+func NewNativeLayer(nprocs int) ThreadLayer { return core.NewNativeLayer(nprocs) }
+
+// WithLayer selects the thread layer (default: NewNativeLayer(0)).
+func WithLayer(l ThreadLayer) Option { return core.WithLayer(l) }
+
+// WithNumThreads sets the default team size (OMP_NUM_THREADS).
+func WithNumThreads(n int) Option { return core.WithNumThreads(n) }
+
+// WithSchedule sets the runtime loop schedule (OMP_SCHEDULE).
+func WithSchedule(s Schedule, chunk int) Option { return core.WithSchedule(s, chunk) }
+
+// WithMonitor installs an execution monitor.
+func WithMonitor(m Monitor) Option { return core.WithMonitor(m) }
+
+// WithBarrierKind selects the barrier algorithm.
+func WithBarrierKind(k BarrierKind) Option { return core.WithBarrierKind(k) }
+
+// WithTaskQueue selects the task-scheduler structure.
+func WithTaskQueue(k TaskQueue) Option { return core.WithTaskQueue(k) }
+
+// WithEnv loads ICVs from OpenMP environment variables through getenv
+// (pass os.Getenv).
+func WithEnv(getenv func(string) string) Option { return core.WithEnv(getenv) }
+
+// WithMaxConcurrentRegions caps the number of parallel regions in flight:
+// up to max run, up to max more queue, and further forks fail fast with
+// ErrSaturated. 0 (the default) removes the cap.
+func WithMaxConcurrentRegions(max int) Option { return core.WithMaxConcurrentRegions(max) }
+
+// WithTeamLeasing toggles the warm-team cache (default on).
+func WithTeamLeasing(on bool) Option { return core.WithTeamLeasing(on) }
+
+// Reduce performs a parallel reduction over 0..n-1 inside a region; every
+// thread must call it (it contains a barrier). See core.Reduce.
+func Reduce[T any](c *Context, n int, identity T, op func(T, T) T, body func(lo, hi int) T) T {
+	return core.Reduce(c, n, identity, op, body)
+}
+
+// SingleCopy runs fn on one thread and broadcasts its result to the whole
+// team (single + copyprivate).
+func SingleCopy[T any](c *Context, fn func() T) T { return core.SingleCopy(c, fn) }
+
+// ParseSchedule parses an OMP_SCHEDULE-style "kind[,chunk]" string.
+func ParseSchedule(s string) (Schedule, int, error) { return core.ParseSchedule(s) }

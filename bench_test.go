@@ -18,6 +18,8 @@ package openmpmca
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"openmpmca/internal/board"
@@ -289,6 +291,62 @@ func BenchmarkAblationNodeReuse(b *testing.B) {
 			_ = rt.Close()
 		}
 	})
+}
+
+// BenchmarkConcurrentRegions measures the multi-tenant fork path: N
+// goroutines fork small parallel regions against one runtime, with the
+// warm-team lease cache on (the default) versus off (every region pays
+// full team construction + layer free — the seed's behavior). Both
+// thread layers are covered; the leased rows should win from 1 caller up
+// and widen the gap as callers overlap.
+func BenchmarkConcurrentRegions(b *testing.B) {
+	const teamSize = 4
+	runtimes := []struct {
+		layer string
+		mk    func(b *testing.B, opts ...core.Option) *core.Runtime
+	}{
+		{"native", func(b *testing.B, opts ...core.Option) *core.Runtime {
+			return nativeRuntime(b, teamSize, opts...)
+		}},
+		{"mca", func(b *testing.B, opts ...core.Option) *core.Runtime {
+			return mcaRuntime(b, teamSize, opts...)
+		}},
+	}
+	for _, rc := range runtimes {
+		for _, leased := range []bool{true, false} {
+			mode := "leased"
+			if !leased {
+				mode = "perregion"
+			}
+			for _, callers := range []int{1, 4, 8} {
+				name := fmt.Sprintf("%s/%s/callers=%d", rc.layer, mode, callers)
+				b.Run(name, func(b *testing.B) {
+					rt := rc.mk(b, core.WithTeamLeasing(leased))
+					var sink atomic.Int64
+					b.ResetTimer()
+					var wg sync.WaitGroup
+					wg.Add(callers)
+					for g := 0; g < callers; g++ {
+						go func() {
+							defer wg.Done()
+							for i := 0; i < b.N; i++ {
+								if err := rt.ParallelFor(64, func(j int) { sink.Add(1) }); err != nil {
+									b.Error(err)
+									return
+								}
+							}
+						}()
+					}
+					wg.Wait()
+					b.StopTimer()
+					if leased {
+						st := rt.Stats().Snapshot()
+						b.ReportMetric(float64(st.LeaseHits)/float64(st.Regions), "lease-hit-rate")
+					}
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkAblationSchedule compares loop schedules on a triangularly

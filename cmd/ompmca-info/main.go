@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"log"
 
+	"openmpmca"
 	"openmpmca/internal/core"
 	"openmpmca/internal/platform"
 )
@@ -72,12 +73,12 @@ func main() {
 func printStats(board *platform.Board, threads int) error {
 	layers := []struct {
 		name  string
-		layer func() (core.ThreadLayer, error)
+		layer func() (openmpmca.ThreadLayer, error)
 	}{
-		{"native", func() (core.ThreadLayer, error) {
-			return core.NewNativeLayer(board.HWThreads()), nil
+		{"native", func() (openmpmca.ThreadLayer, error) {
+			return openmpmca.NewNativeLayer(board.HWThreads()), nil
 		}},
-		{"mca", func() (core.ThreadLayer, error) {
+		{"mca", func() (openmpmca.ThreadLayer, error) {
 			return core.NewMCALayer(board.NewSystem())
 		}},
 	}
@@ -86,14 +87,14 @@ func printStats(board *platform.Board, threads int) error {
 		if err != nil {
 			return err
 		}
-		rt, err := core.New(core.WithLayer(l), core.WithNumThreads(threads))
+		rt, err := openmpmca.New(openmpmca.WithLayer(l), openmpmca.WithNumThreads(threads))
 		if err != nil {
 			return err
 		}
-		err = rt.Parallel(func(c *core.Context) {
+		err = rt.Parallel(func(c *openmpmca.Context) {
 			c.SingleNoWait(func() {
-				var fib func(c *core.Context, n int) int
-				fib = func(c *core.Context, n int) int {
+				var fib func(c *openmpmca.Context, n int) int
+				fib = func(c *openmpmca.Context, n int) int {
 					if n < 2 {
 						return n
 					}

@@ -5,8 +5,54 @@
 // through a full implementation of the Multicore Association APIs (MRAPI,
 // MCAPI, MTAPI), evaluated on a modeled Freescale T4240RDB board.
 //
-// The root package carries only the module documentation and the
-// benchmark harness (bench_test.go) that regenerates the paper's Table I
-// and Figure 4; the implementation lives under internal/ and the runnable
-// demos under examples/ and cmd/. See README.md for the map.
+// The root package is the public API. Create a runtime with New, fork
+// parallel regions with Runtime.Parallel / Runtime.ParallelFor (or their
+// context-taking Ctx variants), and release it with Runtime.Close:
+//
+//	rt, err := openmpmca.New(openmpmca.WithNumThreads(8))
+//	if err != nil { ... }
+//	defer rt.Close()
+//
+//	err = rt.ParallelFor(len(xs), func(i int) { xs[i] *= 2 })
+//
+// The implementation lives under internal/ and the runnable demos under
+// examples/ and cmd/; bench_test.go regenerates the paper's Table I and
+// Figure 4. See README.md for the map.
+//
+// # Concurrency contract
+//
+// A Runtime is a multi-tenant service: any number of goroutines may fork
+// overlapping parallel regions against one instance. Each region leases a
+// warm team from a per-size cache (visible as LeaseHits/LeaseMisses in
+// Stats) and acquires an exclusive set of pool workers, so regions never
+// share mutable coordination state. WithMaxConcurrentRegions bounds the
+// number of in-flight regions: beyond the cap and its equally sized
+// admission queue, forks fail fast with ErrSaturated.
+//
+// # Cancellation
+//
+// ParallelCtx, ParallelNCtx and ParallelForCtx thread a context.Context
+// through the region. When the context is canceled or times out, every
+// thread in the team unwinds at its next cancellation point — loop chunk
+// dispatch, task scheduling, barrier waits — and the fork returns an
+// error matching both errors.Is(err, ErrCanceled) and errors.Is(err,
+// ctx.Err()). Cancellation is cooperative: a body call already in
+// progress runs to completion first, exactly like #pragma omp cancel.
+//
+// # Panic containment
+//
+// A panic in a region body (or in an explicit task) does not crash the
+// process: the panicking thread records the panic, the team is canceled,
+// its peers unwind, and the fork returns a *RegionPanicError carrying the
+// first panic value and stack (errors.As to retrieve it). The team's
+// coordination structures are rebuilt before reuse, so the Runtime
+// remains fully usable afterwards.
+//
+// # Migrating from internal/core
+//
+// Code inside this module that imported openmpmca/internal/core can move
+// to the root package by switching the import: every root type is an
+// alias of its core counterpart (openmpmca.Runtime == core.Runtime), so
+// the two surfaces interoperate value-for-value; only the option and
+// constructor call sites change package qualifier.
 package openmpmca

@@ -4,18 +4,23 @@
 // threads are MRAPI nodes, runtime memory comes from MRAPI shared memory
 // and critical sections are MRAPI mutexes. Same program, same results;
 // only the substrate changes — the paper's portability pitch.
+//
+// The runtime is driven entirely through the public openmpmca package;
+// only the modeled board and the MCA substrate construction come from
+// in-module packages.
 package main
 
 import (
 	"fmt"
 	"log"
 
+	"openmpmca"
 	"openmpmca/internal/core"
 	"openmpmca/internal/platform"
 )
 
 // sum is the paper's Listing 1: b[i] = (a[i] + a[i-1]) / 2.
-func sum(rt *core.Runtime, a, b []float32) error {
+func sum(rt *openmpmca.Runtime, a, b []float32) error {
 	return rt.ParallelFor(len(a)-1, func(i int) {
 		b[i+1] = (a[i+1] + a[i]) / 2.0
 	})
@@ -33,7 +38,7 @@ func main() {
 	fmt.Printf("board: %s (%d hardware threads)\n\n", board.Name, board.HWThreads())
 
 	for _, layerName := range []string{"native", "mca"} {
-		var layer core.ThreadLayer
+		var layer openmpmca.ThreadLayer
 		if layerName == "mca" {
 			l, err := core.NewMCALayer(board.NewSystem())
 			if err != nil {
@@ -41,9 +46,9 @@ func main() {
 			}
 			layer = l
 		} else {
-			layer = core.NewNativeLayer(board.HWThreads())
+			layer = openmpmca.NewNativeLayer(board.HWThreads())
 		}
-		rt, err := core.New(core.WithLayer(layer))
+		rt, err := openmpmca.New(openmpmca.WithLayer(layer))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,8 +60,8 @@ func main() {
 
 		// A reduction for good measure: mean of the smoothed signal.
 		var mean float64
-		if err := rt.Parallel(func(c *core.Context) {
-			total := core.Reduce(c, n-1, 0.0,
+		if err := rt.Parallel(func(c *openmpmca.Context) {
+			total := openmpmca.Reduce(c, n-1, 0.0,
 				func(x, y float64) float64 { return x + y },
 				func(lo, hi int) float64 {
 					s := 0.0
@@ -73,7 +78,8 @@ func main() {
 		st := rt.Stats().Snapshot()
 		fmt.Printf("[%s] %d threads (from %s), smoothed mean = %.4f\n",
 			layerName, rt.NumThreads(), sourceOfThreads(layerName), mean)
-		fmt.Printf("[%s] runtime stats: %d regions, %d barriers\n\n", layerName, st.Regions, st.Barriers)
+		fmt.Printf("[%s] runtime stats: %d regions, %d barriers, %d team-lease hits\n\n",
+			layerName, st.Regions, st.Barriers, st.LeaseHits)
 		if err := rt.Close(); err != nil {
 			log.Fatal(err)
 		}

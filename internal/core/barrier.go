@@ -13,7 +13,13 @@ type teamBarrier interface {
 	// notifies the virtual-time monitor so that post-barrier work cannot
 	// race the clock alignment. Wait reports true to exactly one caller
 	// per episode (the one that ran onRelease).
-	Wait(tid int, onRelease func()) bool
+	//
+	// abort, when non-nil, is the team's cancellation channel: a closed
+	// abort releases every parked or arriving thread immediately without
+	// completing the episode. An aborted barrier's internal state is
+	// unspecified; the runtime rebuilds the barrier before reusing the
+	// team (Team.reset). A nil abort never fires.
+	Wait(tid int, abort <-chan struct{}, onRelease func()) bool
 }
 
 // BarrierKind selects the barrier algorithm a runtime uses.
@@ -56,7 +62,7 @@ func newCentralBarrier(size int) *centralBarrier {
 	return &centralBarrier{size: size, gate: make(chan struct{})}
 }
 
-func (b *centralBarrier) Wait(_ int, onRelease func()) bool {
+func (b *centralBarrier) Wait(_ int, abort <-chan struct{}, onRelease func()) bool {
 	if b.size <= 1 {
 		if onRelease != nil {
 			onRelease()
@@ -77,7 +83,12 @@ func (b *centralBarrier) Wait(_ int, onRelease func()) bool {
 	}
 	gate := b.gate
 	b.mu.Unlock()
-	<-gate
+	// A receive from a nil abort blocks forever, so the select degrades to
+	// the plain gate wait when cancellation is not in play.
+	select {
+	case <-gate:
+	case <-abort:
+	}
 	return false
 }
 
@@ -105,7 +116,7 @@ func newTreeBarrier(size int) *treeBarrier {
 	return b
 }
 
-func (b *treeBarrier) Wait(tid int, onRelease func()) bool {
+func (b *treeBarrier) Wait(tid int, abort <-chan struct{}, onRelease func()) bool {
 	if b.size <= 1 {
 		if onRelease != nil {
 			onRelease()
@@ -113,27 +124,53 @@ func (b *treeBarrier) Wait(tid int, onRelease func()) bool {
 		return true
 	}
 	// Collect arrivals from both children, then notify the parent and wait
-	// for the downstream release.
+	// for the downstream release. Every step — receives and sends alike —
+	// selects against abort, so a canceled team cannot strand a thread at
+	// any rung of the tree (a nil abort never fires and costs nothing).
 	left, right := 2*tid+1, 2*tid+2
 	if left < b.size {
-		<-b.arrive[left]
+		select {
+		case <-b.arrive[left]:
+		case <-abort:
+			return false
+		}
 	}
 	if right < b.size {
-		<-b.arrive[right]
+		select {
+		case <-b.arrive[right]:
+		case <-abort:
+			return false
+		}
 	}
 	if tid != 0 {
-		b.arrive[tid] <- struct{}{}
-		<-b.release[tid]
+		select {
+		case b.arrive[tid] <- struct{}{}:
+		case <-abort:
+			return false
+		}
+		select {
+		case <-b.release[tid]:
+		case <-abort:
+			return false
+		}
 	} else if onRelease != nil {
 		// The root sees the last arrival; run the hook before releasing.
 		onRelease()
 	}
 	// Release children top-down.
 	if left < b.size {
-		b.release[left] <- struct{}{}
+		select {
+		case b.release[left] <- struct{}{}:
+		case <-abort:
+			return false
+		}
 	}
 	if right < b.size {
-		b.release[right] <- struct{}{}
+		select {
+		case b.release[right] <- struct{}{}:
+		case <-abort:
+			return false
+		}
 	}
 	return tid == 0
 }

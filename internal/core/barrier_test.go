@@ -21,7 +21,7 @@ func exerciseBarrier(t *testing.T, mk func(size int) teamBarrier, size, episodes
 			defer wg.Done()
 			for e := 0; e < episodes; e++ {
 				arrived[e].Add(1)
-				if b.Wait(tid, nil) {
+				if b.Wait(tid, nil, nil) {
 					releasers[e].Add(1)
 				}
 				if got := arrived[e].Load(); got != int32(size) {
@@ -55,7 +55,7 @@ func TestBarrierSizeOne(t *testing.T) {
 	for _, kind := range []BarrierKind{BarrierCentral, BarrierTree} {
 		b := newBarrier(kind, 1)
 		for i := 0; i < 5; i++ {
-			if !b.Wait(0, nil) {
+			if !b.Wait(0, nil, nil) {
 				t.Errorf("%v size-1 barrier must release immediately", kind)
 			}
 		}

@@ -1,0 +1,329 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// cancelLayers runs a subtest against the native layer and the MCA layer,
+// covering both substrates with one test body.
+func cancelLayers(t *testing.T, fn func(t *testing.T, mk func() ThreadLayer)) {
+	t.Helper()
+	t.Run("native", func(t *testing.T) {
+		fn(t, func() ThreadLayer { return NewNativeLayer(8) })
+	})
+	t.Run("mca", func(t *testing.T) {
+		fn(t, func() ThreadLayer { return newMCA(t) })
+	})
+}
+
+func TestParallelPanicReturnsRegionPanicError(t *testing.T) {
+	cancelLayers(t, func(t *testing.T, mk func() ThreadLayer) {
+		rt, err := New(WithLayer(mk()), WithNumThreads(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+
+		boom := errors.New("boom")
+		err = rt.Parallel(func(c *Context) {
+			if c.ThreadNum() == 1 {
+				panic(boom)
+			}
+		})
+		var rpe *RegionPanicError
+		if !errors.As(err, &rpe) {
+			t.Fatalf("Parallel with panicking body = %v, want RegionPanicError", err)
+		}
+		if rpe.Tid != 1 || rpe.Value != any(boom) {
+			t.Errorf("RegionPanicError = {Tid:%d Value:%v}, want {Tid:1 Value:boom}", rpe.Tid, rpe.Value)
+		}
+		if !strings.Contains(string(rpe.Stack), "goroutine") {
+			t.Error("RegionPanicError carries no stack")
+		}
+		// The panic value was an error, so Unwrap reaches it.
+		if !errors.Is(err, boom) {
+			t.Error("errors.Is(err, boom) = false, want true through RegionPanicError.Unwrap")
+		}
+
+		// The runtime and the (rebuilt) team must be fully reusable.
+		var sum atomic.Int64
+		if err := rt.ParallelFor(100, func(i int) { sum.Add(int64(i)) }); err != nil {
+			t.Fatalf("region after contained panic: %v", err)
+		}
+		if sum.Load() != 99*100/2 {
+			t.Errorf("sum after contained panic = %d", sum.Load())
+		}
+		if got := rt.Stats().Snapshot().Panics; got != 1 {
+			t.Errorf("Stats.Panics = %d, want 1", got)
+		}
+	})
+}
+
+func TestPeerPanicUnwindsBarrierParkedThreads(t *testing.T) {
+	// Threads 1..n-1 park on a team barrier that thread 0 never reaches
+	// (it panics first). Containment must release them — the fork returns
+	// instead of deadlocking.
+	for _, kind := range []BarrierKind{BarrierCentral, BarrierTree} {
+		kind := kind
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			rt, err := New(WithLayer(NewNativeLayer(8)), WithNumThreads(6), WithBarrierKind(kind))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			var parked atomic.Int32
+			err = rt.Parallel(func(c *Context) {
+				if c.ThreadNum() == 0 {
+					// Give peers time to park, then blow up.
+					for parked.Load() < 5 {
+						time.Sleep(100 * time.Microsecond)
+					}
+					panic("master down")
+				}
+				parked.Add(1)
+				c.Barrier()
+			})
+			var rpe *RegionPanicError
+			if !errors.As(err, &rpe) {
+				t.Fatalf("err = %v, want RegionPanicError", err)
+			}
+			if rpe.Tid != 0 {
+				t.Errorf("panicking tid = %d, want 0", rpe.Tid)
+			}
+		})
+	}
+}
+
+func TestTaskBodyPanicIsContained(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(8)), WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	err = rt.Parallel(func(c *Context) {
+		c.SingleNoWait(func() {
+			for i := 0; i < 32; i++ {
+				i := i
+				c.Task(func() {
+					if i == 7 {
+						panic("task boom")
+					}
+				})
+			}
+		})
+	})
+	var rpe *RegionPanicError
+	if !errors.As(err, &rpe) {
+		t.Fatalf("Parallel with panicking task = %v, want RegionPanicError", err)
+	}
+	if rpe.Value != any("task boom") {
+		t.Errorf("panic value = %v, want %q", rpe.Value, "task boom")
+	}
+	// Reusable afterwards.
+	if err := rt.Parallel(func(c *Context) { c.Barrier() }); err != nil {
+		t.Fatalf("region after task panic: %v", err)
+	}
+}
+
+func TestParallelCtxDeadline(t *testing.T) {
+	cancelLayers(t, func(t *testing.T, mk func() ThreadLayer) {
+		// Dynamic schedule: every chunk dispatch is a cancellation point,
+		// so the deadline interrupts the loop mid-flight. (A default
+		// static block would run its whole contiguous range to completion
+		// — cancellation is cooperative.)
+		rt, err := New(WithLayer(mk()), WithNumThreads(4), WithSchedule(ScheduleDynamic, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		err = rt.ParallelForCtx(ctx, 1<<30, func(i int) {
+			time.Sleep(20 * time.Microsecond)
+		})
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("ParallelForCtx past deadline = %v, want ErrCanceled", err)
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("err does not wrap context.DeadlineExceeded: %v", err)
+		}
+		if elapsed := time.Since(start); elapsed > 5*time.Second {
+			t.Errorf("cancellation took %v; cancellation points not honored", elapsed)
+		}
+		if got := rt.Stats().Snapshot().Cancels; got == 0 {
+			t.Error("Stats.Cancels = 0 after a canceled region")
+		}
+		// Reusable afterwards.
+		var n atomic.Int64
+		if err := rt.ParallelFor(64, func(i int) { n.Add(1) }); err != nil {
+			t.Fatalf("region after cancellation: %v", err)
+		}
+		if n.Load() != 64 {
+			t.Errorf("iterations after cancellation = %d, want 64", n.Load())
+		}
+	})
+}
+
+func TestParallelCtxPreCanceled(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(4)), WithNumThreads(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err = rt.ParallelCtx(ctx, func(c *Context) { ran = true })
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ParallelCtx = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+	if ran {
+		t.Error("body ran despite pre-canceled context")
+	}
+}
+
+func TestParallelCtxCancelMidBarrier(t *testing.T) {
+	// A ctx fire while the team sits in an explicit barrier must release
+	// the waiters through the barrier's abort channel.
+	rt, err := New(WithLayer(NewNativeLayer(8)), WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	var arrived atomic.Int32
+	go func() {
+		for arrived.Load() < 3 {
+			time.Sleep(100 * time.Microsecond)
+		}
+		cancel()
+	}()
+	err = rt.ParallelCtx(ctx, func(c *Context) {
+		if c.ThreadNum() == 0 {
+			// Thread 0 never arrives; peers park until the ctx fires.
+			<-ctx.Done()
+			return
+		}
+		arrived.Add(1)
+		c.Barrier()
+	})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParallelCtx canceled mid-barrier = %v, want ErrCanceled", err)
+	}
+}
+
+func TestMaxConcurrentRegionsSaturation(t *testing.T) {
+	// cap=1: one region runs, one caller queues, the next caller is
+	// refused with ErrSaturated.
+	rt, err := New(WithLayer(NewNativeLayer(8)), WithNumThreads(2), WithMaxConcurrentRegions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if got := rt.MaxConcurrentRegions(); got != 1 {
+		t.Fatalf("MaxConcurrentRegions = %d, want 1", got)
+	}
+
+	occupy := make(chan struct{})  // holds region A open
+	inside := make(chan struct{})  // region A is running
+	queued := make(chan struct{})  // caller B has joined the wait queue
+	release := make(chan error, 1) // caller B's result
+
+	go func() {
+		release <- rt.Parallel(func(c *Context) {
+			c.Master(func() { close(inside); <-occupy })
+		})
+	}()
+	<-inside
+
+	go func() {
+		// B: admitted slot is taken; this blocks in the admission queue.
+		close(queued)
+		release <- rt.Parallel(func(c *Context) {})
+	}()
+	<-queued
+	// Give B time to actually enter the queued select.
+	deadline := time.Now().Add(time.Second)
+	for rt.admitWaiting.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if rt.admitWaiting.Load() == 0 {
+		t.Fatal("caller B never joined the admission queue")
+	}
+
+	// C: queue (bound 1) is full too — refused immediately.
+	if err := rt.Parallel(func(c *Context) {}); !errors.Is(err, ErrSaturated) {
+		t.Fatalf("third caller = %v, want ErrSaturated", err)
+	}
+	if got := rt.Stats().Snapshot().Saturations; got != 1 {
+		t.Errorf("Stats.Saturations = %d, want 1", got)
+	}
+
+	close(occupy)
+	if err := <-release; err != nil {
+		t.Fatalf("region A/B failed: %v", err)
+	}
+	if err := <-release; err != nil {
+		t.Fatalf("region A/B failed: %v", err)
+	}
+}
+
+func TestAdmissionWaitHonorsContext(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(8)), WithNumThreads(2), WithMaxConcurrentRegions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	occupy := make(chan struct{})
+	inside := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = rt.Parallel(func(c *Context) {
+			c.Master(func() { close(inside); <-occupy })
+		})
+	}()
+	<-inside
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Millisecond)
+	defer cancel()
+	err = rt.ParallelCtx(ctx, func(c *Context) {})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued ParallelCtx past deadline = %v, want ErrCanceled wrapping DeadlineExceeded", err)
+	}
+	close(occupy)
+	wg.Wait()
+}
+
+func TestOptionValidationWrapsErrInvalidOption(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  Option
+	}{
+		{"nil layer", WithLayer(nil)},
+		{"zero threads", WithNumThreads(0)},
+		{"bad schedule", WithSchedule(Schedule(99), 0)},
+		{"negative chunk", WithSchedule(ScheduleDynamic, -1)},
+		{"bad barrier", WithBarrierKind(BarrierKind(99))},
+		{"bad task queue", WithTaskQueue(TaskQueue(99))},
+		{"negative cap", WithMaxConcurrentRegions(-1)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := New(tc.opt); !errors.Is(err, ErrInvalidOption) {
+				t.Errorf("New(%s) = %v, want ErrInvalidOption", tc.name, err)
+			}
+		})
+	}
+}

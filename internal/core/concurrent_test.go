@@ -1,0 +1,139 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestConcurrentRegions drives 16 goroutines through overlapping parallel
+// regions on one runtime — the multi-tenant contract: disjoint workers
+// per region, no cross-team interference, warm teams reused from the
+// lease cache. Run under -race it is also the data-race probe for the
+// leasing and admission paths.
+func TestConcurrentRegions(t *testing.T) {
+	const (
+		callers = 16
+		rounds  = 25
+		iters   = 256
+	)
+	cancelLayers(t, func(t *testing.T, mk func() ThreadLayer) {
+		rt, err := New(WithLayer(mk()), WithNumThreads(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer rt.Close()
+
+		var total atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(callers)
+		for g := 0; g < callers; g++ {
+			g := g
+			go func() {
+				defer wg.Done()
+				for r := 0; r < rounds; r++ {
+					// Mix region shapes so overlapping teams differ in size
+					// and construct use.
+					switch (g + r) % 3 {
+					case 0:
+						if err := rt.ParallelFor(iters, func(i int) { total.Add(1) }); err != nil {
+							t.Errorf("caller %d round %d: %v", g, r, err)
+							return
+						}
+					case 1:
+						if err := rt.ParallelN(2, func(c *Context) {
+							c.ForOpts(iters, LoopOpts{Schedule: ScheduleDynamic, Chunk: 16}, func(lo, hi int) {
+								total.Add(int64(hi - lo))
+							})
+						}); err != nil {
+							t.Errorf("caller %d round %d: %v", g, r, err)
+							return
+						}
+					default:
+						if err := rt.Parallel(func(c *Context) {
+							c.Critical(func() { total.Add(int64(iters) / int64(c.NumThreads())) })
+							c.Barrier()
+							leftover := iters % c.NumThreads()
+							c.Master(func() { total.Add(int64(leftover)) })
+						}); err != nil {
+							t.Errorf("caller %d round %d: %v", g, r, err)
+							return
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+
+		if got, want := total.Load(), int64(callers*rounds*iters); got != want {
+			t.Errorf("total = %d, want %d (regions interfered)", got, want)
+		}
+		st := rt.Stats().Snapshot()
+		if st.Regions != callers*rounds {
+			t.Errorf("Stats.Regions = %d, want %d", st.Regions, callers*rounds)
+		}
+		if st.LeaseHits == 0 {
+			t.Error("no lease hits across overlapping regions; warm-team cache inert")
+		}
+	})
+}
+
+// TestConcurrentRegionsWithCancellationAndPanics overlaps healthy regions
+// with deadline-canceled and panicking ones: failures must stay contained
+// to their own team while neighbors complete untouched.
+func TestConcurrentRegionsWithCancellationAndPanics(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(8)), WithNumThreads(3), WithSchedule(ScheduleDynamic, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const callers = 12
+	var healthy atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for g := 0; g < callers; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 10; r++ {
+				switch g % 3 {
+				case 0: // healthy
+					if err := rt.ParallelFor(128, func(i int) { healthy.Add(1) }); err != nil {
+						t.Errorf("healthy caller %d: %v", g, err)
+						return
+					}
+				case 1: // deadline-canceled
+					ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+					err := rt.ParallelForCtx(ctx, 1<<28, func(i int) {
+						time.Sleep(10 * time.Microsecond)
+					})
+					cancel()
+					if err != nil && !errors.Is(err, ErrCanceled) {
+						t.Errorf("canceled caller %d: %v", g, err)
+						return
+					}
+				default: // panicking
+					err := rt.Parallel(func(c *Context) {
+						if c.ThreadNum() == c.NumThreads()-1 {
+							panic("chaos")
+						}
+						c.Barrier()
+					})
+					var rpe *RegionPanicError
+					if !errors.As(err, &rpe) {
+						t.Errorf("panicking caller %d = %v, want RegionPanicError", g, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := healthy.Load(), int64(4*10*128); got != want {
+		t.Errorf("healthy iterations = %d, want %d (failure leaked across teams)", got, want)
+	}
+}

@@ -79,20 +79,21 @@ func TestNewLockSurfacesMutexFailure(t *testing.T) {
 	}
 }
 
-func TestCriticalPanicsOnMutexFailure(t *testing.T) {
+func TestCriticalSurfacesMutexFailureAsRegionPanic(t *testing.T) {
 	// Inside a region the runtime has no error channel for a failed
-	// critical-section mutex; it traps, mirroring gomp_fatal.
+	// critical-section mutex; it traps, mirroring gomp_fatal. Panic
+	// containment converts the trap into a RegionPanicError from the fork
+	// instead of killing the caller's process.
 	rt, err := New(WithLayer(&failingLayer{NativeLayer: NewNativeLayer(4), failMutex: true}), WithNumThreads(1))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer rt.Close()
-	defer func() {
-		if recover() == nil {
-			t.Error("Critical with failing mutex did not panic")
-		}
-	}()
-	_ = rt.Parallel(func(c *Context) {
+	err = rt.Parallel(func(c *Context) {
 		c.Critical(func() {})
 	})
+	var rpe *RegionPanicError
+	if !errors.As(err, &rpe) {
+		t.Fatalf("Critical with failing mutex = %v, want RegionPanicError", err)
+	}
 }

@@ -120,14 +120,19 @@ func (c *Context) Ordered(i int, fn func()) {
 		fn()
 		return
 	}
+	t := c.team
 	ws.ordMu.Lock()
 	if ws.ordCond == nil {
 		ws.ordCond = sync.NewCond(&ws.ordMu)
 	}
-	for ws.ordNext != i {
+	for ws.ordNext != i && !t.canceled() {
 		ws.ordCond.Wait()
 	}
 	ws.ordMu.Unlock()
+	// Ordered entry is a cancellation point: a canceled team's sequencing
+	// chain is broken (earlier iterations may never run their sections),
+	// so waiting threads unwind instead of completing out of order.
+	t.checkCancel()
 
 	fn()
 
@@ -150,12 +155,17 @@ func (c *Context) staticLoop(n, chunk int, body func(lo, hi int)) {
 			hi++
 		}
 		if lo < hi {
+			// One pre-dispatch cancellation point; the contiguous block
+			// itself is handed to the body whole and runs to completion.
+			c.team.checkCancel()
 			body(lo, hi)
 		}
 		return
 	}
-	// Chunked static: chunks dealt round-robin by thread id.
+	// Chunked static: chunks dealt round-robin by thread id. Chunk
+	// boundaries are cancellation points.
 	for lo := tid * chunk; lo < n; lo += size * chunk {
+		c.team.checkCancel()
 		hi := lo + chunk
 		if hi > n {
 			hi = n
@@ -172,6 +182,9 @@ func (c *Context) dynamicLoop(ws *workshare, n, chunk int, body func(lo, hi int)
 	}
 	stats := &c.team.rt.stats
 	for {
+		// Chunk dispatch is a cancellation point (OpenMP cancel parallel):
+		// a canceled team stops handing out iterations and unwinds.
+		c.team.checkCancel()
 		lo := int(ws.next.Add(int64(chunk))) - chunk
 		if lo >= n {
 			return
@@ -194,6 +207,7 @@ func (c *Context) guidedLoop(ws *workshare, n, minChunk int, body func(lo, hi in
 	size := c.team.size
 	stats := &c.team.rt.stats
 	for {
+		c.team.checkCancel()
 		ws.mu.Lock()
 		if !ws.issued {
 			ws.issued = true

@@ -17,6 +17,7 @@ const MCADomain mrapi.DomainID = 1
 const (
 	mcaMasterNode mrapi.NodeID = 0
 	mcaWorkerBase mrapi.NodeID = 100
+	mcaCallerBase mrapi.NodeID = 0x10000
 	mcaShmemBase  mrapi.Key    = 0x5000
 	mcaMutexBase  mrapi.Key    = 0x9000
 )
@@ -55,7 +56,8 @@ type MCALayer struct {
 	master *mrapi.Node
 
 	mu        sync.Mutex
-	nodes     map[int]*mrapi.Node // worker id -> node (0 = master)
+	nodes     map[int]*mrapi.Node // worker id -> node (0 = master, <0 = leased caller)
+	callers   []*mrapi.Node       // lazily registered caller nodes, finalized at Close
 	nextShmem mrapi.Key
 	nextMutex mrapi.Key
 	shmems    map[*byte]*mcaAlloc // live allocations, keyed by base pointer
@@ -159,13 +161,50 @@ func (w *mcaWorker) Join() {
 
 // node resolves a worker id to its MRAPI node, falling back to the master
 // for ids with no node (e.g. lock use before workers exist).
+//
+// Negative ids are leased caller identities (see Runtime.acquireMasterWID):
+// the forking goroutine of a concurrent region, which is not a pool worker
+// but still needs a distinct lock-attribution node — MRAPI deadlock-checks
+// mutexes per owning node, so two concurrent masters sharing one node
+// would trip a false self-deadlock on the same critical mutex. Caller
+// nodes are registered in the domain database lazily on first lock use
+// and finalized at Close.
 func (l *MCALayer) node(wid int) *mrapi.Node {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if n, ok := l.nodes[wid]; ok {
+		l.mu.Unlock()
 		return n
 	}
-	return l.master
+	if wid >= 0 || l.closed {
+		l.mu.Unlock()
+		return l.master
+	}
+	l.mu.Unlock()
+	n, err := l.sys.Initialize(MCADomain, mcaCallerBase+mrapi.NodeID(-wid), &mrapi.NodeAttributes{
+		Name:     fmt.Sprintf("omp-caller-%d", -wid),
+		Affinity: -1,
+	})
+	if err != nil {
+		// Degraded attribution: the master node stands in. Concurrent
+		// callers contending for one mutex may then trip the MRAPI
+		// self-deadlock check, which surfaces as a contained region panic
+		// rather than a hang.
+		return l.master
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if raced, ok := l.nodes[wid]; ok {
+		// Another goroutine registered this id first; ours is redundant.
+		_ = n.Finalize()
+		return raced
+	}
+	if l.closed {
+		_ = n.Finalize()
+		return l.master
+	}
+	l.nodes[wid] = n
+	l.callers = append(l.callers, n)
+	return n
 }
 
 // NewMutex implements ThreadLayer with an MRAPI mutex created in the
@@ -321,7 +360,8 @@ func (l *MCALayer) Close() error {
 	l.closed = true
 	shmems := l.shmems
 	mutexes := l.mutexes
-	l.shmems, l.mutexes = nil, nil
+	callers := l.callers
+	l.shmems, l.mutexes, l.callers = nil, nil, nil
 	l.mu.Unlock()
 
 	for _, a := range shmems {
@@ -330,6 +370,9 @@ func (l *MCALayer) Close() error {
 	}
 	for _, m := range mutexes {
 		_ = m.Delete(l.master)
+	}
+	for _, n := range callers {
+		_ = n.Finalize()
 	}
 	return l.master.Finalize()
 }

@@ -203,9 +203,10 @@ func TestMCALayerInsideHypervisorPartition(t *testing.T) {
 func TestTeamShmemDoesNotLeakAcrossRegions(t *testing.T) {
 	// Every region allocates its team bookkeeping block through MRAPI; it
 	// must be released at region end (gomp_free), or a long-lived runtime
-	// accumulates segments in the domain database.
+	// accumulates segments in the domain database. With team leasing off,
+	// the original per-region free contract holds exactly.
 	l := newMCA(t)
-	rt, err := New(WithLayer(l), WithNumThreads(4))
+	rt, err := New(WithLayer(l), WithNumThreads(4), WithTeamLeasing(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,6 +225,43 @@ func TestTeamShmemDoesNotLeakAcrossRegions(t *testing.T) {
 	}
 	if got := dom.NumShmems(); got != 0 {
 		t.Errorf("%d shmem segments leaked after 50 regions", got)
+	}
+}
+
+func TestLeasedTeamShmemBoundedAndDrainedAtClose(t *testing.T) {
+	// With leasing on (the default), cached teams legitimately keep their
+	// bookkeeping segments warm between regions — but the cache is bounded
+	// per team size and Close must give every cached segment back.
+	l := newMCA(t)
+	rt, err := New(WithLayer(l), WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := l.System().Domain(MCADomain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := rt.Parallel(func(c *Context) {
+			_ = c.Parallel(func(*Context) {})
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One sequential caller warms at most one team per size used (outer
+	// 4-thread team + nested serialized team of one).
+	if got := dom.NumShmems(); got > 2 {
+		t.Errorf("%d live shmem segments after 50 leased regions, want <= 2", got)
+	}
+	st := rt.Stats().Snapshot()
+	if st.LeaseHits == 0 {
+		t.Error("no lease hits across 50 sequential regions")
+	}
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dom.NumShmems(); got != 0 {
+		t.Errorf("%d shmem segments leaked after Close drained the team cache", got)
 	}
 }
 

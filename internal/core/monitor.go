@@ -36,6 +36,10 @@ type Monitor interface {
 	// thread while tracing monitors still see the nested structure.
 	NestedFork(tid, n int)
 	NestedJoin(tid int)
+	// Cancel fires once when a region is torn down early — a context
+	// cancellation/deadline, or a contained region-body panic. The
+	// matching Join still follows once every thread has unwound.
+	Cancel()
 }
 
 // monitorOrNil normalizes a possibly nil monitor so call sites stay
@@ -62,3 +66,4 @@ func (nopMonitor) Task(int)            {}
 func (nopMonitor) Steal(int, int)      {}
 func (nopMonitor) NestedFork(int, int) {}
 func (nopMonitor) NestedJoin(int)      {}
+func (nopMonitor) Cancel()             {}

@@ -50,7 +50,7 @@ func (l *NestLock) Lock(c *Context) {
 	}
 	l.mu.Unlock()
 
-	l.m.Lock(tidOf(c))
+	l.m.Lock(widOf(c))
 
 	l.mu.Lock()
 	l.held = true
@@ -79,7 +79,7 @@ func (l *NestLock) Unlock(c *Context) {
 	}
 	l.mu.Unlock()
 	if release {
-		l.m.Unlock(tidOf(c))
+		l.m.Unlock(widOf(c))
 	}
 }
 

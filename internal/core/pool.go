@@ -1,25 +1,37 @@
 package core
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // pool keeps the persistent worker threads the runtime forks teams from —
 // the paper's thread-pool reuse argument (§5B1): nodes and their threads
 // are created once and parked between regions rather than re-created per
 // region.
 //
-// Worker 0 is always the calling (master) thread and never lives in the
+// Unlike the seed's pool, workers are not statically bound to team thread
+// ids: concurrent parallel regions each acquire an exclusive set of
+// parked workers for the region's lifetime and hand them back at join, so
+// any number of callers can fork overlapping teams against one runtime.
+// A worker's id is assigned once at creation and never reused, which
+// keeps layer-level attribution (MRAPI node identity under MCALayer)
+// unique across concurrently running teams.
+//
+// Team thread 0 is always a calling goroutine and never lives in the
 // pool; pool workers are numbered from 1.
 type pool struct {
 	layer ThreadLayer
 
-	mu      sync.Mutex
-	workers []*poolWorker // index i holds worker id i+1
-	closed  bool
+	mu     sync.Mutex
+	free   []*poolWorker // parked workers available for acquisition
+	all    []*poolWorker // every worker ever started (for close/join)
+	closed bool
 }
 
 type poolWorker struct {
 	wid    int
-	jobs   chan func()
+	jobs   chan func() // capacity 1: an acquired worker is always parked
 	handle Worker
 }
 
@@ -27,61 +39,105 @@ func newPool(layer ThreadLayer) *pool {
 	return &pool{layer: layer}
 }
 
-// ensure grows the pool so worker ids 1..n-1 exist (team size n).
-func (p *pool) ensure(n int) error {
+// acquire reserves k workers for one region, starting new ones when the
+// free list runs short. Acquired workers are owned exclusively by the
+// caller until their dispatched job completes.
+//
+// The lowest free wids are taken first, in ascending order. For a
+// sequential caller this keeps the worker↔thread-number binding stable
+// across same-size regions — the OpenMP threadprivate persistence
+// guarantee depends on it — without constraining what overlapping regions
+// of concurrent callers get.
+func (p *pool) acquire(k int) ([]*poolWorker, error) {
+	if k == 0 {
+		return nil, nil
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed {
-		return ErrClosed
+		return nil, ErrClosed
 	}
-	for len(p.workers) < n-1 {
-		wid := len(p.workers) + 1
-		w := &poolWorker{wid: wid, jobs: make(chan func())}
+	ws := make([]*poolWorker, 0, k)
+	if take := min(k, len(p.free)); take > 0 {
+		sort.Slice(p.free, func(i, j int) bool { return p.free[i].wid > p.free[j].wid })
+		for i := 0; i < take; i++ {
+			ws = append(ws, p.free[len(p.free)-1-i])
+		}
+		p.free = p.free[:len(p.free)-take]
+	}
+	for len(ws) < k {
+		wid := len(p.all) + 1
+		w := &poolWorker{wid: wid, jobs: make(chan func(), 1)}
 		handle, err := p.layer.StartWorker(wid, func() {
 			for job := range w.jobs {
 				job()
 			}
 		})
 		if err != nil {
-			return err
+			// Hand the already-reserved workers back; the fresh one never
+			// started and owns no resources.
+			p.free = append(p.free, ws...)
+			return nil, err
 		}
 		w.handle = handle
-		p.workers = append(p.workers, w)
+		p.all = append(p.all, w)
+		ws = append(ws, w)
 	}
-	return nil
+	return ws, nil
 }
 
-// size reports the current number of pool workers (excluding the master).
+// size reports the number of workers ever started (excluding the master).
 func (p *pool) size() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.workers)
+	return len(p.all)
 }
 
-// dispatchAll hands jobs[i] to worker i+1, all under one critical section.
-// The batch is all-or-nothing: a concurrent close either wins the lock
-// first — every send is refused with ErrClosed, no worker starts — or
-// waits until every job is handed over. This closes the seed's race where
-// close(w.jobs) then a late dispatch sent on a closed channel (panic) and
-// p.workers = nil made the index panic; it also prevents a partial team,
-// which would hang forever on the region-end barrier. Holding the lock
-// across the sends is safe: workers never touch p.mu, and by the fork
-// protocol every targeted worker is parked in its receive loop.
-func (p *pool) dispatchAll(jobs []func()) error {
+// idle reports the number of parked workers on the free list.
+func (p *pool) idle() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.closed || len(jobs) > len(p.workers) {
+	return len(p.free)
+}
+
+// dispatchAll hands jobs[i] to the acquired workers[i], all under one
+// critical section. The batch is all-or-nothing: a concurrent close
+// either wins the lock first — every send is refused with ErrClosed, no
+// worker starts, and a partial team that would hang its region-end
+// barrier cannot form — or waits until every job is handed over. The
+// sends cannot block: an acquired worker is parked in its receive loop
+// and its capacity-1 channel is empty. Each worker returns itself to the
+// free list when its job completes.
+func (p *pool) dispatchAll(workers []*poolWorker, jobs []func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
 		return ErrClosed
 	}
-	for i, job := range jobs {
-		p.workers[i].jobs <- job
+	for i, w := range workers {
+		w, job := w, jobs[i]
+		w.jobs <- func() {
+			job()
+			p.release(w)
+		}
 	}
 	return nil
+}
+
+// release parks a worker back on the free list.
+func (p *pool) release(w *poolWorker) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.free = append(p.free, w)
 }
 
 // close shuts down every worker and joins them. The jobs channels are
 // closed under the lock so a concurrent dispatchAll can never send on a
-// closed channel.
+// closed channel; a worker still running a region job drains it (the
+// channel close only takes effect at its next receive) before exiting.
 func (p *pool) close() {
 	p.mu.Lock()
 	if p.closed {
@@ -89,14 +145,14 @@ func (p *pool) close() {
 		return
 	}
 	p.closed = true
-	workers := p.workers
-	p.workers = nil
-	for _, w := range workers {
+	all := p.all
+	p.all, p.free = nil, nil
+	for _, w := range all {
 		close(w.jobs)
 	}
 	p.mu.Unlock()
 
-	for _, w := range workers {
+	for _, w := range all {
 		w.handle.Join()
 	}
 }

@@ -43,24 +43,63 @@ func TestParallelRacingCloseNeverPanics(t *testing.T) {
 
 func TestDispatchAllAfterCloseReturnsErrClosed(t *testing.T) {
 	p := newPool(NewNativeLayer(4))
-	if err := p.ensure(3); err != nil {
+	ws, err := p.acquire(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Park the acquired workers again so close can join them idle.
+	if err := p.dispatchAll(ws, []func(){func() {}, func() {}}); err != nil {
 		t.Fatal(err)
 	}
 	p.close()
-	if err := p.dispatchAll([]func(){func() {}}); !errors.Is(err, ErrClosed) {
+	if _, err := p.acquire(1); !errors.Is(err, ErrClosed) {
+		t.Errorf("acquire after close = %v, want ErrClosed", err)
+	}
+	if err := p.dispatchAll(nil, nil); !errors.Is(err, ErrClosed) {
 		t.Errorf("dispatchAll after close = %v, want ErrClosed", err)
 	}
 	// Idempotent close stays safe.
 	p.close()
 }
 
-func TestDispatchAllRefusesOversizedBatch(t *testing.T) {
-	p := newPool(NewNativeLayer(4))
-	if err := p.ensure(2); err != nil { // one worker
+func TestAcquirePrefersLowestWids(t *testing.T) {
+	// Sequential same-size acquisitions must see the same workers in the
+	// same order regardless of the release order of the previous region —
+	// the stability ThreadPrivate's per-worker copies rely on.
+	p := newPool(NewNativeLayer(8))
+	defer p.close()
+	ws, err := p.acquire(4)
+	if err != nil {
 		t.Fatal(err)
 	}
-	defer p.close()
-	if err := p.dispatchAll(make([]func(), 5)); !errors.Is(err, ErrClosed) {
-		t.Errorf("oversized dispatchAll = %v, want ErrClosed", err)
+	var wg sync.WaitGroup
+	wg.Add(len(ws))
+	// Jobs finish in reverse wid order, scrambling the free list.
+	gates := make([]chan struct{}, len(ws))
+	jobs := make([]func(), len(ws))
+	for i := range ws {
+		gates[i] = make(chan struct{})
+		gate := gates[i]
+		jobs[i] = func() { <-gate; wg.Done() }
+	}
+	if err := p.dispatchAll(ws, jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i := len(gates) - 1; i >= 0; i-- {
+		close(gates[i])
+	}
+	wg.Wait()
+	again, err := p.acquire(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range again {
+		if w.wid != i+1 {
+			t.Errorf("reacquired worker %d has wid %d, want %d", i, w.wid, i+1)
+		}
+	}
+	noop := []func(){func() {}, func() {}, func() {}, func() {}}
+	if err := p.dispatchAll(again, noop); err != nil {
+		t.Fatal(err)
 	}
 }

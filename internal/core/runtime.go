@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,35 +31,56 @@ type Stats struct {
 	LocalPops  atomic.Uint64 // tasks popped from the claiming thread's own deque
 	Steals     atomic.Uint64 // tasks stolen from a victim's deque head
 	StealFails atomic.Uint64 // victim probes that found an empty deque
+
+	// Concurrent-caller machinery (see lease.go, cancel.go).
+	LeaseHits   atomic.Uint64 // regions served from the warm-team cache
+	LeaseMisses atomic.Uint64 // regions that had to build a fresh team
+	Saturations atomic.Uint64 // forks refused with ErrSaturated
+	Cancels     atomic.Uint64 // regions torn down early (ctx or panic)
+	Panics      atomic.Uint64 // region-body panics contained per thread
 }
 
 // StatsSnapshot is a point-in-time copy of Stats.
 type StatsSnapshot struct {
 	Regions, Threads, Barriers, Chunks, Tasks, Crits, Singles uint64
 	LocalPops, Steals, StealFails                             uint64
+	LeaseHits, LeaseMisses, Saturations, Cancels, Panics      uint64
 }
 
 // Snapshot copies the counters.
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Regions:    s.Regions.Load(),
-		Threads:    s.Threads.Load(),
-		Barriers:   s.Barriers.Load(),
-		Chunks:     s.Chunks.Load(),
-		Tasks:      s.Tasks.Load(),
-		Crits:      s.Crits.Load(),
-		Singles:    s.Singles.Load(),
-		LocalPops:  s.LocalPops.Load(),
-		Steals:     s.Steals.Load(),
-		StealFails: s.StealFails.Load(),
+		Regions:     s.Regions.Load(),
+		Threads:     s.Threads.Load(),
+		Barriers:    s.Barriers.Load(),
+		Chunks:      s.Chunks.Load(),
+		Tasks:       s.Tasks.Load(),
+		Crits:       s.Crits.Load(),
+		Singles:     s.Singles.Load(),
+		LocalPops:   s.LocalPops.Load(),
+		Steals:      s.Steals.Load(),
+		StealFails:  s.StealFails.Load(),
+		LeaseHits:   s.LeaseHits.Load(),
+		LeaseMisses: s.LeaseMisses.Load(),
+		Saturations: s.Saturations.Load(),
+		Cancels:     s.Cancels.Load(),
+		Panics:      s.Panics.Load(),
 	}
 }
 
 // Runtime is an OpenMP-style runtime instance bound to one ThreadLayer.
-// Create one with New, fork parallel regions with Parallel/ParallelFor,
-// and Close it when done. A Runtime is safe for sequential reuse across
-// many regions; concurrent Parallel calls from different goroutines are
-// not supported (matching a single OpenMP initial thread).
+// Create one with New, fork parallel regions with Parallel/ParallelFor
+// (or their Ctx variants), and Close it when done.
+//
+// A Runtime is safe for concurrent use: any number of goroutines may fork
+// overlapping parallel regions against one instance. Each region leases a
+// warm team from the runtime's cache (or builds one on a miss) and an
+// exclusive set of pool workers for its lifetime. WithMaxConcurrentRegions
+// bounds the number of outstanding regions; past the cap and its bounded
+// admission queue, forks fail fast with ErrSaturated. A panic in any
+// thread's region body is contained: the team is canceled, every thread
+// unwinds at its next cancellation point, and the fork returns a
+// RegionPanicError while the runtime stays fully usable.
 type Runtime struct {
 	layer       ThreadLayer
 	monitor     Monitor
@@ -71,19 +94,38 @@ type Runtime struct {
 	critMu    sync.Mutex
 	criticals map[string]RuntimeMutex
 
+	// Warm-team cache (lease.go).
+	teamLease bool
+	leaseMu   sync.Mutex
+	leases    map[int][]*Team
+
+	// Master-identity leasing for concurrent callers (lease.go).
+	masterMu   sync.Mutex
+	masterFree []int
+	masterNext int
+
+	// Admission control: maxRegions outstanding regions may run, another
+	// maxRegions may queue; beyond that forks return ErrSaturated.
+	// maxRegions == 0 means unbounded (admitSem nil).
+	maxRegions   int
+	admitSem     chan struct{}
+	admitWaiting atomic.Int32
+
 	epoch  time.Time
 	stats  Stats
 	closed atomic.Bool
 }
 
-// Option configures a Runtime at construction.
+// Option configures a Runtime at construction. Options validate their
+// arguments: a bad value makes New fail with an error wrapping
+// ErrInvalidOption instead of being silently clamped.
 type Option func(*Runtime) error
 
 // WithLayer selects the thread layer (default: NewNativeLayer(0)).
 func WithLayer(l ThreadLayer) Option {
 	return func(r *Runtime) error {
 		if l == nil {
-			return errors.New("core: nil thread layer")
+			return fmt.Errorf("%w: nil thread layer", ErrInvalidOption)
 		}
 		r.layer = l
 		return nil
@@ -94,7 +136,7 @@ func WithLayer(l ThreadLayer) Option {
 func WithNumThreads(n int) Option {
 	return func(r *Runtime) error {
 		if n < 1 {
-			return fmt.Errorf("core: NumThreads %d < 1", n)
+			return fmt.Errorf("%w: NumThreads %d < 1", ErrInvalidOption, n)
 		}
 		r.icv.NumThreads = n
 		return nil
@@ -104,8 +146,11 @@ func WithNumThreads(n int) Option {
 // WithSchedule sets the runtime loop schedule (run-sched-var).
 func WithSchedule(s Schedule, chunk int) Option {
 	return func(r *Runtime) error {
+		if s != ScheduleStatic && s != ScheduleDynamic && s != ScheduleGuided && s != ScheduleAuto {
+			return fmt.Errorf("%w: unknown schedule %d", ErrInvalidOption, int(s))
+		}
 		if chunk < 0 {
-			return fmt.Errorf("core: negative chunk %d", chunk)
+			return fmt.Errorf("%w: negative schedule chunk %d", ErrInvalidOption, chunk)
 		}
 		r.icv.Schedule = s
 		r.icv.Chunk = chunk
@@ -124,6 +169,9 @@ func WithMonitor(m Monitor) Option {
 // WithBarrierKind selects the barrier algorithm (ablation knob).
 func WithBarrierKind(k BarrierKind) Option {
 	return func(r *Runtime) error {
+		if k != BarrierCentral && k != BarrierTree {
+			return fmt.Errorf("%w: unknown barrier kind %d", ErrInvalidOption, int(k))
+		}
 		r.barrierKind = k
 		return nil
 	}
@@ -134,15 +182,45 @@ func WithBarrierKind(k BarrierKind) Option {
 func WithTaskQueue(k TaskQueue) Option {
 	return func(r *Runtime) error {
 		if k != TaskQueueSteal && k != TaskQueueShared {
-			return fmt.Errorf("core: unknown task queue kind %d", int(k))
+			return fmt.Errorf("%w: unknown task queue kind %d", ErrInvalidOption, int(k))
 		}
 		r.taskQueue = k
 		return nil
 	}
 }
 
+// WithMaxConcurrentRegions caps the number of parallel regions that may
+// be outstanding at once. Up to max regions run concurrently and up to
+// max more callers wait in the admission queue (a canceled context
+// abandons the wait); past both, forks fail fast with ErrSaturated so
+// overload surfaces as backpressure instead of unbounded thread and
+// memory growth. max == 0 removes the cap (the default).
+func WithMaxConcurrentRegions(max int) Option {
+	return func(r *Runtime) error {
+		if max < 0 {
+			return fmt.Errorf("%w: MaxConcurrentRegions %d < 0", ErrInvalidOption, max)
+		}
+		r.maxRegions = max
+		return nil
+	}
+}
+
+// WithTeamLeasing toggles the warm-team cache (ablation knob; default
+// on). Disabled, every region builds and frees its own team — the
+// per-region construction cost BenchmarkConcurrentRegions compares
+// leasing against.
+func WithTeamLeasing(on bool) Option {
+	return func(r *Runtime) error {
+		r.teamLease = on
+		return nil
+	}
+}
+
 // TaskQueueKind reports the runtime's task-scheduler structure.
 func (r *Runtime) TaskQueueKind() TaskQueue { return r.taskQueue }
+
+// MaxConcurrentRegions reports the admission cap (0 = unbounded).
+func (r *Runtime) MaxConcurrentRegions() int { return r.maxRegions }
 
 // WithEnv loads ICVs from OpenMP environment variables through getenv
 // before other options apply their overrides.
@@ -170,6 +248,8 @@ func New(opts ...Option) (*Runtime, error) {
 	r := &Runtime{
 		monitor:   nopMonitor{},
 		criticals: make(map[string]RuntimeMutex),
+		teamLease: true,
+		leases:    make(map[int][]*Team),
 		epoch:     time.Now(),
 	}
 	for _, o := range opts {
@@ -179,6 +259,9 @@ func New(opts ...Option) (*Runtime, error) {
 	}
 	if r.layer == nil {
 		r.layer = NewNativeLayer(0)
+	}
+	if r.maxRegions > 0 {
+		r.admitSem = make(chan struct{}, r.maxRegions)
 	}
 	r.icv.normalize(r.layer.NumProcs())
 	r.pool = newPool(r.layer)
@@ -245,20 +328,89 @@ func (r *Runtime) snapshotICV() ICV {
 	return r.icv
 }
 
+// admit applies the concurrency cap before a fork: a free slot admits
+// immediately; otherwise the caller joins the bounded admission queue
+// (up to maxRegions waiters) until a region finishes or ctx fires; a
+// full queue refuses with ErrSaturated.
+func (r *Runtime) admit(ctx context.Context) error {
+	if r.admitSem == nil {
+		return nil
+	}
+	select {
+	case r.admitSem <- struct{}{}:
+		return nil
+	default:
+	}
+	if int(r.admitWaiting.Add(1)) > r.maxRegions {
+		r.admitWaiting.Add(-1)
+		r.stats.Saturations.Add(1)
+		return ErrSaturated
+	}
+	defer r.admitWaiting.Add(-1)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case r.admitSem <- struct{}{}:
+		return nil
+	case <-done:
+		return canceledErr(ctx.Err())
+	}
+}
+
+// unadmit releases an admission slot at region end.
+func (r *Runtime) unadmit() {
+	if r.admitSem != nil {
+		<-r.admitSem
+	}
+}
+
 // Parallel forks a team and runs body once per thread (#pragma omp
 // parallel). The master (calling goroutine) is thread 0; pool workers
 // carry the rest. The region ends with an implicit barrier that also
 // drains outstanding explicit tasks.
 func (r *Runtime) Parallel(body func(c *Context)) error {
-	return r.ParallelN(0, body)
+	return r.parallel(nil, 0, body)
 }
 
 // ParallelN is Parallel with an explicit team size (num_threads clause);
 // n <= 0 means "use the ICV".
 func (r *Runtime) ParallelN(n int, body func(c *Context)) error {
+	return r.parallel(nil, n, body)
+}
+
+// ParallelCtx is Parallel under a context: when ctx is canceled or its
+// deadline passes, the whole team unwinds at its next cancellation
+// points — loop chunk dispatch, task scheduling, barriers — and the fork
+// returns an error wrapping both ErrCanceled and ctx's error (the OpenMP
+// "cancel parallel" semantics). Work already inside a body call runs to
+// that body's completion; cancellation is cooperative, not preemptive.
+func (r *Runtime) ParallelCtx(ctx context.Context, body func(c *Context)) error {
+	return r.parallel(ctx, 0, body)
+}
+
+// ParallelNCtx is ParallelCtx with an explicit team size.
+func (r *Runtime) ParallelNCtx(ctx context.Context, n int, body func(c *Context)) error {
+	return r.parallel(ctx, n, body)
+}
+
+// parallel is the region driver shared by every fork variant. ctx may be
+// nil (no cancellation source); panic containment is always on.
+func (r *Runtime) parallel(ctx context.Context, n int, body func(c *Context)) error {
 	if r.closed.Load() {
 		return ErrClosed
 	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return canceledErr(err)
+		}
+	}
+	if err := r.admit(ctx); err != nil {
+		return err
+	}
+	defer r.unadmit()
+
 	icv := r.snapshotICV()
 	if n <= 0 {
 		n = icv.NumThreads
@@ -270,18 +422,53 @@ func (r *Runtime) ParallelN(n int, body func(c *Context)) error {
 		n = 1
 	}
 
-	team, err := newTeam(r, n)
+	team, err := r.leaseTeam(n)
 	if err != nil {
 		return err
 	}
-	// The team's bookkeeping block dies with the region (gomp_free).
-	defer r.layer.Free(team.shmem)
-	if err := r.pool.ensure(n); err != nil {
+	workers, err := r.pool.acquire(n - 1)
+	if err != nil {
+		r.releaseTeam(team)
 		return err
 	}
+	masterWID := r.acquireMasterWID()
+	defer r.releaseMasterWID(masterWID)
 
-	run := func(tid int) {
-		c := &Context{team: team, tid: tid, groups: []*taskGroup{{}}}
+	// The watcher converts a ctx fire into team cancellation. It must be
+	// stopped AND joined before the team is released: releaseTeam may
+	// rebuild the team's structures, which is only safe once no other
+	// goroutine (a watcher mid-cancel included) can still touch them.
+	stopWatcher := func() {}
+	if ctx != nil && ctx.Done() != nil {
+		stopWatch := make(chan struct{})
+		watchDone := make(chan struct{})
+		go func() {
+			defer close(watchDone)
+			select {
+			case <-ctx.Done():
+				team.cancel(canceledErr(ctx.Err()))
+			case <-stopWatch:
+			}
+		}()
+		stopWatcher = func() {
+			close(stopWatch)
+			<-watchDone
+		}
+	}
+
+	run := func(tid, wid int) {
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := v.(teamUnwind); ok && team.canceled() {
+					return // cooperative unwind out of a canceled region
+				}
+				// A real panic from the region body (or a task it
+				// spawned): contain it, fail the region, unwind the rest
+				// of the team. The process stays alive.
+				team.recordPanic(tid, v, debug.Stack())
+			}
+		}()
+		c := &Context{team: team, tid: tid, wid: wid, groups: []*taskGroup{{}}}
 		body(c)
 		// Implicit region-end barrier: drain the task queues, then sync.
 		team.quiesce(c)
@@ -296,29 +483,40 @@ func (r *Runtime) ParallelN(n int, body func(c *Context)) error {
 	wg.Add(n - 1)
 	jobs := make([]func(), n-1)
 	for t := 1; t < n; t++ {
-		tid := t
+		tid, wid := t, workers[t-1].wid
 		jobs[t-1] = func() {
 			defer wg.Done()
-			run(tid)
+			run(tid, wid)
 		}
 	}
 	r.monitor.Fork(n)
-	if err := r.pool.dispatchAll(jobs); err != nil {
+	if err := r.pool.dispatchAll(workers, jobs); err != nil {
+		stopWatcher()
 		r.monitor.Join()
+		r.releaseTeam(team)
 		return err
 	}
 	r.stats.Regions.Add(1)
 	r.stats.Threads.Add(uint64(n))
-	run(0)
+	run(0, masterWID)
 	wg.Wait()
+	stopWatcher()
 	r.monitor.Join()
-	return nil
+	err = team.regionErr()
+	r.releaseTeam(team)
+	return err
 }
 
 // ParallelFor forks a team and workshares iterations 0..n-1 over it with
 // the runtime schedule (#pragma omp parallel for).
 func (r *Runtime) ParallelFor(n int, body func(i int)) error {
 	return r.Parallel(func(c *Context) { c.For(n, body) })
+}
+
+// ParallelForCtx is ParallelFor under a context; see ParallelCtx for the
+// cancellation contract.
+func (r *Runtime) ParallelForCtx(ctx context.Context, n int, body func(i int)) error {
+	return r.ParallelCtx(ctx, func(c *Context) { c.For(n, body) })
 }
 
 // criticalMutex returns the mutex backing the named critical section,
@@ -347,5 +545,6 @@ func (r *Runtime) Close() error {
 		return nil
 	}
 	r.pool.close()
+	r.drainTeamCache()
 	return r.layer.Close()
 }

@@ -15,12 +15,17 @@ func (c *Context) Critical(fn func()) {
 func (c *Context) CriticalNamed(name string, fn func()) {
 	rt := c.team.rt
 	m := rt.criticalMutex(name)
-	m.Lock(c.tid)
+	// Lock attribution uses the layer-level worker id, not the team
+	// thread id: wids stay unique across concurrently running teams,
+	// where tids repeat (MRAPI mutexes trap a same-node relock as
+	// self-deadlock). The deferred unlock also releases the section when
+	// fn panics, so a contained region panic cannot strand waiters.
+	m.Lock(c.wid)
 	rt.monitor.CriticalEnter(c.tid)
 	rt.stats.Crits.Add(1)
 	defer func() {
 		rt.monitor.CriticalExit(c.tid)
-		m.Unlock(c.tid)
+		m.Unlock(c.wid)
 	}()
 	fn()
 }
@@ -121,17 +126,20 @@ func (r *Runtime) NewLock() (*Lock, error) {
 // Lock acquires the lock (omp_set_lock). Pass the calling thread's Context
 // inside parallel regions; nil means the initial thread.
 func (l *Lock) Lock(c *Context) {
-	l.m.Lock(tidOf(c))
+	l.m.Lock(widOf(c))
 }
 
 // Unlock releases the lock (omp_unset_lock).
 func (l *Lock) Unlock(c *Context) {
-	l.m.Unlock(tidOf(c))
+	l.m.Unlock(widOf(c))
 }
 
-func tidOf(c *Context) int {
+// widOf resolves a Context to its layer-level worker id for lock
+// attribution; nil (the initial thread, outside any region) maps to the
+// master identity.
+func widOf(c *Context) int {
 	if c == nil {
 		return 0
 	}
-	return c.tid
+	return c.wid
 }

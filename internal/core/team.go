@@ -36,6 +36,16 @@ type Team struct {
 	idlers      atomic.Int32 // drainers parked in idleWait
 	idleMu      sync.Mutex
 	idleCond    *sync.Cond
+
+	// Region cancellation state (see cancel.go), re-armed per lease.
+	// cancelCh is closed exactly once per canceled region; barrier waits
+	// select on it. poisoned marks a team whose region ended abnormally
+	// and whose structures must be rebuilt before reuse.
+	cancelCh   chan struct{}
+	cancelFlag atomic.Bool
+	cancelMu   sync.Mutex
+	cancelErr  error
+	poisoned   bool
 }
 
 func newTeam(rt *Runtime, size int) (*Team, error) {
@@ -56,6 +66,7 @@ func newTeam(rt *Runtime, size int) (*Team, error) {
 	}
 	t.deques = newTaskDequeSlab(ndeques, dequeCapacity)
 	t.idleCond = sync.NewCond(&t.idleMu)
+	t.arm()
 	return t, nil
 }
 
@@ -92,6 +103,14 @@ func (t *Team) finishWorkshare(gen int, ws *workshare) {
 type Context struct {
 	team *Team
 	tid  int
+
+	// wid is the thread's layer-level worker identity: the pool worker's
+	// id for threads 1..n-1, a (non-positive) leased caller id for thread
+	// 0. Unlike tid it is unique across concurrently running teams, which
+	// is what MRAPI node-owned mutexes attribute acquisitions by — two
+	// overlapping regions both presenting tid 1 to the layer would trip
+	// MRAPI's self-deadlock detection.
+	wid int
 
 	// wsGen counts worksharing constructs (for/sections/single) this
 	// thread has entered; since every thread executes the same construct
@@ -136,13 +155,17 @@ func (c *Context) Charge(units float64) {
 	c.team.rt.monitor.Charge(c.tid, units)
 }
 
-// Barrier executes a full team barrier (#pragma omp barrier).
+// Barrier executes a full team barrier (#pragma omp barrier). It is a
+// cancellation point: in a canceled region the wait aborts and the thread
+// unwinds instead of blocking on teammates that will never arrive.
 func (c *Context) Barrier() {
 	t := c.team
-	t.barrier.Wait(c.tid, func() {
+	t.checkCancel()
+	t.barrier.Wait(c.tid, t.cancelCh, func() {
 		t.rt.monitor.Barrier()
 		t.rt.stats.Barriers.Add(1)
 	})
+	t.checkCancel()
 }
 
 // Master runs fn on thread 0 only, with no implied barrier
@@ -162,18 +185,32 @@ func (c *Context) Master(fn func()) {
 // dedicated events that let traces show nested structure without
 // disturbing the outer region's virtual clocks.
 func (c *Context) Parallel(body func(*Context)) error {
+	c.team.checkCancel()
 	rt := c.team.rt
-	team, err := newTeam(rt, 1)
+	team, err := rt.leaseTeam(1)
 	if err != nil {
 		return err
 	}
-	defer rt.layer.Free(team.shmem)
+	completed := false
+	defer func() {
+		if !completed {
+			// A panic (or outer-cancellation unwind) is escaping through
+			// this nested region: its deques and counters are in an
+			// unknown state, so poison the team and let releaseTeam
+			// rebuild it before reuse.
+			team.poisoned = true
+		}
+		rt.releaseTeam(team)
+	}()
 	rt.monitor.NestedFork(c.tid, 1)
 	rt.stats.Regions.Add(1)
 	rt.stats.Threads.Add(1)
-	inner := &Context{team: team, tid: 0, groups: []*taskGroup{{}}}
+	// The inner context inherits the executing thread's layer identity:
+	// the serialized team runs on the same worker.
+	inner := &Context{team: team, tid: 0, wid: c.wid, groups: []*taskGroup{{}}}
 	body(inner)
 	team.drain(0, nil)
 	rt.monitor.NestedJoin(c.tid)
+	completed = true
 	return nil
 }

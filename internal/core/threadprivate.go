@@ -3,10 +3,11 @@ package core
 import "sync"
 
 // ThreadPrivate is per-thread storage that persists across parallel
-// regions of one runtime — the threadprivate directive's semantics. Pool
-// workers keep their thread ids across regions (the pool never shuffles
-// them), so a thread re-encounters its own copy in later regions, exactly
-// as OpenMP guarantees for teams of constant size.
+// regions of one runtime — the threadprivate directive's semantics.
+// Copies are keyed by the layer-level worker identity (stable for a pool
+// worker's whole life, and unique across concurrently running teams), so
+// a physical thread re-encounters its own copy in later regions, as
+// OpenMP guarantees for persistent threads.
 type ThreadPrivate[T any] struct {
 	mu   sync.Mutex
 	vals map[int]*T
@@ -23,27 +24,27 @@ func NewThreadPrivate[T any](init func() T) *ThreadPrivate[T] {
 // Get returns the calling thread's copy, creating it on first touch. Pass
 // nil for the initial thread outside parallel regions.
 func (tp *ThreadPrivate[T]) Get(c *Context) *T {
-	tid := tidOf(c)
+	wid := widOf(c)
 	tp.mu.Lock()
 	defer tp.mu.Unlock()
-	v, ok := tp.vals[tid]
+	v, ok := tp.vals[wid]
 	if !ok {
 		v = new(T)
 		if tp.init != nil {
 			*v = tp.init()
 		}
-		tp.vals[tid] = v
+		tp.vals[wid] = v
 	}
 	return v
 }
 
-// ForEach visits every existing copy (tid, value) outside parallel
+// ForEach visits every existing copy (worker id, value) outside parallel
 // execution — the aggregation step threadprivate reductions end with.
 // The visit order is unspecified.
-func (tp *ThreadPrivate[T]) ForEach(fn func(tid int, v *T)) {
+func (tp *ThreadPrivate[T]) ForEach(fn func(wid int, v *T)) {
 	tp.mu.Lock()
 	defer tp.mu.Unlock()
-	for tid, v := range tp.vals {
-		fn(tid, v)
+	for wid, v := range tp.vals {
+		fn(wid, v)
 	}
 }

@@ -324,17 +324,18 @@ type chargeCounter struct {
 	total atomicFloat
 }
 
-func (c *chargeCounter) Fork(int)          {}
-func (c *chargeCounter) Join()             {}
-func (c *chargeCounter) Barrier()          {}
-func (c *chargeCounter) CriticalEnter(int) {}
-func (c *chargeCounter) CriticalExit(int)  {}
-func (c *chargeCounter) Single(int)        {}
-func (c *chargeCounter) Reduction(int)     {}
-func (c *chargeCounter) Task(int)          {}
-func (c *chargeCounter) Steal(int, int)    {}
+func (c *chargeCounter) Fork(int)            {}
+func (c *chargeCounter) Join()               {}
+func (c *chargeCounter) Barrier()            {}
+func (c *chargeCounter) CriticalEnter(int)   {}
+func (c *chargeCounter) CriticalExit(int)    {}
+func (c *chargeCounter) Single(int)          {}
+func (c *chargeCounter) Reduction(int)       {}
+func (c *chargeCounter) Task(int)            {}
+func (c *chargeCounter) Steal(int, int)      {}
 func (c *chargeCounter) NestedFork(int, int) {}
-func (c *chargeCounter) NestedJoin(int)    {}
+func (c *chargeCounter) NestedJoin(int)      {}
+func (c *chargeCounter) Cancel()             {}
 func (c *chargeCounter) Charge(tid int, u float64) {
 	c.total.Add(u)
 }

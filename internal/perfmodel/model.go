@@ -339,6 +339,11 @@ func (m *Model) NestedFork(int, int) {}
 // NestedJoin mirrors NestedFork.
 func (m *Model) NestedJoin(int) {}
 
+// Cancel is a no-op for the model: a canceled region's threads stop
+// charging work, which is already the only signal the virtual clocks
+// consume.
+func (m *Model) Cancel() {}
+
 // Utilization reports, for the current (unfinished) region, each
 // thread's busy fraction relative to the busiest thread — the imbalance
 // view a profiler would show. Empty outside a region.

@@ -30,6 +30,7 @@ const (
 	EvSteal
 	EvNestedFork
 	EvNestedJoin
+	EvCancel
 )
 
 var kindNames = [...]string{
@@ -45,6 +46,7 @@ var kindNames = [...]string{
 	EvSteal:         "steal",
 	EvNestedFork:    "nested-fork",
 	EvNestedJoin:    "nested-join",
+	EvCancel:        "cancel",
 }
 
 func (k EventKind) String() string {
@@ -80,6 +82,7 @@ type Summary struct {
 	Criticals                                   uint64
 	Tasks, Steals                               uint64
 	NestedForks, NestedJoins                    uint64
+	Cancels                                     uint64
 	ChargeEvents                                uint64
 	UnitsCharged                                float64
 	UnitsByThread                               map[int]float64
@@ -148,6 +151,8 @@ func (r *Recorder) record(kind EventKind, tid int, units float64) {
 		r.sum.NestedForks++
 	case EvNestedJoin:
 		r.sum.NestedJoins++
+	case EvCancel:
+		r.sum.Cancels++
 	case EvCharge:
 		r.sum.ChargeEvents++
 		r.sum.UnitsCharged += units
@@ -191,6 +196,9 @@ func (r *Recorder) NestedFork(tid, n int) { r.record(EvNestedFork, tid, float64(
 
 // NestedJoin implements core.Monitor.
 func (r *Recorder) NestedJoin(tid int) { r.record(EvNestedJoin, tid, 0) }
+
+// Cancel implements core.Monitor.
+func (r *Recorder) Cancel() { r.record(EvCancel, -1, 0) }
 
 var _ core.Monitor = (*Recorder)(nil)
 
@@ -338,6 +346,13 @@ func (t Tee) NestedFork(tid, n int) {
 func (t Tee) NestedJoin(tid int) {
 	for _, m := range t {
 		m.NestedJoin(tid)
+	}
+}
+
+// Cancel implements core.Monitor.
+func (t Tee) Cancel() {
+	for _, m := range t {
+		m.Cancel()
 	}
 }
 
