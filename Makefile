@@ -28,6 +28,7 @@ experiments:
 	$(GO) run ./cmd/ompmca-info
 	$(GO) run ./cmd/ompmca-boot -v
 	$(GO) run ./cmd/ompmca-validate
+	$(GO) run ./cmd/ompmca-offload
 
 clean:
 	$(GO) clean ./...

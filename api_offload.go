@@ -1,0 +1,59 @@
+package openmpmca
+
+import (
+	"openmpmca/internal/offload"
+)
+
+// Multi-domain offload: distribute parallel-for regions across runtime
+// domains — separate Runtime instances on their own hypervisor
+// partitions — that communicate exclusively over MCAPI. See
+// internal/offload for the architecture.
+
+// Offload farms ParallelFor regions out to worker domains; see NewOffload.
+type Offload = offload.Offloader
+
+// OffloadOption configures NewOffload.
+type OffloadOption = offload.Option
+
+// OffloadKernel is a distributable parallel-for body: Chunk runs a
+// subrange on one domain's runtime, Fold merges partial results in
+// chunk order.
+type OffloadKernel = offload.Kernel
+
+// OffloadFuncKernel adapts plain funcs into an OffloadKernel.
+type OffloadFuncKernel = offload.FuncKernel
+
+// OffloadRegistry maps kernel names to kernels; the host and every
+// worker domain resolve chunk descriptors against the same registry.
+type OffloadRegistry = offload.Registry
+
+// OffloadStats is a snapshot of the offload counters (RemoteChunks,
+// Resends, DomainsLost, ...).
+type OffloadStats = offload.StatsSnapshot
+
+// OffloadEventSink receives offload send/recv trace events; a
+// trace.Recorder satisfies it.
+type OffloadEventSink = offload.EventSink
+
+// ErrDomainLost marks a region during which a worker domain died; the
+// region's result is still complete (its chunks re-ran elsewhere).
+var ErrDomainLost = offload.ErrDomainLost
+
+// NewOffloadRegistry creates an empty kernel registry.
+func NewOffloadRegistry() *OffloadRegistry { return offload.NewRegistry() }
+
+// NewOffload partitions a simulated board into a host domain plus worker
+// domains (default 3), boots an MCA-backed Runtime on each, and wires
+// them together over MCAPI packet channels.
+func NewOffload(reg *OffloadRegistry, opts ...OffloadOption) (*Offload, error) {
+	return offload.New(reg, opts...)
+}
+
+// WithDomains sets the number of worker domains.
+func WithDomains(n int) OffloadOption { return offload.WithDomains(n) }
+
+// WithOffloadChunkIters fixes the iterations per offloaded chunk.
+func WithOffloadChunkIters(n int) OffloadOption { return offload.WithChunkIters(n) }
+
+// WithOffloadEventSink installs a sink for offload trace events.
+func WithOffloadEventSink(s OffloadEventSink) OffloadOption { return offload.WithEventSink(s) }

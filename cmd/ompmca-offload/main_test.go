@@ -1,0 +1,22 @@
+package main
+
+import (
+	"io"
+	"log"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives the full demo — clean region plus the
+// fault-injected one — at a reduced size.
+func TestRunSmoke(t *testing.T) {
+	if err := run(60_000, 3, time.Millisecond, log.New(io.Discard, "", 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeqCountDeterministic(t *testing.T) {
+	if a, b := seqCount(10_000), seqCount(10_000); a != b || a == 0 {
+		t.Fatalf("seqCount unstable or degenerate: %d vs %d", a, b)
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestParallelForRangeCoversOnce(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(4)), WithNumThreads(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	const n = 1001
+	var mu sync.Mutex
+	hits := make([]int, n)
+	var ranges int
+	err = rt.ParallelForRange(n, func(lo, hi int) {
+		if lo < 0 || hi > n || lo >= hi {
+			t.Errorf("bad range [%d,%d)", lo, hi)
+		}
+		mu.Lock()
+		ranges++
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("iteration %d executed %d times", i, h)
+		}
+	}
+	if ranges > 4 {
+		t.Errorf("static block schedule issued %d ranges for a team of 4", ranges)
+	}
+}
+
+func TestParallelForRangeEmpty(t *testing.T) {
+	rt, err := New(WithLayer(NewNativeLayer(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	called := false
+	if err := rt.ParallelForRange(0, func(lo, hi int) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("body called for an empty range")
+	}
+}

@@ -519,6 +519,18 @@ func (r *Runtime) ParallelForCtx(ctx context.Context, n int, body func(i int)) e
 	return r.ParallelCtx(ctx, func(c *Context) { c.For(n, body) })
 }
 
+// ParallelForRange forks a team and workshares iterations 0..n-1 with a
+// static block schedule, handing each thread one contiguous [lo,hi)
+// range (#pragma omp parallel for schedule(static)). This is the
+// zero-per-index-overhead fork: no closure call per iteration, which is
+// what an offload domain wants when executing a remote chunk whose body
+// is already a range kernel.
+func (r *Runtime) ParallelForRange(n int, body func(lo, hi int)) error {
+	return r.Parallel(func(c *Context) {
+		c.ForRange(n, LoopOpts{Schedule: ScheduleStatic}, body)
+	})
+}
+
 // criticalMutex returns the mutex backing the named critical section,
 // creating it through the thread layer on first use.
 func (r *Runtime) criticalMutex(name string) RuntimeMutex {

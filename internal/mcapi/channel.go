@@ -131,6 +131,20 @@ func (h *PktRecvHandle) Recv(timeout Timeout) ([]byte, error) {
 	return m.data, nil
 }
 
+// RecvI is the non-blocking packet receive (mcapi_pktchan_recv_i) with a
+// request-level deadline: the returned Request completes with the next
+// packet, with ErrTimeout once timeout elapses with nothing queued, or
+// with ErrRequestCanceled when Cancel beats both. TimeoutInfinite waits
+// for a packet or a Cancel indefinitely.
+func (h *PktRecvHandle) RecvI(timeout Timeout) *Request {
+	r := newRequest()
+	go recvPoll(r, timeout, func(t Timeout) ([]byte, int, error) {
+		data, err := h.Recv(t)
+		return data, 0, err
+	})
+	return r
+}
+
 // Available reports queued packets on the receive side.
 func (h *PktRecvHandle) Available() int { return h.ep.Available() }
 

@@ -136,27 +136,68 @@ func MsgSendI(to *Endpoint, data []byte, priority int) *Request {
 	return r
 }
 
+// recvPollSlice paces the cancellation checks of deadline-aware receive
+// requests: the underlying blocking receive is issued in slices this long
+// so a Cancel (or an expired deadline) wins between arrivals.
+const recvPollSlice = 2 * time.Millisecond
+
+// recvPoll drives a cancelable, deadline-bounded receive request over any
+// blocking receive primitive. It completes the request with the received
+// payload, with ErrTimeout once the deadline elapses with nothing queued,
+// or not at all when a Cancel wins first.
+func recvPoll(r *Request, timeout Timeout, recv func(Timeout) ([]byte, int, error)) {
+	var deadline time.Time
+	if timeout > TimeoutImmediate {
+		deadline = time.Now().Add(time.Duration(timeout))
+	}
+	for {
+		select {
+		case <-r.cancelCh:
+			return
+		default:
+		}
+		step := Timeout(recvPollSlice)
+		if timeout == TimeoutImmediate {
+			step = TimeoutImmediate
+		} else if !deadline.IsZero() {
+			rem := time.Until(deadline)
+			if rem <= 0 {
+				r.complete(nil, 0, ErrTimeout)
+				return
+			}
+			if rem < recvPollSlice {
+				step = Timeout(rem)
+			}
+		}
+		data, prio, err := recv(step)
+		if err == ErrTimeout {
+			if timeout == TimeoutImmediate || (!deadline.IsZero() && !time.Now().Before(deadline)) {
+				r.complete(nil, 0, ErrTimeout)
+				return
+			}
+			continue
+		}
+		r.complete(data, prio, err)
+		return
+	}
+}
+
 // MsgRecvI is the non-blocking message receive (mcapi_msg_recv_i). The
 // payload is retrieved from the Request after completion. A canceled
 // receive re-queues nothing: cancellation only wins if it beats message
 // arrival.
 func MsgRecvI(from *Endpoint) *Request {
+	return MsgRecvTI(from, TimeoutInfinite)
+}
+
+// MsgRecvTI is MsgRecvI bounded by a deadline — mcapi_msg_recv_i whose
+// request carries its own timeout, the gap the offload layer exposed:
+// a host waiting on a worker domain needs a receive it can both abandon
+// at a per-chunk deadline (the request completes with ErrTimeout) and
+// cancel outright when the domain is declared lost (Cancel, completing
+// with ErrRequestCanceled). Test/Wait observe whichever happens first.
+func MsgRecvTI(from *Endpoint, timeout Timeout) *Request {
 	r := newRequest()
-	go func() {
-		// Poll with short slices so a Cancel can win between arrivals.
-		for {
-			select {
-			case <-r.cancelCh:
-				return
-			default:
-			}
-			data, prio, err := MsgRecv(from, Timeout(2*time.Millisecond))
-			if err == ErrTimeout {
-				continue
-			}
-			r.complete(data, prio, err)
-			return
-		}
-	}()
+	go recvPoll(r, timeout, func(t Timeout) ([]byte, int, error) { return MsgRecv(from, t) })
 	return r
 }

@@ -1,0 +1,138 @@
+package mcapi
+
+import (
+	"testing"
+	"time"
+)
+
+// newPair returns a system with two endpoints on separate nodes.
+func newPair(t *testing.T, attrs *EndpointAttributes) (*Endpoint, *Endpoint) {
+	t.Helper()
+	sys := NewSystem()
+	na, err := sys.Initialize(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := sys.Initialize(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := na.CreateEndpoint(1, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nb.CreateEndpoint(1, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestMsgRecvTIDeadline(t *testing.T) {
+	_, b := newPair(t, nil)
+	start := time.Now()
+	r := MsgRecvTI(b, Timeout(30*time.Millisecond))
+	if err := r.Wait(TimeoutInfinite); err != ErrTimeout {
+		t.Fatalf("Wait = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 25*time.Millisecond {
+		t.Errorf("deadline fired after %v, want >= ~30ms", elapsed)
+	}
+	if done, err := r.Test(); !done || err != ErrTimeout {
+		t.Errorf("Test = %v, %v after deadline", done, err)
+	}
+}
+
+func TestMsgRecvTIDelivery(t *testing.T) {
+	_, b := newPair(t, nil)
+	r := MsgRecvTI(b, Timeout(2*time.Second))
+	time.Sleep(5 * time.Millisecond)
+	if err := MsgSend(b, []byte("ping"), 2, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(Timeout(2 * time.Second)); err != nil {
+		t.Fatalf("Wait = %v", err)
+	}
+	data, prio, err := r.Payload()
+	if err != nil || string(data) != "ping" || prio != 2 {
+		t.Fatalf("Payload = %q, %d, %v", data, prio, err)
+	}
+}
+
+func TestMsgRecvTICancelBeatsDeadline(t *testing.T) {
+	_, b := newPair(t, nil)
+	r := MsgRecvTI(b, Timeout(time.Second))
+	if err := r.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(TimeoutInfinite); err != ErrRequestCanceled {
+		t.Fatalf("Wait after Cancel = %v, want ErrRequestCanceled", err)
+	}
+	// Cancellation won before arrival: a later message is still receivable
+	// by a plain blocking receive.
+	if err := MsgSend(b, []byte("late"), 0, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := MsgRecv(b, Timeout(time.Second))
+	if err != nil || string(data) != "late" {
+		t.Fatalf("MsgRecv after canceled request = %q, %v", data, err)
+	}
+}
+
+func TestPktRecvIDeadlineAndDelivery(t *testing.T) {
+	a, b := newPair(t, nil)
+	if err := PktConnect(a, b); err != nil {
+		t.Fatal(err)
+	}
+	send, err := PktOpenSend(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv, err := PktOpenRecv(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deadline path: nothing queued.
+	r := recv.RecvI(Timeout(20 * time.Millisecond))
+	if err := r.Wait(TimeoutInfinite); err != ErrTimeout {
+		t.Fatalf("RecvI deadline: Wait = %v, want ErrTimeout", err)
+	}
+
+	// Delivery path: packet beats the deadline.
+	r = recv.RecvI(Timeout(2 * time.Second))
+	if err := send.Send([]byte{7, 7}, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(Timeout(2 * time.Second)); err != nil {
+		t.Fatalf("RecvI delivery: Wait = %v", err)
+	}
+	data, _, err := r.Payload()
+	if err != nil || len(data) != 2 || data[0] != 7 {
+		t.Fatalf("RecvI Payload = %v, %v", data, err)
+	}
+
+	// Cancel path: a pending infinite receive aborts immediately.
+	r = recv.RecvI(TimeoutInfinite)
+	if err := r.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(TimeoutInfinite); err != ErrRequestCanceled {
+		t.Fatalf("RecvI Cancel: Wait = %v, want ErrRequestCanceled", err)
+	}
+}
+
+func TestMsgRecvTIImmediate(t *testing.T) {
+	_, b := newPair(t, nil)
+	r := MsgRecvTI(b, TimeoutImmediate)
+	if err := r.Wait(Timeout(time.Second)); err != ErrTimeout {
+		t.Fatalf("immediate empty receive: Wait = %v, want ErrTimeout", err)
+	}
+	if err := MsgSend(b, []byte("x"), 0, TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	r = MsgRecvTI(b, TimeoutImmediate)
+	if err := r.Wait(Timeout(time.Second)); err != nil {
+		t.Fatalf("immediate receive with queued message: Wait = %v", err)
+	}
+}

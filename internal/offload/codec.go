@@ -1,0 +1,160 @@
+package offload
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire codec for the offload protocol. One encoded message per MCAPI
+// packet (chunk descriptors and results over the per-domain packet
+// channels) or connectionless message (heartbeats). All integers are
+// little-endian; the first byte is the message kind:
+//
+//	chunk:    kind | region u64 | chunk u32 | attempt u32 | lo i64 |
+//	          hi i64 | kernelLen u16 | kernel | argLen u32 | arg
+//	result:   kind | region u64 | chunk u32 | attempt u32 | status u8 |
+//	          payloadLen u32 | payload
+//	ping/pong: kind | domain u32 | seq u64
+//	shutdown: kind
+//
+// The codec is deliberately hand-rolled: the messages cross what the
+// model treats as a hardware boundary (two hypervisor partitions sharing
+// only the MCAPI fabric), so nothing Go-specific — no gob, no pointers —
+// may appear on the wire.
+
+type msgKind uint8
+
+const (
+	kindChunk msgKind = 1 + iota
+	kindResult
+	kindPing
+	kindPong
+	kindShutdown
+)
+
+// Result statuses.
+const (
+	statusOK uint8 = iota
+	statusUnknownKernel
+	statusKernelError
+)
+
+// chunkMsg describes one iteration range for a worker domain to execute.
+type chunkMsg struct {
+	Region  uint64
+	Chunk   uint32
+	Attempt uint32
+	Lo, Hi  int64
+	Kernel  string
+	Arg     []byte
+}
+
+// resultMsg carries one chunk's outcome back to the host.
+type resultMsg struct {
+	Region  uint64
+	Chunk   uint32
+	Attempt uint32
+	Status  uint8
+	Payload []byte
+}
+
+// hbMsg is a heartbeat ping or pong.
+type hbMsg struct {
+	Domain uint32
+	Seq    uint64
+}
+
+func encodeChunk(m chunkMsg) []byte {
+	buf := make([]byte, 0, 1+8+4+4+8+8+2+len(m.Kernel)+4+len(m.Arg))
+	buf = append(buf, byte(kindChunk))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Region)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Chunk)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Attempt)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Lo))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Hi))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Kernel)))
+	buf = append(buf, m.Kernel...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Arg)))
+	buf = append(buf, m.Arg...)
+	return buf
+}
+
+func decodeChunk(pkt []byte) (chunkMsg, error) {
+	var m chunkMsg
+	if len(pkt) < 1+8+4+4+8+8+2 || msgKind(pkt[0]) != kindChunk {
+		return m, fmt.Errorf("offload: malformed chunk message (%d bytes)", len(pkt))
+	}
+	p := pkt[1:]
+	m.Region = binary.LittleEndian.Uint64(p)
+	m.Chunk = binary.LittleEndian.Uint32(p[8:])
+	m.Attempt = binary.LittleEndian.Uint32(p[12:])
+	m.Lo = int64(binary.LittleEndian.Uint64(p[16:]))
+	m.Hi = int64(binary.LittleEndian.Uint64(p[24:]))
+	klen := int(binary.LittleEndian.Uint16(p[32:]))
+	p = p[34:]
+	if len(p) < klen+4 {
+		return m, fmt.Errorf("offload: chunk message truncated in kernel name")
+	}
+	m.Kernel = string(p[:klen])
+	p = p[klen:]
+	alen := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) != alen {
+		return m, fmt.Errorf("offload: chunk message arg length %d, have %d bytes", alen, len(p))
+	}
+	if alen > 0 {
+		m.Arg = append([]byte(nil), p...)
+	}
+	return m, nil
+}
+
+func encodeResult(m resultMsg) []byte {
+	buf := make([]byte, 0, 1+8+4+4+1+4+len(m.Payload))
+	buf = append(buf, byte(kindResult))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Region)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Chunk)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Attempt)
+	buf = append(buf, m.Status)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	return buf
+}
+
+func decodeResult(pkt []byte) (resultMsg, error) {
+	var m resultMsg
+	if len(pkt) < 1+8+4+4+1+4 || msgKind(pkt[0]) != kindResult {
+		return m, fmt.Errorf("offload: malformed result message (%d bytes)", len(pkt))
+	}
+	p := pkt[1:]
+	m.Region = binary.LittleEndian.Uint64(p)
+	m.Chunk = binary.LittleEndian.Uint32(p[8:])
+	m.Attempt = binary.LittleEndian.Uint32(p[12:])
+	m.Status = p[16]
+	plen := int(binary.LittleEndian.Uint32(p[17:]))
+	p = p[21:]
+	if len(p) != plen {
+		return m, fmt.Errorf("offload: result payload length %d, have %d bytes", plen, len(p))
+	}
+	if plen > 0 {
+		m.Payload = append([]byte(nil), p...)
+	}
+	return m, nil
+}
+
+func encodeHB(kind msgKind, m hbMsg) []byte {
+	buf := make([]byte, 0, 1+4+8)
+	buf = append(buf, byte(kind))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Domain)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	return buf
+}
+
+func decodeHB(kind msgKind, msg []byte) (hbMsg, error) {
+	var m hbMsg
+	if len(msg) != 1+4+8 || msgKind(msg[0]) != kind {
+		return m, fmt.Errorf("offload: malformed heartbeat (%d bytes)", len(msg))
+	}
+	m.Domain = binary.LittleEndian.Uint32(msg[1:])
+	m.Seq = binary.LittleEndian.Uint64(msg[5:])
+	return m, nil
+}

@@ -1,0 +1,110 @@
+package offload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChunkRoundTrip(t *testing.T) {
+	in := chunkMsg{
+		Region:  42,
+		Chunk:   7,
+		Attempt: 3,
+		Lo:      -5,
+		Hi:      1 << 40,
+		Kernel:  "ep-like",
+		Arg:     []byte{1, 2, 3},
+	}
+	out, err := decodeChunk(encodeChunk(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Region != in.Region || out.Chunk != in.Chunk || out.Attempt != in.Attempt ||
+		out.Lo != in.Lo || out.Hi != in.Hi || out.Kernel != in.Kernel || !bytes.Equal(out.Arg, in.Arg) {
+		t.Errorf("round trip mismatch: %+v != %+v", out, in)
+	}
+
+	empty := chunkMsg{Region: 1, Kernel: "k"}
+	out, err = decodeChunk(encodeChunk(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Arg != nil {
+		t.Errorf("empty arg decoded as %v", out.Arg)
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	in := resultMsg{Region: 9, Chunk: 2, Attempt: 1, Status: statusKernelError, Payload: []byte("boom")}
+	out, err := decodeResult(encodeResult(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Region != in.Region || out.Chunk != in.Chunk || out.Attempt != in.Attempt ||
+		out.Status != in.Status || !bytes.Equal(out.Payload, in.Payload) {
+		t.Errorf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestHeartbeatRoundTrip(t *testing.T) {
+	for _, kind := range []msgKind{kindPing, kindPong} {
+		in := hbMsg{Domain: 3, Seq: 99}
+		out, err := decodeHB(kind, encodeHB(kind, in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != in {
+			t.Errorf("kind %d round trip mismatch: %+v != %+v", kind, out, in)
+		}
+	}
+	if _, err := decodeHB(kindPong, encodeHB(kindPing, hbMsg{})); err == nil {
+		t.Error("pong decoder accepted a ping")
+	}
+}
+
+func TestDecodeMalformed(t *testing.T) {
+	good := encodeChunk(chunkMsg{Region: 1, Kernel: "k", Arg: []byte{1}})
+	cases := [][]byte{
+		nil,
+		{byte(kindResult)},
+		good[:len(good)-1],            // truncated arg
+		append(good, 0xff),            // trailing garbage
+		{byte(kindChunk), 0, 0, 0},    // way short
+		encodeResult(resultMsg{})[:5], // truncated result
+		encodeHB(kindPing, hbMsg{})[:4],
+	}
+	for i, pkt := range cases {
+		if _, err := decodeChunk(pkt); err == nil && len(pkt) > 0 && msgKind(pkt[0]) == kindChunk {
+			t.Errorf("case %d: decodeChunk accepted malformed input", i)
+		}
+		if _, err := decodeResult(pkt); err == nil && len(pkt) > 0 && msgKind(pkt[0]) == kindResult {
+			t.Errorf("case %d: decodeResult accepted malformed input", i)
+		}
+		if _, err := decodeHB(kindPing, pkt); err == nil {
+			t.Errorf("case %d: decodeHB accepted malformed input", i)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	reg := NewRegistry()
+	k := FuncKernel{KernelName: "a"}
+	if err := reg.Register(k); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(k); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := reg.Register(FuncKernel{}); err == nil {
+		t.Error("empty-name registration accepted")
+	}
+	if _, ok := reg.Lookup("a"); !ok {
+		t.Error("registered kernel not found")
+	}
+	if _, ok := reg.Lookup("b"); ok {
+		t.Error("phantom kernel found")
+	}
+	if n := reg.Names(); len(n) != 1 || n[0] != "a" {
+		t.Errorf("Names() = %v", n)
+	}
+}

@@ -1,0 +1,150 @@
+package offload
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/mcapi"
+)
+
+// domain is the worker side of one offload pairing: an OpenMP runtime
+// bound to its own hypervisor partition, reachable from the host only
+// through MCAPI. Its dispatcher pops chunk descriptors off the command
+// packet channel, runs them on the partition's runtime, and pushes
+// encoded results back on the result channel; a second goroutine answers
+// heartbeat pings so the host can tell a busy domain from a dead one.
+type domain struct {
+	id   int    // 1-based; MCAPI domain ID and partition ordinal
+	name string // hypervisor partition name
+	rt   *core.Runtime
+	node *mcapi.Node
+	reg  *Registry
+
+	cmdRecv *mcapi.PktRecvHandle // host -> domain chunk descriptors
+	resSend *mcapi.PktSendHandle // domain -> host results
+	hbEp    *mcapi.Endpoint      // receives host pings
+	hbHost  *mcapi.Endpoint      // host endpoint pongs are sent to
+
+	killed atomic.Bool
+	cmdReq atomic.Pointer[mcapi.Request]
+	hbReq  atomic.Pointer[mcapi.Request]
+	wg     sync.WaitGroup
+}
+
+func (d *domain) start() {
+	d.wg.Add(2)
+	go d.dispatch()
+	go d.heartbeat()
+}
+
+// Kill simulates the domain crashing: both service loops abandon their
+// pending receives and any chunk in progress dies without a result. The
+// host only learns of the crash the way real hardware would — missed
+// heartbeats. Idempotent.
+func (d *domain) Kill() {
+	if !d.killed.CompareAndSwap(false, true) {
+		return
+	}
+	if r := d.cmdReq.Load(); r != nil {
+		_ = r.Cancel()
+	}
+	if r := d.hbReq.Load(); r != nil {
+		_ = r.Cancel()
+	}
+}
+
+// stop tears the domain down for good. The node is finalized before
+// waiting so loops blocked in MCAPI receives are woken by endpoint
+// deletion; the host must have finalized its own node first so a
+// dispatcher blocked sending into a full host queue is woken too.
+func (d *domain) stop() {
+	d.Kill()
+	_ = d.node.Finalize()
+	d.wg.Wait()
+	_ = d.rt.Close()
+}
+
+// dispatch is the domain's command loop. Receives are issued as
+// cancelable requests so Kill can yank the loop out from under a blocked
+// receive; the killed re-check after storing the request closes the race
+// where Kill runs between RecvI and Store.
+func (d *domain) dispatch() {
+	defer d.wg.Done()
+	for {
+		req := d.cmdRecv.RecvI(mcapi.TimeoutInfinite)
+		d.cmdReq.Store(req)
+		if d.killed.Load() {
+			_ = req.Cancel()
+		}
+		if err := req.Wait(mcapi.TimeoutInfinite); err != nil {
+			return
+		}
+		pkt, _, _ := req.Payload()
+		if len(pkt) == 0 {
+			continue
+		}
+		switch msgKind(pkt[0]) {
+		case kindShutdown:
+			return
+		case kindChunk:
+			if !d.serve(pkt) {
+				return
+			}
+		}
+	}
+}
+
+// serve executes one chunk descriptor and reports the result; it returns
+// false when the domain should stop (killed, or the result channel is
+// gone).
+func (d *domain) serve(pkt []byte) bool {
+	m, err := decodeChunk(pkt)
+	if err != nil {
+		return true // drop malformed traffic, keep serving
+	}
+	res := resultMsg{Region: m.Region, Chunk: m.Chunk, Attempt: m.Attempt}
+	if k, ok := d.reg.Lookup(m.Kernel); !ok {
+		res.Status = statusUnknownKernel
+		res.Payload = []byte(m.Kernel)
+	} else if payload, kerr := k.Chunk(d.rt, int(m.Lo), int(m.Hi), m.Arg); kerr != nil {
+		res.Status = statusKernelError
+		res.Payload = []byte(kerr.Error())
+	} else {
+		res.Payload = payload
+	}
+	if d.killed.Load() {
+		// Crashed mid-chunk: the computed result dies with the domain.
+		return false
+	}
+	return d.resSend.Send(encodeResult(res), mcapi.TimeoutInfinite) == nil
+}
+
+// heartbeat answers host pings with pongs carrying the domain ID and the
+// ping's sequence number. Pongs are sent non-blocking: a full host queue
+// just drops the pong, which is exactly what a liveness probe wants.
+func (d *domain) heartbeat() {
+	defer d.wg.Done()
+	for {
+		req := mcapi.MsgRecvTI(d.hbEp, mcapi.TimeoutInfinite)
+		d.hbReq.Store(req)
+		if d.killed.Load() {
+			_ = req.Cancel()
+		}
+		if err := req.Wait(mcapi.TimeoutInfinite); err != nil {
+			return
+		}
+		msg, _, _ := req.Payload()
+		ping, err := decodeHB(kindPing, msg)
+		if err != nil {
+			continue
+		}
+		pong := encodeHB(kindPong, hbMsg{Domain: uint32(d.id), Seq: ping.Seq})
+		if err := mcapi.MsgSend(d.hbHost, pong, 0, mcapi.TimeoutImmediate); err != nil {
+			if err == mcapi.ErrMemLimit || err == mcapi.ErrTimeout {
+				continue // queue full: drop the pong
+			}
+			return // host endpoint gone
+		}
+	}
+}

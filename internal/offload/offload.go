@@ -1,0 +1,712 @@
+// Package offload distributes OpenMP parallel-for regions across
+// multiple runtime domains — separate core.Runtime instances, each bound
+// to its own hypervisor partition of the board — that communicate
+// exclusively over internal/mcapi.
+//
+// The host domain splits a region's iteration space into chunk
+// descriptors and farms them out on per-domain MCAPI packet channels,
+// interleaving local execution according to perfmodel cost estimates.
+// Credit-based backpressure bounds the chunks in flight per domain;
+// per-chunk deadlines and heartbeat-based health detection let the host
+// reclaim work from a slow or crashed domain, so a region always
+// completes — a lost domain surfaces as an ErrDomainLost-wrapped error
+// alongside the (complete, correct) result.
+//
+// This is the paper's §7 trajectory made concrete: MRAPI carries the
+// intra-runtime layer (core.MCALayer), and MCAPI — until now only
+// demonstrated by examples — becomes the load-bearing transport between
+// runtimes.
+package offload
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmpmca/internal/mcapi"
+	"openmpmca/internal/perfmodel"
+	"openmpmca/internal/platform"
+)
+
+// ErrDomainLost marks a region during which a worker domain died. The
+// region's result is still complete and correct — the lost domain's
+// chunks were re-executed elsewhere — so callers that can tolerate
+// degraded capacity may treat it as a warning.
+var ErrDomainLost = errors.New("offload: worker domain lost")
+
+// ErrClosed is returned by operations on a closed Offloader.
+var ErrClosed = errors.New("offload: offloader closed")
+
+// EventSink receives offload trace events. Domain -1 is the host's local
+// executor. trace.Recorder implements it.
+type EventSink interface {
+	OffloadSend(domain, chunk int)
+	OffloadRecv(domain, chunk int)
+}
+
+// config collects the tunables behind the Options.
+type config struct {
+	domains    int
+	board      *platform.Board
+	chunkIters int
+	deadline   time.Duration
+	retries    int
+	heartbeat  time.Duration
+	lostAfter  time.Duration
+	inflight   int
+	sink       EventSink
+	prof       perfmodel.KernelProfile
+}
+
+// Option configures New.
+type Option func(*config) error
+
+func defaultConfig() config {
+	return config{
+		domains:   3,
+		board:     platform.T4240RDB(),
+		deadline:  500 * time.Millisecond,
+		retries:   2,
+		heartbeat: 20 * time.Millisecond,
+		inflight:  2,
+		prof:      perfmodel.KernelProfile{Name: "offload", CyclesPerUnit: 1, MemoryIntensity: 0.2},
+	}
+}
+
+// WithDomains sets the number of worker domains (default 3).
+func WithDomains(n int) Option {
+	return func(c *config) error {
+		if n < 1 || n > 64 {
+			return fmt.Errorf("offload: WithDomains(%d): want 1..64", n)
+		}
+		c.domains = n
+		return nil
+	}
+}
+
+// WithBoard selects the simulated board to partition (default T4240RDB).
+func WithBoard(b *platform.Board) Option {
+	return func(c *config) error {
+		if b == nil {
+			return fmt.Errorf("offload: WithBoard(nil)")
+		}
+		c.board = b
+		return nil
+	}
+}
+
+// WithChunkIters fixes the iterations per chunk; 0 (the default) sizes
+// chunks so each executor sees about four.
+func WithChunkIters(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("offload: WithChunkIters(%d): want >= 0", n)
+		}
+		c.chunkIters = n
+		return nil
+	}
+}
+
+// WithChunkDeadline bounds how long the host waits for a chunk's result
+// before re-dispatching it (default 500ms).
+func WithChunkDeadline(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("offload: WithChunkDeadline(%v): want > 0", d)
+		}
+		c.deadline = d
+		return nil
+	}
+}
+
+// WithRetries sets how many re-dispatches a chunk gets before it is
+// pinned to local execution (default 2).
+func WithRetries(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("offload: WithRetries(%d): want >= 0", n)
+		}
+		c.retries = n
+		return nil
+	}
+}
+
+// WithHeartbeat sets the ping period; a domain missing pongs for eight
+// periods is declared lost (default 20ms).
+func WithHeartbeat(period time.Duration) Option {
+	return func(c *config) error {
+		if period <= 0 {
+			return fmt.Errorf("offload: WithHeartbeat(%v): want > 0", period)
+		}
+		c.heartbeat = period
+		return nil
+	}
+}
+
+// WithInflight sets the per-domain credit count — the chunk descriptors
+// allowed in flight to one domain at a time (default 2).
+func WithInflight(n int) Option {
+	return func(c *config) error {
+		if n < 1 || n > 32 {
+			return fmt.Errorf("offload: WithInflight(%d): want 1..32", n)
+		}
+		c.inflight = n
+		return nil
+	}
+}
+
+// WithEventSink installs a sink for EvOffloadSend/EvOffloadRecv events.
+func WithEventSink(s EventSink) Option {
+	return func(c *config) error {
+		c.sink = s
+		return nil
+	}
+}
+
+// WithProfile sets the perfmodel kernel profile used to weight the host
+// against the worker domains when interleaving local execution.
+func WithProfile(p perfmodel.KernelProfile) Option {
+	return func(c *config) error {
+		c.prof = p
+		return nil
+	}
+}
+
+// link is the host's view of one worker domain.
+type link struct {
+	d        *domain
+	cmd      *mcapi.PktSendHandle // chunk descriptors out
+	res      *mcapi.PktRecvHandle // results back
+	hbTo     *mcapi.Endpoint      // worker's ping endpoint
+	hbFrom   *mcapi.Endpoint      // host endpoint pongs arrive on
+	weight   float64              // perfmodel service rate (1/ns)
+	lost     atomic.Bool
+	lastPong atomic.Int64 // unix nanos of the latest pong
+}
+
+// stats are the Offloader's monotonically increasing counters.
+type stats struct {
+	regions      atomic.Uint64
+	remoteChunks atomic.Uint64
+	localChunks  atomic.Uint64
+	resends      atomic.Uint64
+	domainsLost  atomic.Uint64
+	heartbeats   atomic.Uint64
+}
+
+// StatsSnapshot is a point-in-time copy of the offload counters.
+type StatsSnapshot struct {
+	Regions      uint64 // ParallelFor regions run
+	RemoteChunks uint64 // chunks completed by worker domains
+	LocalChunks  uint64 // chunks completed by the host
+	Resends      uint64 // chunk re-dispatches (deadline or domain loss)
+	DomainsLost  uint64 // worker domains declared dead
+	Heartbeats   uint64 // pongs received
+}
+
+// arrival is one decoded result handed from a receiver to the scheduler.
+type arrival struct {
+	dom int // link index
+	msg resultMsg
+}
+
+// Offloader owns a partitioned board: one host runtime plus N worker
+// domains, all MCA-backed, joined only by MCAPI. It is safe for
+// concurrent use; regions are serialized internally.
+type Offloader struct {
+	cfg config
+	reg *Registry
+	cl  *cluster
+
+	resCh  chan arrival
+	lostCh chan int
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	regionMu  sync.Mutex
+	regionSeq uint64
+
+	closed atomic.Bool
+	st     stats
+}
+
+// New partitions the configured board, boots the host and worker
+// runtimes, wires the MCAPI fabric and starts health monitoring.
+func New(reg *Registry, opts ...Option) (*Offloader, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("offload: nil registry")
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.lostAfter == 0 {
+		cfg.lostAfter = 8 * cfg.heartbeat
+	}
+	cl, err := buildCluster(&cfg, reg)
+	if err != nil {
+		return nil, err
+	}
+	o := &Offloader{
+		cfg:    cfg,
+		reg:    reg,
+		cl:     cl,
+		resCh:  make(chan arrival, cfg.domains*(cfg.inflight+2)+8),
+		lostCh: make(chan int, cfg.domains),
+		stopCh: make(chan struct{}),
+	}
+	now := time.Now().UnixNano()
+	for _, l := range cl.links {
+		l.lastPong.Store(now)
+	}
+	for _, d := range cl.domains {
+		d.start()
+	}
+	o.wg.Add(len(cl.links) + 1)
+	for i := range cl.links {
+		go o.receiver(i)
+	}
+	go o.healthLoop()
+	return o, nil
+}
+
+// Domains reports the number of worker domains (live or lost).
+func (o *Offloader) Domains() int { return len(o.cl.links) }
+
+// Board returns the partitioned board.
+func (o *Offloader) Board() *platform.Board { return o.cfg.board }
+
+// Render draws the hypervisor partition map.
+func (o *Offloader) Render() string { return o.cl.hv.Render() }
+
+// Stats snapshots the offload counters.
+func (o *Offloader) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		Regions:      o.st.regions.Load(),
+		RemoteChunks: o.st.remoteChunks.Load(),
+		LocalChunks:  o.st.localChunks.Load(),
+		Resends:      o.st.resends.Load(),
+		DomainsLost:  o.st.domainsLost.Load(),
+		Heartbeats:   o.st.heartbeats.Load(),
+	}
+}
+
+// KillDomain crashes worker domain i (0-based) for fault injection. The
+// host is not told: it finds out through missed heartbeats, exactly as
+// it would for real hardware.
+func (o *Offloader) KillDomain(i int) error {
+	if i < 0 || i >= len(o.cl.links) {
+		return fmt.Errorf("offload: no domain %d", i)
+	}
+	o.cl.links[i].d.Kill()
+	return nil
+}
+
+// receiver drains one domain's result channel into resCh. It exits when
+// the channel dies (Close finalizes the host node) or the offloader
+// stops.
+func (o *Offloader) receiver(i int) {
+	defer o.wg.Done()
+	l := o.cl.links[i]
+	for {
+		pkt, err := l.res.Recv(mcapi.TimeoutInfinite)
+		if err != nil {
+			return
+		}
+		m, err := decodeResult(pkt)
+		if err != nil {
+			continue
+		}
+		select {
+		case o.resCh <- arrival{dom: i, msg: m}:
+		case <-o.stopCh:
+			return
+		}
+	}
+}
+
+// healthLoop pings every live domain each heartbeat period, folds pongs
+// into lastPong, and declares a domain lost once its pongs stop for
+// lostAfter.
+func (o *Offloader) healthLoop() {
+	defer o.wg.Done()
+	tick := time.NewTicker(o.cfg.heartbeat)
+	defer tick.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-o.stopCh:
+			return
+		case <-tick.C:
+		}
+		now := time.Now()
+		for i, l := range o.cl.links {
+			if l.lost.Load() {
+				continue
+			}
+			for {
+				msg, _, err := mcapi.MsgRecv(l.hbFrom, mcapi.TimeoutImmediate)
+				if err != nil {
+					break
+				}
+				if _, derr := decodeHB(kindPong, msg); derr == nil {
+					l.lastPong.Store(now.UnixNano())
+					o.st.heartbeats.Add(1)
+				}
+			}
+			if now.UnixNano()-l.lastPong.Load() > int64(o.cfg.lostAfter) {
+				o.markLost(i)
+				continue
+			}
+			seq++
+			ping := encodeHB(kindPing, hbMsg{Domain: uint32(l.d.id), Seq: seq})
+			_ = mcapi.MsgSend(l.hbTo, ping, 0, mcapi.TimeoutImmediate)
+		}
+	}
+}
+
+// markLost transitions a domain to lost exactly once: it stops being
+// scheduled, its process is killed, and the active region (if any) is
+// told to reclaim the domain's in-flight chunks.
+func (o *Offloader) markLost(i int) {
+	l := o.cl.links[i]
+	if !l.lost.CompareAndSwap(false, true) {
+		return
+	}
+	o.st.domainsLost.Add(1)
+	l.d.Kill()
+	select {
+	case o.lostCh <- i:
+	default:
+	}
+}
+
+// flight tracks one chunk descriptor in flight to a domain.
+type flight struct {
+	dom     int
+	attempt uint32
+	expiry  time.Time
+}
+
+// localResult is one chunk completed by the host's local executor.
+type localResult struct {
+	idx     int
+	payload []byte
+	err     error
+}
+
+// ParallelFor runs kernel over iterations [0,n), splitting the space
+// into chunks distributed across the worker domains and the host. The
+// kernel must be registered; arg is passed opaquely to every chunk.
+// Partial results are folded in ascending chunk order, so the result is
+// deterministic regardless of which domain computed which chunk.
+//
+// If a worker domain dies mid-region its chunks are re-executed
+// elsewhere: the full result is still returned, together with an error
+// wrapping ErrDomainLost.
+func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error) {
+	if o.closed.Load() {
+		return nil, ErrClosed
+	}
+	k, ok := o.reg.Lookup(kernel)
+	if !ok {
+		return nil, fmt.Errorf("offload: unknown kernel %q", kernel)
+	}
+	if n <= 0 {
+		return nil, nil
+	}
+
+	o.regionMu.Lock()
+	defer o.regionMu.Unlock()
+	o.regionSeq++
+	region := o.regionSeq
+	o.st.regions.Add(1)
+	o.drainStale()
+
+	chunkIters := o.cfg.chunkIters
+	if chunkIters <= 0 {
+		executors := len(o.cl.links) + 1
+		chunkIters = (n + 4*executors - 1) / (4 * executors)
+		if chunkIters < 1 {
+			chunkIters = 1
+		}
+	}
+	type chunkRange struct{ lo, hi int }
+	var chunks []chunkRange
+	for lo := 0; lo < n; lo += chunkIters {
+		hi := lo + chunkIters
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, chunkRange{lo, hi})
+	}
+	nc := len(chunks)
+	attempt := make([]uint32, nc)
+	forcedLocal := make([]bool, nc)
+	done := make([]bool, nc)
+	parts := make([][]byte, nc)
+	remaining := nc
+	pending := make([]int, nc)
+	for i := range pending {
+		pending[i] = i
+	}
+	inflight := make(map[int]flight, len(o.cl.links)*o.cfg.inflight)
+	credits := make([]int, len(o.cl.links))
+	for i := range credits {
+		credits[i] = o.cfg.inflight
+	}
+	var localDispatched, remoteDispatched int
+
+	// The local executor: one chunk at a time, fed only when the
+	// scheduler decides the host's share warrants it.
+	localCh := make(chan int, 1)
+	localDone := make(chan localResult, 1)
+	localBusy := false
+	go func() {
+		for idx := range localCh {
+			p, err := k.Chunk(o.cl.host, chunks[idx].lo, chunks[idx].hi, arg)
+			localDone <- localResult{idx: idx, payload: p, err: err}
+		}
+	}()
+	defer close(localCh)
+
+	localShare := func() float64 {
+		sum := o.cl.hostWeight
+		for _, l := range o.cl.links {
+			if !l.lost.Load() {
+				sum += l.weight
+			}
+		}
+		return o.cl.hostWeight / sum
+	}
+
+	// pump tops up every live domain to its credit limit with
+	// remote-eligible pending chunks. Non-blocking sends: a full command
+	// queue just means "try again next round".
+	pump := func() {
+		for li, l := range o.cl.links {
+			if l.lost.Load() {
+				continue
+			}
+			for credits[li] > 0 {
+				qi := -1
+				for j, ci := range pending {
+					if !forcedLocal[ci] {
+						qi = j
+						break
+					}
+				}
+				if qi < 0 {
+					return
+				}
+				ci := pending[qi]
+				pkt := encodeChunk(chunkMsg{
+					Region:  region,
+					Chunk:   uint32(ci),
+					Attempt: attempt[ci],
+					Lo:      int64(chunks[ci].lo),
+					Hi:      int64(chunks[ci].hi),
+					Kernel:  kernel,
+					Arg:     arg,
+				})
+				if err := l.cmd.Send(pkt, mcapi.TimeoutImmediate); err != nil {
+					break
+				}
+				pending = append(pending[:qi], pending[qi+1:]...)
+				credits[li]--
+				remoteDispatched++
+				inflight[ci] = flight{dom: li, attempt: attempt[ci], expiry: time.Now().Add(o.cfg.deadline)}
+				if o.cfg.sink != nil {
+					o.cfg.sink.OffloadSend(l.d.id, ci)
+				}
+			}
+		}
+	}
+
+	// maybeLocal feeds the host executor when it is idle and either a
+	// chunk is pinned local, the remote side is saturated or gone, or the
+	// host's perfmodel share says it should pull its weight.
+	maybeLocal := func() {
+		if localBusy || len(pending) == 0 {
+			return
+		}
+		qi := -1
+		for j, ci := range pending {
+			if forcedLocal[ci] {
+				qi = j
+				break
+			}
+		}
+		if qi < 0 {
+			live, free := 0, false
+			for li, l := range o.cl.links {
+				if !l.lost.Load() {
+					live++
+					if credits[li] > 0 {
+						free = true
+					}
+				}
+			}
+			run := live == 0 || !free
+			if !run {
+				frac := float64(localDispatched+1) / float64(localDispatched+remoteDispatched+1)
+				run = frac <= localShare()
+			}
+			if !run {
+				return
+			}
+			qi = len(pending) - 1 // steal from the tail, away from the remote FIFO
+		}
+		ci := pending[qi]
+		pending = append(pending[:qi], pending[qi+1:]...)
+		localCh <- ci
+		localBusy = true
+		localDispatched++
+		if o.cfg.sink != nil {
+			o.cfg.sink.OffloadSend(-1, ci)
+		}
+	}
+
+	requeue := func(ci int) {
+		attempt[ci]++
+		o.st.resends.Add(1)
+		if int(attempt[ci]) > o.cfg.retries {
+			forcedLocal[ci] = true
+		}
+		pending = append(pending, ci)
+	}
+
+	scan := o.cfg.deadline / 4
+	if scan < time.Millisecond {
+		scan = time.Millisecond
+	} else if scan > 25*time.Millisecond {
+		scan = 25 * time.Millisecond
+	}
+	tick := time.NewTicker(scan)
+	defer tick.Stop()
+
+	var regionErr error
+	for remaining > 0 {
+		pump()
+		maybeLocal()
+		select {
+		case a := <-o.resCh:
+			if a.msg.Region != region {
+				continue // straggler from an earlier region
+			}
+			l := o.cl.links[a.dom]
+			if !l.lost.Load() && credits[a.dom] < o.cfg.inflight {
+				credits[a.dom]++
+			}
+			ci := int(a.msg.Chunk)
+			if ci < 0 || ci >= nc || done[ci] {
+				continue // duplicate after a resend: first result won
+			}
+			switch a.msg.Status {
+			case statusOK:
+				done[ci] = true
+				parts[ci] = a.msg.Payload
+				remaining--
+				delete(inflight, ci)
+				o.st.remoteChunks.Add(1)
+				if o.cfg.sink != nil {
+					o.cfg.sink.OffloadRecv(l.d.id, ci)
+				}
+			case statusUnknownKernel:
+				return nil, fmt.Errorf("offload: domain %s does not know kernel %q", l.d.name, kernel)
+			default:
+				return nil, fmt.Errorf("offload: kernel %q failed on %s: %s", kernel, l.d.name, a.msg.Payload)
+			}
+
+		case lr := <-localDone:
+			localBusy = false
+			if lr.err != nil {
+				return nil, fmt.Errorf("offload: kernel %q failed locally: %w", kernel, lr.err)
+			}
+			if !done[lr.idx] {
+				done[lr.idx] = true
+				parts[lr.idx] = lr.payload
+				remaining--
+				o.st.localChunks.Add(1)
+				if o.cfg.sink != nil {
+					o.cfg.sink.OffloadRecv(-1, lr.idx)
+				}
+			}
+
+		case li := <-o.lostCh:
+			for ci, fl := range inflight {
+				if fl.dom == li {
+					delete(inflight, ci)
+					requeue(ci)
+				}
+			}
+			if regionErr == nil {
+				regionErr = fmt.Errorf("%w: %s (chunks re-executed elsewhere)",
+					ErrDomainLost, o.cl.links[li].d.name)
+			}
+
+		case <-tick.C:
+			now := time.Now()
+			for ci, fl := range inflight {
+				if now.After(fl.expiry) {
+					delete(inflight, ci)
+					requeue(ci)
+				}
+			}
+		}
+	}
+
+	var acc []byte
+	for ci := 0; ci < nc; ci++ {
+		var err error
+		if acc, err = k.Fold(acc, parts[ci]); err != nil {
+			return nil, fmt.Errorf("offload: fold chunk %d: %w", ci, err)
+		}
+	}
+	return acc, regionErr
+}
+
+// drainStale empties events left over from previous regions. Stale
+// results are identified by region ID anyway, and credits are
+// per-region, so these can be dropped silently; a domain lost between
+// regions has no in-flight chunks to reclaim.
+func (o *Offloader) drainStale() {
+	for {
+		select {
+		case <-o.resCh:
+		case <-o.lostCh:
+		default:
+			return
+		}
+	}
+}
+
+// Close shuts the cluster down: workers get a best-effort shutdown
+// message, the host's endpoints are finalized first (waking any worker
+// blocked sending into a full host queue), then each domain is stopped
+// and the host runtime closed. Idempotent.
+func (o *Offloader) Close() error {
+	if !o.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(o.stopCh)
+	for _, l := range o.cl.links {
+		if !l.lost.Load() {
+			_ = l.cmd.Send([]byte{byte(kindShutdown)}, mcapi.TimeoutImmediate)
+		}
+	}
+	_ = o.cl.hostNode.Finalize()
+	for _, d := range o.cl.domains {
+		d.stop()
+	}
+	o.wg.Wait()
+	err := o.cl.host.Close()
+	for _, p := range o.cl.hv.Partitions() {
+		_ = o.cl.hv.Stop(p.Name)
+	}
+	return err
+}

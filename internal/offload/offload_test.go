@@ -1,0 +1,276 @@
+package offload
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/trace"
+)
+
+// trace.Recorder must satisfy EventSink so offload events land in the
+// same ring as runtime events.
+var _ EventSink = (*trace.Recorder)(nil)
+
+// mix is a cheap deterministic hash so chunk results depend on the exact
+// iteration indices computed.
+func mix(i int64) int64 {
+	x := uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 29
+	return int64(x % 1000003)
+}
+
+// sumKernel sums mix(i) over the chunk using the executing domain's
+// OpenMP runtime; delay stretches each chunk so tests can inject faults
+// mid-region.
+func sumKernel(name string, delay time.Duration) FuncKernel {
+	return FuncKernel{
+		KernelName: name,
+		ChunkFn: func(rt *core.Runtime, lo, hi int, arg []byte) ([]byte, error) {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			var mu sync.Mutex
+			var sum int64
+			err := rt.ParallelForRange(hi-lo, func(l, h int) {
+				var s int64
+				for i := l; i < h; i++ {
+					s += mix(int64(lo + i))
+				}
+				mu.Lock()
+				sum += s
+				mu.Unlock()
+			})
+			if err != nil {
+				return nil, err
+			}
+			return binary.LittleEndian.AppendUint64(nil, uint64(sum)), nil
+		},
+		FoldFn: func(acc, part []byte) ([]byte, error) {
+			if len(part) != 8 {
+				return nil, fmt.Errorf("bad partial: %d bytes", len(part))
+			}
+			if acc == nil {
+				acc = make([]byte, 8)
+			}
+			total := int64(binary.LittleEndian.Uint64(acc)) + int64(binary.LittleEndian.Uint64(part))
+			binary.LittleEndian.PutUint64(acc, uint64(total))
+			return acc, nil
+		},
+	}
+}
+
+func seqSum(n int) int64 {
+	var s int64
+	for i := 0; i < n; i++ {
+		s += mix(int64(i))
+	}
+	return s
+}
+
+func decodeSum(t *testing.T, b []byte) int64 {
+	t.Helper()
+	if len(b) != 8 {
+		t.Fatalf("result is %d bytes, want 8", len(b))
+	}
+	return int64(binary.LittleEndian.Uint64(b))
+}
+
+func TestParallelForDistributes(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(sumKernel("sum", 0)); err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(4096)
+	o, err := New(reg,
+		WithDomains(3),
+		WithHeartbeat(10*time.Millisecond),
+		WithEventSink(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	const n = 50000
+	got, err := o.ParallelFor("sum", n, nil)
+	if err != nil {
+		t.Fatalf("ParallelFor: %v", err)
+	}
+	if want := seqSum(n); decodeSum(t, got) != want {
+		t.Errorf("sum = %d, want %d", decodeSum(t, got), want)
+	}
+
+	st := o.Stats()
+	if st.Regions != 1 {
+		t.Errorf("Regions = %d, want 1", st.Regions)
+	}
+	if st.RemoteChunks == 0 {
+		t.Error("no chunks ran remotely: offload did not distribute")
+	}
+	if st.DomainsLost != 0 {
+		t.Errorf("DomainsLost = %d, want 0", st.DomainsLost)
+	}
+	sum := rec.Summary()
+	if sum.OffloadSends == 0 || sum.OffloadRecvs == 0 {
+		t.Errorf("trace recorded %d sends / %d recvs, want > 0", sum.OffloadSends, sum.OffloadRecvs)
+	}
+	if sum.OffloadRecvs != st.RemoteChunks+st.LocalChunks {
+		t.Errorf("trace recvs %d != completed chunks %d", sum.OffloadRecvs, st.RemoteChunks+st.LocalChunks)
+	}
+
+	// A second region on the same offloader must work and keep counting.
+	got, err = o.ParallelFor("sum", 1234, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := seqSum(1234); decodeSum(t, got) != want {
+		t.Errorf("second region sum = %d, want %d", decodeSum(t, got), want)
+	}
+	if st := o.Stats(); st.Regions != 2 {
+		t.Errorf("Regions = %d, want 2", st.Regions)
+	}
+}
+
+func TestParallelForUnknownKernel(t *testing.T) {
+	o, err := New(NewRegistry(), WithDomains(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.ParallelFor("nope", 10, nil); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := o.ParallelFor("nope", 0, nil); err == nil {
+		t.Error("kernel name not validated for an empty region")
+	}
+}
+
+// TestDomainLossMidRegion is the integration test the issue asks for:
+// kill a domain while a region is in flight and assert the region still
+// completes with the full, correct result, surfaces ErrDomainLost, and
+// counts exactly one lost domain.
+func TestDomainLossMidRegion(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(sumKernel("sum", 3*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(reg,
+		WithDomains(3),
+		WithChunkIters(100),
+		WithHeartbeat(5*time.Millisecond), // lost after 40ms
+		WithChunkDeadline(150*time.Millisecond),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	// Crash domain 0 as soon as any chunk has completed remotely.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if o.Stats().RemoteChunks >= 1 {
+				_ = o.KillDomain(0)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	const n = 15000 // 150 chunks of 100 iterations, ~3ms each
+	got, err := o.ParallelFor("sum", n, nil)
+	<-killed
+	if !errors.Is(err, ErrDomainLost) {
+		t.Errorf("region error = %v, want ErrDomainLost", err)
+	}
+	if want := seqSum(n); decodeSum(t, got) != want {
+		t.Errorf("sum = %d, want %d: region lost work with the domain", decodeSum(t, got), want)
+	}
+	st := o.Stats()
+	if st.DomainsLost != 1 {
+		t.Errorf("DomainsLost = %d, want 1", st.DomainsLost)
+	}
+	if st.Resends == 0 {
+		t.Error("Resends = 0: the dead domain's chunks were never re-dispatched")
+	}
+
+	// The survivors must still serve the next region.
+	got, err = o.ParallelFor("sum", 2000, nil)
+	if err != nil {
+		t.Fatalf("region after loss: %v", err)
+	}
+	if want := seqSum(2000); decodeSum(t, got) != want {
+		t.Errorf("post-loss sum = %d, want %d", decodeSum(t, got), want)
+	}
+	if st := o.Stats(); st.DomainsLost != 1 {
+		t.Errorf("DomainsLost after second region = %d, want 1", st.DomainsLost)
+	}
+}
+
+func TestKernelErrorPropagates(t *testing.T) {
+	reg := NewRegistry()
+	bad := FuncKernel{
+		KernelName: "bad",
+		ChunkFn: func(rt *core.Runtime, lo, hi int, arg []byte) ([]byte, error) {
+			return nil, fmt.Errorf("synthetic failure")
+		},
+		FoldFn: func(acc, part []byte) ([]byte, error) { return acc, nil },
+	}
+	if err := reg.Register(bad); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(reg, WithDomains(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+	if _, err := o.ParallelFor("bad", 100, nil); err == nil {
+		t.Error("kernel error did not propagate")
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	bad := []Option{
+		WithDomains(0),
+		WithDomains(65),
+		WithBoard(nil),
+		WithChunkIters(-1),
+		WithChunkDeadline(0),
+		WithRetries(-1),
+		WithHeartbeat(0),
+		WithInflight(0),
+	}
+	for i, opt := range bad {
+		if _, err := New(NewRegistry(), opt); err == nil {
+			t.Errorf("option %d accepted", i)
+		}
+	}
+	if _, err := New(nil); err == nil {
+		t.Error("nil registry accepted")
+	}
+}
+
+func TestCloseIdempotentAndRejects(t *testing.T) {
+	o, err := New(NewRegistry(), WithDomains(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := o.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := o.ParallelFor("sum", 10, nil); !errors.Is(err, ErrClosed) {
+		t.Errorf("ParallelFor after Close = %v, want ErrClosed", err)
+	}
+}

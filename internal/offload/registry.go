@@ -1,0 +1,93 @@
+package offload
+
+import (
+	"fmt"
+	"sync"
+
+	"openmpmca/internal/core"
+)
+
+// Kernel is a distributable parallel-for body. The same Kernel must be
+// registered on every domain — in this simulation, in the one Registry
+// the cluster shares — mirroring how real MCAPI offload ships the same
+// program image to every partition: only descriptors and encoded results
+// cross the wire, never code.
+//
+// Chunk executes iterations [lo,hi) on the executing domain's OpenMP
+// runtime and returns the chunk's encoded partial result. Fold merges one
+// partial into the host-side accumulator; the host always folds partials
+// in ascending chunk order, so a deterministic Fold yields a
+// deterministic region result no matter which domain computed what, or in
+// what order results arrived.
+type Kernel interface {
+	Name() string
+	Chunk(rt *core.Runtime, lo, hi int, arg []byte) ([]byte, error)
+	Fold(acc, part []byte) ([]byte, error)
+}
+
+// FuncKernel adapts three funcs into a Kernel.
+type FuncKernel struct {
+	KernelName string
+	ChunkFn    func(rt *core.Runtime, lo, hi int, arg []byte) ([]byte, error)
+	FoldFn     func(acc, part []byte) ([]byte, error)
+}
+
+// Name implements Kernel.
+func (k FuncKernel) Name() string { return k.KernelName }
+
+// Chunk implements Kernel.
+func (k FuncKernel) Chunk(rt *core.Runtime, lo, hi int, arg []byte) ([]byte, error) {
+	return k.ChunkFn(rt, lo, hi, arg)
+}
+
+// Fold implements Kernel.
+func (k FuncKernel) Fold(acc, part []byte) ([]byte, error) { return k.FoldFn(acc, part) }
+
+// Registry maps kernel names to Kernels. One Registry is shared by the
+// host and every worker domain of a cluster (the "same image everywhere"
+// deployment model); it is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	kernels map[string]Kernel
+}
+
+// NewRegistry creates an empty kernel registry.
+func NewRegistry() *Registry {
+	return &Registry{kernels: make(map[string]Kernel)}
+}
+
+// Register adds a kernel; registering a duplicate or empty name is an
+// error (a silently replaced kernel would desynchronize host and
+// domains).
+func (g *Registry) Register(k Kernel) error {
+	name := k.Name()
+	if name == "" {
+		return fmt.Errorf("offload: kernel with empty name")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.kernels[name]; dup {
+		return fmt.Errorf("offload: kernel %q already registered", name)
+	}
+	g.kernels[name] = k
+	return nil
+}
+
+// Lookup resolves a kernel by name.
+func (g *Registry) Lookup(name string) (Kernel, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	k, ok := g.kernels[name]
+	return k, ok
+}
+
+// Names lists the registered kernels (unordered).
+func (g *Registry) Names() []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]string, 0, len(g.kernels))
+	for n := range g.kernels {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,39 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"openmpmca/internal/platform"
+)
+
+func TestEstimateRegionNsMatchesReplay(t *testing.T) {
+	b := platform.T4240RDB()
+	prof := KernelProfile{Name: "est", CyclesPerUnit: 50, MemoryIntensity: 0.2}
+	const threads, units = 8, 1e6
+
+	m := New(b, prof)
+	m.Fork(threads)
+	for tid := 0; tid < threads; tid++ {
+		m.Charge(tid, units/threads)
+	}
+	m.Join()
+	want := m.Seconds() * 1e9
+
+	if got := EstimateRegionNs(b, prof, threads, units); got != want {
+		t.Errorf("EstimateRegionNs = %g, replayed model says %g", got, want)
+	}
+}
+
+func TestEstimateRegionNsScales(t *testing.T) {
+	b := platform.T4240RDB()
+	prof := KernelProfile{Name: "est", CyclesPerUnit: 100}
+	const units = 1e8
+	one := EstimateRegionNs(b, prof, 1, units)
+	twelve := EstimateRegionNs(b, prof, 12, units)
+	if twelve >= one {
+		t.Errorf("12 threads (%g ns) should beat 1 thread (%g ns) on %g units", twelve, one, float64(units))
+	}
+	if got := EstimateRegionNs(b, prof, 0, units); got != one {
+		t.Errorf("threads < 1 should clamp to 1: got %g, want %g", got, one)
+	}
+}

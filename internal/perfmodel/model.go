@@ -372,3 +372,25 @@ func (m *Model) Utilization() []float64 {
 func (m *Model) String() string {
 	return fmt.Sprintf("perfmodel(%s on %s)", m.prof.Name, m.board.Name)
 }
+
+// EstimateRegionNs predicts the virtual time of one perfectly balanced
+// parallel-for region: units of total work split evenly over threads on
+// board b under prof, including fork/join and the implicit end-of-region
+// barrier. It replays the region through a throwaway Model, so the
+// estimate is exactly what the Monitor hooks would accumulate for the
+// same region — no second cost formula to drift out of sync. The offload
+// planner uses the reciprocal as a domain's service rate when deciding
+// how to interleave local and remote chunks.
+func EstimateRegionNs(b *platform.Board, prof KernelProfile, threads int, units float64) float64 {
+	if threads < 1 {
+		threads = 1
+	}
+	m := New(b, prof)
+	m.Fork(threads)
+	per := units / float64(threads)
+	for tid := 0; tid < threads; tid++ {
+		m.Charge(tid, per)
+	}
+	m.Join()
+	return m.Seconds() * 1e9
+}

@@ -230,6 +230,31 @@ func (b *Board) Location(hwThread int) (cluster, core, smt int) {
 // CyclesPerSecond returns the core clock in Hz.
 func (b *Board) CyclesPerSecond() float64 { return float64(b.FreqMHz) * 1e6 }
 
+// ClusterCPUs returns the hardware-thread indices belonging to one
+// cluster, in ascending order — the natural partition grain for carving a
+// board into hypervisor-isolated runtime domains, since a cluster-aligned
+// partition keeps its team's synchronization inside the shared L2. For
+// flat topologies cluster 0 covers the whole board.
+func (b *Board) ClusterCPUs(cluster int) ([]int, error) {
+	if cluster < 0 || cluster >= b.Clusters() {
+		return nil, fmt.Errorf("platform: %s has no cluster %d", b.Name, cluster)
+	}
+	if b.CoresPerCluster <= 1 {
+		all := make([]int, b.HWThreads())
+		for i := range all {
+			all[i] = i
+		}
+		return all, nil
+	}
+	var out []int
+	for c := cluster * b.CoresPerCluster; c < (cluster+1)*b.CoresPerCluster && c < b.Cores; c++ {
+		for s := 0; s < b.ThreadsPerCore; s++ {
+			out = append(out, c*b.ThreadsPerCore+s)
+		}
+	}
+	return out, nil
+}
+
 // Validate checks the board description for internal consistency.
 func (b *Board) Validate() error {
 	switch {

@@ -1,0 +1,46 @@
+package platform
+
+import "testing"
+
+func TestClusterCPUsT4240(t *testing.T) {
+	b := T4240RDB()
+	seen := make(map[int]bool)
+	for cl := 0; cl < b.Clusters(); cl++ {
+		cpus, err := b.ClusterCPUs(cl)
+		if err != nil {
+			t.Fatalf("cluster %d: %v", cl, err)
+		}
+		if len(cpus) != b.CoresPerCluster*b.ThreadsPerCore {
+			t.Errorf("cluster %d has %d hw threads, want %d", cl, len(cpus), b.CoresPerCluster*b.ThreadsPerCore)
+		}
+		for _, c := range cpus {
+			if seen[c] {
+				t.Errorf("cpu%d appears in two clusters", c)
+			}
+			seen[c] = true
+			if gotCl, _, _ := b.Location(c); gotCl != cl {
+				t.Errorf("cpu%d: ClusterCPUs says cluster %d, Location says %d", c, cl, gotCl)
+			}
+		}
+	}
+	if len(seen) != b.HWThreads() {
+		t.Errorf("clusters cover %d hw threads, want %d", len(seen), b.HWThreads())
+	}
+	if _, err := b.ClusterCPUs(b.Clusters()); err == nil {
+		t.Error("out-of-range cluster accepted")
+	}
+}
+
+func TestClusterCPUsFlat(t *testing.T) {
+	b := P4080DS()
+	cpus, err := b.ClusterCPUs(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cpus) != b.HWThreads() {
+		t.Errorf("flat topology cluster 0 has %d cpus, want all %d", len(cpus), b.HWThreads())
+	}
+	if _, err := b.ClusterCPUs(1); err == nil {
+		t.Error("flat topology should only have cluster 0")
+	}
+}

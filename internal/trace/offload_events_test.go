@@ -1,0 +1,29 @@
+package trace
+
+import "testing"
+
+func TestOffloadEvents(t *testing.T) {
+	r := NewRecorder(16)
+	r.OffloadSend(2, 7)
+	r.OffloadSend(0, 8)
+	r.OffloadRecv(2, 7)
+	r.OffloadRecv(-1, 8) // local completion
+
+	sum := r.Summary()
+	if sum.OffloadSends != 2 || sum.OffloadRecvs != 2 {
+		t.Errorf("Summary offload counters = %d sends / %d recvs, want 2/2", sum.OffloadSends, sum.OffloadRecvs)
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	if evs[0].Kind != EvOffloadSend || evs[0].Tid != 2 || evs[0].Units != 7 {
+		t.Errorf("event 0 = %v, want offload-send domain 2 chunk 7", evs[0])
+	}
+	if evs[3].Kind != EvOffloadRecv || evs[3].Tid != -1 {
+		t.Errorf("event 3 = %v, want local offload-recv", evs[3])
+	}
+	if EvOffloadSend.String() != "offload-send" || EvOffloadRecv.String() != "offload-recv" {
+		t.Errorf("event kind names wrong: %q, %q", EvOffloadSend, EvOffloadRecv)
+	}
+}

@@ -31,6 +31,15 @@ const (
 	EvNestedFork
 	EvNestedJoin
 	EvCancel
+	// EvOffloadSend / EvOffloadRecv record multi-domain offload traffic:
+	// a chunk descriptor leaving for a worker domain and a chunk result
+	// (local or remote) being accepted by the host scheduler. They are
+	// emitted through the Recorder's OffloadSend/OffloadRecv methods — the
+	// offload subsystem's EventSink — rather than the core.Monitor
+	// interface, since they describe inter-domain messaging, not
+	// intra-team execution.
+	EvOffloadSend
+	EvOffloadRecv
 )
 
 var kindNames = [...]string{
@@ -47,6 +56,8 @@ var kindNames = [...]string{
 	EvNestedFork:    "nested-fork",
 	EvNestedJoin:    "nested-join",
 	EvCancel:        "cancel",
+	EvOffloadSend:   "offload-send",
+	EvOffloadRecv:   "offload-recv",
 }
 
 func (k EventKind) String() string {
@@ -83,6 +94,7 @@ type Summary struct {
 	Tasks, Steals                               uint64
 	NestedForks, NestedJoins                    uint64
 	Cancels                                     uint64
+	OffloadSends, OffloadRecvs                  uint64
 	ChargeEvents                                uint64
 	UnitsCharged                                float64
 	UnitsByThread                               map[int]float64
@@ -153,6 +165,10 @@ func (r *Recorder) record(kind EventKind, tid int, units float64) {
 		r.sum.NestedJoins++
 	case EvCancel:
 		r.sum.Cancels++
+	case EvOffloadSend:
+		r.sum.OffloadSends++
+	case EvOffloadRecv:
+		r.sum.OffloadRecvs++
 	case EvCharge:
 		r.sum.ChargeEvents++
 		r.sum.UnitsCharged += units
@@ -199,6 +215,15 @@ func (r *Recorder) NestedJoin(tid int) { r.record(EvNestedJoin, tid, 0) }
 
 // Cancel implements core.Monitor.
 func (r *Recorder) Cancel() { r.record(EvCancel, -1, 0) }
+
+// OffloadSend records a chunk descriptor sent to a worker domain
+// (offload.EventSink): the domain id travels as the event's thread, the
+// chunk id in Units.
+func (r *Recorder) OffloadSend(domain, chunk int) { r.record(EvOffloadSend, domain, float64(chunk)) }
+
+// OffloadRecv records a chunk result accepted by the host scheduler
+// (offload.EventSink); domain is -1 when the chunk ran locally.
+func (r *Recorder) OffloadRecv(domain, chunk int) { r.record(EvOffloadRecv, domain, float64(chunk)) }
 
 var _ core.Monitor = (*Recorder)(nil)
 
