@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments clean
+.PHONY: all build vet test race bench experiments taskgraph clean
 
 all: build vet test
 
@@ -29,6 +29,12 @@ experiments:
 	$(GO) run ./cmd/ompmca-boot -v
 	$(GO) run ./cmd/ompmca-validate
 	$(GO) run ./cmd/ompmca-offload
+	$(GO) run ./cmd/ompmca-taskgraph
+
+# MTAPI task-fabric demo: irregular graph across domains, work stealing,
+# domain-loss fault injection.
+taskgraph:
+	$(GO) run ./cmd/ompmca-taskgraph
 
 clean:
 	$(GO) clean ./...

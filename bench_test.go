@@ -528,7 +528,7 @@ func BenchmarkMTAPITask(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := t.Wait(0); err != nil {
+		if _, err := t.Wait(mtapi.TimeoutInfinite); err != nil {
 			b.Fatal(err)
 		}
 	}

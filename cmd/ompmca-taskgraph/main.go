@@ -1,0 +1,228 @@
+// Command ompmca-taskgraph demonstrates the MTAPI task fabric on an
+// irregular graph: a Fibonacci tree decomposition whose tasks are
+// expanded dynamically by the host — each completed split submits its
+// children — and executed across worker domains, each its own hypervisor
+// partition running an MCA-backed OpenMP runtime under a local MTAPI
+// scheduler, with all coordination riding MCAPI packet channels. A
+// fault-injection pass kills one domain mid-graph and shows the graph
+// still completing with the exact sequential result.
+package main
+
+import (
+	"encoding/binary"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"openmpmca"
+	"openmpmca/internal/trace"
+)
+
+// waitForever is the fabric's infinite-wait timeout (mtapi contract:
+// negative forever, zero polls once, positive bounded).
+const waitForever time.Duration = -1
+
+// fibIter computes fib(n) mod 2^64 — the exact value every distribution
+// of the task tree must reproduce.
+func fibIter(n uint32) uint64 {
+	var a, b uint64 = 0, 1
+	for i := uint32(0); i < n; i++ {
+		a, b = b, a+b
+	}
+	return a
+}
+
+// Task argument: n u32 | cutoff u32. Result: tag 0 | value u64 (leaf) or
+// tag 1 | left u32 | right u32 (split: the children to submit).
+func fibArg(n, cutoff uint32) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, n)
+	return binary.LittleEndian.AppendUint32(buf, cutoff)
+}
+
+// fibJob is the one job in the graph. Below the cutoff it computes the
+// leaf value on the executing domain's OpenMP runtime (burn work scales
+// with n, so task durations are genuinely irregular); above it, it asks
+// the host to split.
+func fibJob(leafDelay time.Duration) openmpmca.FabricFuncJob {
+	return openmpmca.FabricFuncJob{
+		JobName: "fib",
+		Fn: func(rt *openmpmca.Runtime, arg []byte) ([]byte, error) {
+			if len(arg) != 8 {
+				return nil, fmt.Errorf("bad arg (%d bytes)", len(arg))
+			}
+			n := binary.LittleEndian.Uint32(arg)
+			cutoff := binary.LittleEndian.Uint32(arg[4:])
+			if n > cutoff {
+				res := []byte{1}
+				res = binary.LittleEndian.AppendUint32(res, n-1)
+				return binary.LittleEndian.AppendUint32(res, n-2), nil
+			}
+			if leafDelay > 0 {
+				time.Sleep(leafDelay)
+			}
+			var mu sync.Mutex
+			var burn uint64
+			err := rt.ParallelForRange(int(n+1)*512, func(lo, hi int) {
+				var c uint64
+				for i := lo; i < hi; i++ {
+					c += uint64(i)&7 + 1
+				}
+				mu.Lock()
+				burn += c
+				mu.Unlock()
+			})
+			if err != nil {
+				return nil, err
+			}
+			_ = burn
+			return binary.LittleEndian.AppendUint64([]byte{0}, fibIter(n)), nil
+		},
+	}
+}
+
+// expand drives one graph to completion: submit the root, then submit
+// children as splits complete, summing leaf values — which telescopes to
+// exactly fib(root). Returns the sum and whether any task survived a
+// domain loss.
+func expand(g *openmpmca.FabricGroup, root, cutoff uint32) (uint64, bool, error) {
+	if _, err := g.SubmitJob("fib", fibArg(root, cutoff)); err != nil {
+		return 0, false, err
+	}
+	var total uint64
+	var recovered bool
+	for {
+		h, err := g.WaitAny(waitForever)
+		if err == openmpmca.ErrGroupDrained {
+			return total, recovered, nil
+		}
+		if err != nil {
+			return 0, recovered, err
+		}
+		res, err := h.Wait(0)
+		if err != nil {
+			if !errors.Is(err, openmpmca.ErrDomainLost) {
+				return 0, recovered, fmt.Errorf("task %d: %w", h.ID(), err)
+			}
+			recovered = true // re-executed after a crash; result is valid
+		}
+		if len(res) == 0 {
+			return 0, recovered, fmt.Errorf("task %d: empty result", h.ID())
+		}
+		switch res[0] {
+		case 0:
+			if len(res) != 9 {
+				return 0, recovered, fmt.Errorf("task %d: bad leaf (%d bytes)", h.ID(), len(res))
+			}
+			total += binary.LittleEndian.Uint64(res[1:])
+		case 1:
+			if len(res) != 9 {
+				return 0, recovered, fmt.Errorf("task %d: bad split (%d bytes)", h.ID(), len(res))
+			}
+			left := binary.LittleEndian.Uint32(res[1:])
+			right := binary.LittleEndian.Uint32(res[5:])
+			if _, err := g.SubmitJob("fib", fibArg(left, cutoff)); err != nil {
+				return 0, recovered, err
+			}
+			if _, err := g.SubmitJob("fib", fibArg(right, cutoff)); err != nil {
+				return 0, recovered, err
+			}
+		default:
+			return 0, recovered, fmt.Errorf("task %d: unknown result tag %d", h.ID(), res[0])
+		}
+	}
+}
+
+// run executes the demo: one clean graph, then one with domain 0 killed
+// mid-expansion. It returns an error on any mismatch.
+func run(n, cutoff uint32, domains int, leafDelay time.Duration, out *log.Logger) error {
+	reg := openmpmca.NewJobRegistry()
+	if err := reg.Register(fibJob(leafDelay)); err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(16384)
+	fab, err := openmpmca.NewTaskFabric(reg,
+		openmpmca.WithFabricDomains(domains),
+		openmpmca.WithFabricHeartbeat(10*time.Millisecond),
+		openmpmca.WithFabricEventSink(rec),
+	)
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+
+	out.Printf("%s", fab.Render())
+	want := fibIter(n)
+
+	// Pass 1: all domains healthy.
+	start := time.Now()
+	got, _, err := expand(fab.NewGroup(), n, cutoff)
+	if err != nil {
+		return fmt.Errorf("clean graph: %w", err)
+	}
+	st := fab.Stats()
+	out.Printf("clean graph:     fib(%d)=%d (%v)  tasks=%d remote=%d local=%d steals=%d",
+		n, got, time.Since(start).Round(time.Millisecond),
+		st.Submitted, st.RemoteTasks, st.LocalTasks, st.Steals)
+	if got != want {
+		return fmt.Errorf("clean graph fib(%d) = %d, want %d", n, got, want)
+	}
+
+	// Pass 2: crash a domain once tasks are flowing; the host must
+	// detect the loss via heartbeats and re-execute its tasks locally.
+	base := st.RemoteTasks
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if fab.Stats().RemoteTasks > base+2 {
+				_ = fab.KillDomain(0)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	start = time.Now()
+	got, recovered, err := expand(fab.NewGroup(), n, cutoff)
+	if err != nil {
+		return fmt.Errorf("faulted graph: %w", err)
+	}
+	st = fab.Stats()
+	out.Printf("faulted graph:   fib(%d)=%d (%v)  remote=%d local=%d resends=%d lost=%d steals=%d",
+		n, got, time.Since(start).Round(time.Millisecond),
+		st.RemoteTasks, st.LocalTasks, st.Resends, st.DomainsLost, st.Steals)
+	if got != want {
+		return fmt.Errorf("faulted graph fib(%d) = %d, want %d", n, got, want)
+	}
+	if st.DomainsLost != 1 {
+		return fmt.Errorf("DomainsLost = %d, want 1", st.DomainsLost)
+	}
+	if !recovered {
+		return fmt.Errorf("no task was recovered despite the domain loss")
+	}
+	sum := rec.Summary()
+	out.Printf("trace:           %d task sends, %d task recvs, %d steals, %d heartbeats",
+		sum.TaskSends, sum.TaskRecvs, sum.TaskSteals, st.Heartbeats)
+	return nil
+}
+
+func main() {
+	n := flag.Uint("n", 30, "fibonacci index to decompose")
+	cutoff := flag.Uint("cutoff", 22, "sequential leaf cutoff")
+	domains := flag.Int("domains", 3, "worker domains")
+	leafDelay := flag.Duration("leaf-delay", 2*time.Millisecond, "artificial per-leaf latency")
+	flag.Parse()
+	if *cutoff >= *n {
+		fmt.Fprintln(os.Stderr, "FAIL: cutoff must be below n")
+		os.Exit(1)
+	}
+
+	out := log.New(os.Stdout, "", 0)
+	if err := run(uint32(*n), uint32(*cutoff), *domains, *leafDelay, out); err != nil {
+		fmt.Fprintln(os.Stderr, "FAIL:", err)
+		os.Exit(1)
+	}
+	out.Printf("PASS: irregular task graph across %d MCAPI domains; domain loss tolerated", *domains)
+}

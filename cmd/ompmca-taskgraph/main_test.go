@@ -1,0 +1,25 @@
+package main
+
+import (
+	"io"
+	"log"
+	"testing"
+	"time"
+)
+
+// TestRunSmoke drives the full demo — clean graph plus the
+// fault-injected one — at a reduced size.
+func TestRunSmoke(t *testing.T) {
+	if err := run(24, 16, 3, 500*time.Microsecond, log.New(io.Discard, "", 0)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFibIter(t *testing.T) {
+	want := map[uint32]uint64{0: 0, 1: 1, 2: 1, 10: 55, 30: 832040}
+	for n, v := range want {
+		if got := fibIter(n); got != v {
+			t.Errorf("fibIter(%d) = %d, want %d", n, got, v)
+		}
+	}
+}

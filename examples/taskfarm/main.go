@@ -70,7 +70,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if err := group.WaitAll(0); err != nil {
+	if err := group.WaitAll(mtapi.TimeoutInfinite); err != nil {
 		log.Fatal(err)
 	}
 	renderTime := time.Since(start)
@@ -96,7 +96,7 @@ func main() {
 		}
 		last = t
 	}
-	if _, err := last.Wait(0); err != nil {
+	if _, err := last.Wait(mtapi.TimeoutInfinite); err != nil {
 		log.Fatal(err)
 	}
 

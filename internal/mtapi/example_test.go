@@ -26,7 +26,7 @@ func Example() {
 			panic(err)
 		}
 	}
-	if err := group.WaitAll(0); err != nil {
+	if err := group.WaitAll(mtapi.TimeoutInfinite); err != nil {
 		panic(err)
 	}
 
@@ -34,7 +34,7 @@ func Example() {
 	if err != nil {
 		panic(err)
 	}
-	res, err := task.Wait(0)
+	res, err := task.Wait(mtapi.TimeoutInfinite)
 	if err != nil {
 		panic(err)
 	}

@@ -69,7 +69,9 @@ func (g *Group) Pending() int {
 }
 
 // WaitAll blocks until every member task has finished (or canceled) and
-// returns the first member error, if any. timeout <= 0 waits forever.
+// returns the first member error, if any. A negative timeout
+// (TimeoutInfinite) waits forever; zero polls once, returning ErrTimeout
+// unless every member is already done; positive bounds the wait.
 func (g *Group) WaitAll(timeout time.Duration) error {
 	var deadline <-chan time.Time
 	if timeout > 0 {
@@ -84,9 +86,12 @@ func (g *Group) WaitAll(timeout time.Duration) error {
 		select {
 		case <-t.done:
 		default:
-			if deadline == nil {
+			switch {
+			case timeout == 0:
+				return ErrTimeout
+			case timeout < 0:
 				<-t.done
-			} else {
+			default:
 				select {
 				case <-t.done:
 				case <-deadline:
@@ -107,7 +112,9 @@ func (g *Group) WaitAll(timeout time.Duration) error {
 }
 
 // WaitAny blocks until some member task finishes and returns it
-// (mtapi_group_wait_any). timeout <= 0 waits forever.
+// (mtapi_group_wait_any). A negative timeout (TimeoutInfinite) waits
+// forever; zero polls once, returning ErrTimeout if no completion is
+// ready; positive bounds the wait.
 func (g *Group) WaitAny(timeout time.Duration) (*Task, error) {
 	g.mu.Lock()
 	if g.pending == 0 && len(g.anyCh) == 0 {
@@ -115,8 +122,16 @@ func (g *Group) WaitAny(timeout time.Duration) (*Task, error) {
 		return nil, ErrGroupCompleted
 	}
 	g.mu.Unlock()
-	if timeout <= 0 {
+	switch {
+	case timeout < 0:
 		return <-g.anyCh, nil
+	case timeout == 0:
+		select {
+		case t := <-g.anyCh:
+			return t, nil
+		default:
+			return nil, ErrTimeout
+		}
 	}
 	tm := time.NewTimer(timeout)
 	defer tm.Stop()

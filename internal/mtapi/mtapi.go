@@ -29,6 +29,18 @@ var (
 // JobID identifies a job — the abstract "what" tasks execute.
 type JobID uint32
 
+// TimeoutInfinite makes Task.Wait, Group.WaitAll and Group.WaitAny block
+// until completion. The timeout contract, shared by all three:
+//
+//	timeout < 0   wait forever (use TimeoutInfinite)
+//	timeout == 0  poll once: return immediately, ErrTimeout if not done
+//	timeout > 0   wait at most that long
+//
+// Earlier versions treated 0 as "forever"; a zero timeout now matches
+// MCAPI's TimeoutImmediate semantics so callers can poll without
+// blocking.
+const TimeoutInfinite time.Duration = -1
+
 // ActionFunc is a job implementation: args in, result out.
 type ActionFunc func(args any) (any, error)
 
@@ -330,11 +342,20 @@ func (t *Task) Cancel() error {
 }
 
 // Wait blocks up to timeout for completion and returns the action's
-// result (mtapi_task_wait). timeout <= 0 waits forever.
+// result (mtapi_task_wait). A negative timeout (TimeoutInfinite) waits
+// forever; zero polls once, returning ErrTimeout if the task has not
+// finished; positive bounds the wait.
 func (t *Task) Wait(timeout time.Duration) (any, error) {
-	if timeout <= 0 {
+	switch {
+	case timeout < 0:
 		<-t.done
-	} else {
+	case timeout == 0:
+		select {
+		case <-t.done:
+		default:
+			return nil, ErrTimeout
+		}
+	default:
 		tm := time.NewTimer(timeout)
 		defer tm.Stop()
 		select {

@@ -26,7 +26,7 @@ func TestTaskStartWait(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := task.Wait(0)
+	res, err := task.Wait(TimeoutInfinite)
 	if err != nil || res.(int) != 42 {
 		t.Errorf("result = %v, %v", res, err)
 	}
@@ -73,7 +73,7 @@ func TestMultipleActionsRoundRobin(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := task.Wait(0); err != nil {
+		if _, err := task.Wait(TimeoutInfinite); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -87,7 +87,7 @@ func TestTaskErrorPropagates(t *testing.T) {
 	boom := errors.New("boom")
 	_, _ = n.CreateAction(1, "fail", func(any) (any, error) { return nil, boom })
 	task, _ := n.Start(1, nil, nil)
-	if _, err := task.Wait(0); !errors.Is(err, boom) {
+	if _, err := task.Wait(TimeoutInfinite); !errors.Is(err, boom) {
 		t.Errorf("err = %v, want boom", err)
 	}
 }
@@ -101,7 +101,7 @@ func TestTaskWaitTimeout(t *testing.T) {
 		t.Errorf("wait = %v, want ErrTimeout", err)
 	}
 	close(release)
-	if _, err := task.Wait(0); err != nil {
+	if _, err := task.Wait(TimeoutInfinite); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -116,11 +116,11 @@ func TestTaskCancelQueued(t *testing.T) {
 	if err := queued.Cancel(); err != nil {
 		t.Fatalf("cancel queued: %v", err)
 	}
-	if _, err := queued.Wait(0); !errors.Is(err, ErrCanceled) {
+	if _, err := queued.Wait(TimeoutInfinite); !errors.Is(err, ErrCanceled) {
 		t.Errorf("wait canceled = %v", err)
 	}
 	close(block)
-	if _, err := running.Wait(0); err != nil {
+	if _, err := running.Wait(TimeoutInfinite); err != nil {
 		t.Fatal(err)
 	}
 	// A running/completed task cannot be canceled.
@@ -148,7 +148,7 @@ func TestPriorityOrdering(t *testing.T) {
 	high, _ := n.Start(2, 0, &TaskAttributes{Priority: 0})
 	close(block)
 	for _, task := range []*Task{gate, low, mid, high} {
-		if _, err := task.Wait(0); err != nil {
+		if _, err := task.Wait(TimeoutInfinite); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -183,7 +183,7 @@ func TestGroupWaitAll(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if err := g.WaitAll(0); err != nil {
+	if err := g.WaitAll(TimeoutInfinite); err != nil {
 		t.Fatal(err)
 	}
 	if sum.Load() != 210 {
@@ -202,7 +202,7 @@ func TestGroupWaitAllPropagatesError(t *testing.T) {
 	g := n.CreateGroup()
 	_, _ = g.Start(1, nil, nil)
 	_, _ = g.Start(2, nil, nil)
-	if err := g.WaitAll(0); !errors.Is(err, boom) {
+	if err := g.WaitAll(TimeoutInfinite); !errors.Is(err, boom) {
 		t.Errorf("WaitAll = %v, want boom", err)
 	}
 }
@@ -219,11 +219,11 @@ func TestGroupWaitAny(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res, _ := first.Wait(0); res != "fast" {
+	if res, _ := first.Wait(TimeoutInfinite); res != "fast" {
 		t.Errorf("first finisher = %v, want fast", res)
 	}
 	close(slow)
-	if err := g.WaitAll(0); err != nil {
+	if err := g.WaitAll(TimeoutInfinite); err != nil {
 		t.Fatal(err)
 	}
 	// Drain the remaining any-notification, then the group is exhausted.
@@ -267,7 +267,7 @@ func TestQueueSerializesTasks(t *testing.T) {
 		}
 		last = task
 	}
-	if _, err := last.Wait(0); err != nil {
+	if _, err := last.Wait(TimeoutInfinite); err != nil {
 		t.Fatal(err)
 	}
 	if maxActive.Load() != 1 {
@@ -296,7 +296,7 @@ func TestTwoQueuesRunConcurrently(t *testing.T) {
 		t.Fatalf("queue B blocked behind queue A: %v", err)
 	}
 	close(gateA)
-	if _, err := ta.Wait(0); err != nil {
+	if _, err := ta.Wait(TimeoutInfinite); err != nil {
 		t.Fatal(err)
 	}
 	if !bDone.Load() {
@@ -312,14 +312,14 @@ func TestQueueDelete(t *testing.T) {
 	running, _ := q.Enqueue(nil)
 	backlogged, _ := q.Enqueue(nil)
 	q.Delete()
-	if _, err := backlogged.Wait(0); !errors.Is(err, ErrQueueDeleted) {
+	if _, err := backlogged.Wait(TimeoutInfinite); !errors.Is(err, ErrQueueDeleted) {
 		t.Errorf("backlogged task = %v, want ErrQueueDeleted", err)
 	}
 	if _, err := q.Enqueue(nil); !errors.Is(err, ErrQueueDeleted) {
 		t.Errorf("enqueue after delete = %v", err)
 	}
 	close(block)
-	if _, err := running.Wait(0); err != nil {
+	if _, err := running.Wait(TimeoutInfinite); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -333,10 +333,10 @@ func TestShutdownCancelsQueued(t *testing.T) {
 	time.Sleep(5 * time.Millisecond)
 	close(block)
 	n.Shutdown()
-	if _, err := running.Wait(0); err != nil {
+	if _, err := running.Wait(TimeoutInfinite); err != nil {
 		t.Errorf("running task = %v", err)
 	}
-	if _, err := queued.Wait(0); !errors.Is(err, ErrCanceled) {
+	if _, err := queued.Wait(TimeoutInfinite); !errors.Is(err, ErrCanceled) {
 		t.Errorf("queued task after shutdown = %v", err)
 	}
 	if _, err := n.Start(1, nil, nil); !errors.Is(err, ErrNodeDown) {
@@ -361,5 +361,60 @@ func TestParallelTaskStorm(t *testing.T) {
 	}
 	if count.Load() != tasks {
 		t.Errorf("count = %d, want %d", count.Load(), tasks)
+	}
+}
+
+// TestZeroTimeoutPollsOnce pins the timeout contract: 0 returns
+// immediately (ErrTimeout while running, the result once done) instead of
+// blocking forever as it used to.
+func TestZeroTimeoutPollsOnce(t *testing.T) {
+	n := newTestNode(t, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if _, err := n.CreateAction(1, "gate", func(args any) (any, error) {
+		close(started)
+		<-release
+		return "done", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	g := n.CreateGroup()
+	task, err := g.Start(1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	poll := make(chan error, 3)
+	go func() {
+		_, err := task.Wait(0)
+		poll <- err
+		poll <- g.WaitAll(0)
+		_, err = g.WaitAny(0)
+		poll <- err
+	}()
+	for i := 0; i < 3; i++ {
+		select {
+		case err := <-poll:
+			if !errors.Is(err, ErrTimeout) {
+				t.Errorf("poll %d while running = %v, want ErrTimeout", i, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("zero-timeout wait blocked")
+		}
+	}
+
+	close(release)
+	if _, err := task.Wait(TimeoutInfinite); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := task.Wait(0); err != nil {
+		t.Errorf("Wait(0) on a completed task = %v, want nil", err)
+	}
+	if err := g.WaitAll(0); err != nil {
+		t.Errorf("WaitAll(0) on a completed group = %v, want nil", err)
+	}
+	if got, err := g.WaitAny(0); err != nil || got != task {
+		t.Errorf("WaitAny(0) with a ready completion = %v, %v", got, err)
 	}
 }

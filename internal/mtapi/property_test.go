@@ -37,7 +37,7 @@ func TestPropQueuePreservesOrder(t *testing.T) {
 			}
 			last = task
 		}
-		if _, err := last.Wait(0); err != nil {
+		if _, err := last.Wait(TimeoutInfinite); err != nil {
 			return false
 		}
 		mu.Lock()
@@ -79,7 +79,7 @@ func TestPropGroupCompletion(t *testing.T) {
 			}
 			tasks[i] = task
 		}
-		if err := g.WaitAll(0); err != nil {
+		if err := g.WaitAll(TimeoutInfinite); err != nil {
 			return false
 		}
 		if g.Pending() != 0 {
@@ -87,7 +87,7 @@ func TestPropGroupCompletion(t *testing.T) {
 		}
 		sum := 0
 		for _, task := range tasks {
-			res, err := task.Wait(0)
+			res, err := task.Wait(TimeoutInfinite)
 			if err != nil {
 				return false
 			}

@@ -1,221 +1,93 @@
 package offload
 
 import (
-	"fmt"
-
 	"openmpmca/internal/core"
 	"openmpmca/internal/mcapi"
 	"openmpmca/internal/perfmodel"
-	"openmpmca/internal/platform"
 )
-
-// Well-known ports on each worker domain's MCAPI node. Host-side
-// endpoints use PortAny; workers sit on fixed ports the way firmware
-// images do.
-const (
-	portCmd mcapi.Port = 1 // host -> worker packet channel, chunk descriptors
-	portRes mcapi.Port = 2 // worker -> host packet channel, results
-	portHB  mcapi.Port = 3 // connectionless heartbeat pings
-)
-
-// hostDomainID is the host runtime's MCAPI domain; worker i lives in
-// domain i (1-based).
-const hostDomainID mcapi.DomainID = 0
 
 // nominalUnits sizes the perfmodel probe region used to weight the host
-// against each worker domain; only the ratios matter.
+// against each worker domain; only the ratios matter. The adaptive
+// weights (ServiceEWMA, ns per iteration) are normalized to the same
+// span so a primed observation is directly comparable to the static
+// estimate it replaces.
 const nominalUnits = 1e6
 
 // cluster is everything buildCluster assembles: the partitioned board,
 // one OpenMP runtime per partition, and the MCAPI fabric tying the host
 // to each worker domain.
 type cluster struct {
-	hv         *platform.Hypervisor
-	comm       *mcapi.System
+	net        *Net
 	host       *core.Runtime
 	hostNode   *mcapi.Node
-	hostWeight float64
+	hostWeight float64                // static perfmodel estimate, 1/regionNs
+	hostEwma   *perfmodel.ServiceEWMA // observed host ns per iteration
 	domains    []*domain
 	links      []*link
 }
 
-// partitionCPUs splits the board's hardware threads into groups (group 0
-// is the host). When the board has enough physical clusters each group
-// gets a whole cluster — partitions then never share an L2 — otherwise
-// the threads are split evenly and contiguously.
-func partitionCPUs(b *platform.Board, groups int) ([][]int, error) {
-	if groups < 2 {
-		return nil, fmt.Errorf("offload: need at least one worker domain")
-	}
-	if b.Clusters() >= groups && b.CoresPerCluster > 1 {
-		out := make([][]int, groups)
-		for i := range out {
-			cpus, err := b.ClusterCPUs(i)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = cpus
-		}
-		return out, nil
-	}
-	hw := b.HWThreads()
-	if hw < groups {
-		return nil, fmt.Errorf("offload: board %s has %d hw threads, cannot host %d domains",
-			b.Name, hw, groups-1)
-	}
-	out := make([][]int, groups)
-	next := 0
-	for i := range out {
-		n := hw / groups
-		if i < hw%groups {
-			n++
-		}
-		for j := 0; j < n; j++ {
-			out[i] = append(out[i], next)
-			next++
-		}
-	}
-	return out, nil
-}
-
-// buildCluster partitions the board under the embedded hypervisor, boots
-// one MCA-backed OpenMP runtime per partition, and wires host<->worker
-// MCAPI channels. On any error everything already built is torn down.
+// buildCluster builds the fabric net and wraps each worker domain with
+// the offloader's dispatcher state and scheduling weights.
 func buildCluster(cfg *config, reg *Registry) (*cluster, error) {
-	b := cfg.board
-	hv, err := platform.NewHypervisor(b)
+	net, err := BuildNet(NetConfig{
+		Domains:    cfg.domains,
+		Board:      cfg.board,
+		NamePrefix: "offload",
+		CmdDepth:   cfg.inflight + 2,
+		ResDepth:   cfg.inflight + 2,
+	})
 	if err != nil {
 		return nil, err
-	}
-	groups := cfg.domains + 1
-	sets, err := partitionCPUs(b, groups)
-	if err != nil {
-		return nil, err
-	}
-	memMB := b.MemMB / groups
-
-	var rts []*core.Runtime
-	fail := func(err error) (*cluster, error) {
-		for _, rt := range rts {
-			_ = rt.Close()
-		}
-		return nil, err
-	}
-
-	names := make([]string, groups)
-	for i := 0; i < groups; i++ {
-		name, guest := "offload-host", platform.GuestLinux
-		if i > 0 {
-			name, guest = fmt.Sprintf("offload-dom%d", i), platform.GuestRTOS
-		}
-		names[i] = name
-		if _, err := hv.CreatePartition(name, guest, sets[i], memMB); err != nil {
-			return fail(err)
-		}
-		if err := hv.Start(name); err != nil {
-			return fail(err)
-		}
-		sys, err := hv.PartitionSystem(name)
-		if err != nil {
-			return fail(err)
-		}
-		layer, err := core.NewMCALayer(sys)
-		if err != nil {
-			return fail(err)
-		}
-		rt, err := core.New(core.WithLayer(layer))
-		if err != nil {
-			return fail(err)
-		}
-		rts = append(rts, rt)
-	}
-
-	comm := mcapi.NewSystem()
-	hostNode, err := comm.Initialize(hostDomainID, 0)
-	if err != nil {
-		return fail(err)
 	}
 	c := &cluster{
-		hv:         hv,
-		comm:       comm,
-		host:       rts[0],
-		hostNode:   hostNode,
-		hostWeight: 1 / perfmodel.EstimateRegionNs(b, cfg.prof, len(sets[0]), nominalUnits),
+		net:        net,
+		host:       net.Host,
+		hostNode:   net.HostNode,
+		hostWeight: 1 / perfmodel.EstimateRegionNs(cfg.board, cfg.prof, net.HostCPUs, nominalUnits),
+		hostEwma:   perfmodel.NewServiceEWMA(ewmaAlpha),
 	}
-
-	chanAttrs := &mcapi.EndpointAttributes{QueueDepth: cfg.inflight + 2}
-	for i := 1; i < groups; i++ {
-		node, err := comm.Initialize(mcapi.DomainID(i), 0)
-		if err != nil {
-			return fail(err)
-		}
-		cmdEp, err := node.CreateEndpoint(portCmd, chanAttrs)
-		if err != nil {
-			return fail(err)
-		}
-		resEp, err := node.CreateEndpoint(portRes, nil)
-		if err != nil {
-			return fail(err)
-		}
-		hbEp, err := node.CreateEndpoint(portHB, &mcapi.EndpointAttributes{QueueDepth: 4})
-		if err != nil {
-			return fail(err)
-		}
-		cmdSrc, err := hostNode.CreateEndpoint(mcapi.PortAny, nil)
-		if err != nil {
-			return fail(err)
-		}
-		resDst, err := hostNode.CreateEndpoint(mcapi.PortAny, chanAttrs)
-		if err != nil {
-			return fail(err)
-		}
-		hbDst, err := hostNode.CreateEndpoint(mcapi.PortAny, &mcapi.EndpointAttributes{QueueDepth: 8})
-		if err != nil {
-			return fail(err)
-		}
-		if err := mcapi.PktConnect(cmdSrc, cmdEp); err != nil {
-			return fail(err)
-		}
-		if err := mcapi.PktConnect(resEp, resDst); err != nil {
-			return fail(err)
-		}
-		cmdSend, err := mcapi.PktOpenSend(cmdSrc)
-		if err != nil {
-			return fail(err)
-		}
-		cmdRecv, err := mcapi.PktOpenRecv(cmdEp)
-		if err != nil {
-			return fail(err)
-		}
-		resSend, err := mcapi.PktOpenSend(resEp)
-		if err != nil {
-			return fail(err)
-		}
-		resRecv, err := mcapi.PktOpenRecv(resDst)
-		if err != nil {
-			return fail(err)
-		}
+	for _, nl := range net.Links {
 		d := &domain{
-			id:      i,
-			name:    names[i],
-			rt:      rts[i],
-			node:    node,
+			id:      nl.ID,
+			name:    nl.Name,
+			rt:      nl.RT,
+			node:    nl.Node,
 			reg:     reg,
-			cmdRecv: cmdRecv,
-			resSend: resSend,
-			hbEp:    hbEp,
-			hbHost:  hbDst,
+			cmdRecv: nl.CmdRecv,
+			resSend: nl.ResSend,
+			hbEp:    nl.HBEp,
+			hbHost:  nl.HBHost,
 		}
 		l := &link{
 			d:      d,
-			cmd:    cmdSend,
-			res:    resRecv,
-			hbTo:   hbEp,
-			hbFrom: hbDst,
-			weight: 1 / perfmodel.EstimateRegionNs(b, cfg.prof, len(sets[i]), nominalUnits),
+			cmd:    nl.CmdSend,
+			res:    nl.ResRecv,
+			hbTo:   nl.HBEp,
+			hbFrom: nl.HBHost,
+			weight: 1 / perfmodel.EstimateRegionNs(cfg.board, cfg.prof, nl.CPUs, nominalUnits),
+			ewma:   perfmodel.NewServiceEWMA(ewmaAlpha),
+			health: &HealthState{},
 		}
 		c.domains = append(c.domains, d)
 		c.links = append(c.links, l)
 	}
 	return c, nil
+}
+
+// weightOf returns link li's current service rate: the EWMA of observed
+// per-iteration service time once primed by real completions, the static
+// perfmodel estimate until then.
+func (c *cluster) weightOf(li int) float64 {
+	if ns, ok := c.links[li].ewma.Value(); ok {
+		return 1 / (ns * nominalUnits)
+	}
+	return c.links[li].weight
+}
+
+// hostRate mirrors weightOf for the host's local executor.
+func (c *cluster) hostRate() float64 {
+	if ns, ok := c.hostEwma.Value(); ok {
+		return 1 / (ns * nominalUnits)
+	}
+	return c.hostWeight
 }

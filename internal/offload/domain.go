@@ -54,6 +54,19 @@ func (d *domain) Kill() {
 	}
 }
 
+// restart brings a killed domain back for re-admission: the crash flag
+// clears and fresh service loops start against the still-wired MCAPI
+// endpoints (a restarted firmware image comes back on the same ports).
+// It reports whether a restart actually happened (the domain must be
+// killed, and only one restarter wins).
+func (d *domain) restart() bool {
+	if !d.killed.CompareAndSwap(true, false) {
+		return false
+	}
+	d.start()
+	return true
+}
+
 // stop tears the domain down for good. The node is finalized before
 // waiting so loops blocked in MCAPI receives are woken by endpoint
 // deletion; the host must have finalized its own node first so a

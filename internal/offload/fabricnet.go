@@ -1,0 +1,248 @@
+package offload
+
+import (
+	"fmt"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/mcapi"
+	"openmpmca/internal/platform"
+)
+
+// The multi-domain fabric net: the board partitioned under the embedded
+// hypervisor, one MCA-backed OpenMP runtime per partition, and a
+// host<->worker MCAPI wiring per worker domain. The chunk offloader and
+// the MTAPI task fabric (internal/taskfabric) build the same net and
+// differ only in what they send over it, so the builder lives here and
+// both import it.
+
+// Well-known ports on each worker domain's MCAPI node. Host-side
+// endpoints use PortAny; workers sit on fixed ports the way firmware
+// images do.
+const (
+	portCmd mcapi.Port = 1 // host -> worker packet channel, commands
+	portRes mcapi.Port = 2 // worker -> host packet channel, results
+	portHB  mcapi.Port = 3 // connectionless heartbeat pings
+)
+
+// hostDomainID is the host runtime's MCAPI domain; worker i lives in
+// domain i (1-based).
+const hostDomainID mcapi.DomainID = 0
+
+// NetConfig sizes a fabric net build.
+type NetConfig struct {
+	Domains    int             // worker domain count (>= 1)
+	Board      *platform.Board // board to partition
+	NamePrefix string          // partition names: <prefix>-host, <prefix>-dom<i>
+	CmdDepth   int             // host->worker command queue depth
+	ResDepth   int             // worker->host result queue depth
+}
+
+// NetLink is one worker domain of a built net, both sides of its wiring:
+// the worker-side handles its service loops read and write, and the
+// host-side handles the scheduler drives.
+type NetLink struct {
+	ID   int    // 1-based; MCAPI domain ID and partition ordinal
+	Name string // hypervisor partition name
+	RT   *core.Runtime
+	Node *mcapi.Node
+	CPUs int // hardware threads in this domain's partition
+
+	// Worker side.
+	CmdRecv *mcapi.PktRecvHandle // host -> worker commands
+	ResSend *mcapi.PktSendHandle // worker -> host results
+	HBEp    *mcapi.Endpoint      // receives host pings
+	HBHost  *mcapi.Endpoint      // host endpoint pongs are sent to
+
+	// Host side.
+	CmdSend *mcapi.PktSendHandle // commands out
+	ResRecv *mcapi.PktRecvHandle // results back
+}
+
+// Net is a built fabric: the hypervisor, the host runtime and MCAPI
+// node, and one NetLink per worker domain.
+type Net struct {
+	HV       *platform.Hypervisor
+	Comm     *mcapi.System
+	Host     *core.Runtime
+	HostNode *mcapi.Node
+	HostCPUs int
+	Links    []*NetLink
+}
+
+// partitionCPUs splits the board's hardware threads into groups (group 0
+// is the host). When the board has enough physical clusters each group
+// gets a whole cluster — partitions then never share an L2 — otherwise
+// the threads are split evenly and contiguously.
+func partitionCPUs(b *platform.Board, groups int) ([][]int, error) {
+	if groups < 2 {
+		return nil, fmt.Errorf("offload: need at least one worker domain")
+	}
+	if b.Clusters() >= groups && b.CoresPerCluster > 1 {
+		out := make([][]int, groups)
+		for i := range out {
+			cpus, err := b.ClusterCPUs(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = cpus
+		}
+		return out, nil
+	}
+	hw := b.HWThreads()
+	if hw < groups {
+		return nil, fmt.Errorf("offload: board %s has %d hw threads, cannot host %d domains",
+			b.Name, hw, groups-1)
+	}
+	out := make([][]int, groups)
+	next := 0
+	for i := range out {
+		n := hw / groups
+		if i < hw%groups {
+			n++
+		}
+		for j := 0; j < n; j++ {
+			out[i] = append(out[i], next)
+			next++
+		}
+	}
+	return out, nil
+}
+
+// BuildNet partitions the board under the embedded hypervisor, boots one
+// MCA-backed OpenMP runtime per partition, and wires host<->worker MCAPI
+// channels plus heartbeat endpoints. On any error everything already
+// built is torn down.
+func BuildNet(cfg NetConfig) (*Net, error) {
+	b := cfg.Board
+	hv, err := platform.NewHypervisor(b)
+	if err != nil {
+		return nil, err
+	}
+	groups := cfg.Domains + 1
+	sets, err := partitionCPUs(b, groups)
+	if err != nil {
+		return nil, err
+	}
+	memMB := b.MemMB / groups
+
+	var rts []*core.Runtime
+	fail := func(err error) (*Net, error) {
+		for _, rt := range rts {
+			_ = rt.Close()
+		}
+		for _, p := range hv.Partitions() {
+			_ = hv.Stop(p.Name)
+		}
+		return nil, err
+	}
+
+	names := make([]string, groups)
+	for i := 0; i < groups; i++ {
+		name, guest := cfg.NamePrefix+"-host", platform.GuestLinux
+		if i > 0 {
+			name, guest = fmt.Sprintf("%s-dom%d", cfg.NamePrefix, i), platform.GuestRTOS
+		}
+		names[i] = name
+		if _, err := hv.CreatePartition(name, guest, sets[i], memMB); err != nil {
+			return fail(err)
+		}
+		if err := hv.Start(name); err != nil {
+			return fail(err)
+		}
+		sys, err := hv.PartitionSystem(name)
+		if err != nil {
+			return fail(err)
+		}
+		layer, err := core.NewMCALayer(sys)
+		if err != nil {
+			return fail(err)
+		}
+		rt, err := core.New(core.WithLayer(layer))
+		if err != nil {
+			return fail(err)
+		}
+		rts = append(rts, rt)
+	}
+
+	comm := mcapi.NewSystem()
+	hostNode, err := comm.Initialize(hostDomainID, 0)
+	if err != nil {
+		return fail(err)
+	}
+	net := &Net{
+		HV:       hv,
+		Comm:     comm,
+		Host:     rts[0],
+		HostNode: hostNode,
+		HostCPUs: len(sets[0]),
+	}
+
+	cmdAttrs := &mcapi.EndpointAttributes{QueueDepth: cfg.CmdDepth}
+	resAttrs := &mcapi.EndpointAttributes{QueueDepth: cfg.ResDepth}
+	for i := 1; i < groups; i++ {
+		node, err := comm.Initialize(mcapi.DomainID(i), 0)
+		if err != nil {
+			return fail(err)
+		}
+		cmdEp, err := node.CreateEndpoint(portCmd, cmdAttrs)
+		if err != nil {
+			return fail(err)
+		}
+		resEp, err := node.CreateEndpoint(portRes, nil)
+		if err != nil {
+			return fail(err)
+		}
+		hbEp, err := node.CreateEndpoint(portHB, &mcapi.EndpointAttributes{QueueDepth: 4})
+		if err != nil {
+			return fail(err)
+		}
+		cmdSrc, err := hostNode.CreateEndpoint(mcapi.PortAny, nil)
+		if err != nil {
+			return fail(err)
+		}
+		resDst, err := hostNode.CreateEndpoint(mcapi.PortAny, resAttrs)
+		if err != nil {
+			return fail(err)
+		}
+		hbDst, err := hostNode.CreateEndpoint(mcapi.PortAny, &mcapi.EndpointAttributes{QueueDepth: 8})
+		if err != nil {
+			return fail(err)
+		}
+		if err := mcapi.PktConnect(cmdSrc, cmdEp); err != nil {
+			return fail(err)
+		}
+		if err := mcapi.PktConnect(resEp, resDst); err != nil {
+			return fail(err)
+		}
+		cmdSend, err := mcapi.PktOpenSend(cmdSrc)
+		if err != nil {
+			return fail(err)
+		}
+		cmdRecv, err := mcapi.PktOpenRecv(cmdEp)
+		if err != nil {
+			return fail(err)
+		}
+		resSend, err := mcapi.PktOpenSend(resEp)
+		if err != nil {
+			return fail(err)
+		}
+		resRecv, err := mcapi.PktOpenRecv(resDst)
+		if err != nil {
+			return fail(err)
+		}
+		net.Links = append(net.Links, &NetLink{
+			ID:      i,
+			Name:    names[i],
+			RT:      rts[i],
+			Node:    node,
+			CPUs:    len(sets[i]),
+			CmdRecv: cmdRecv,
+			ResSend: resSend,
+			HBEp:    hbEp,
+			HBHost:  hbDst,
+			CmdSend: cmdSend,
+			ResRecv: resRecv,
+		})
+	}
+	return net, nil
+}

@@ -1,0 +1,108 @@
+package offload
+
+import (
+	"sync/atomic"
+	"time"
+
+	"openmpmca/internal/mcapi"
+)
+
+// Host-side domain health tracking, shared by the chunk offloader and
+// the MTAPI task fabric (internal/taskfabric). Both subsystems monitor
+// worker domains the same way — periodic MCAPI pings answered by pongs,
+// a domain silent past a deadline declared lost — and readmit a
+// restarted domain along the same path: reset the pong clock first, then
+// clear the lost flag, so the monitor cannot immediately re-declare the
+// domain dead.
+
+// HealthState is the host's liveness record for one worker domain. The
+// zero value is a live domain that has never ponged; call RecordPong (or
+// Readmit) to start its clock.
+type HealthState struct {
+	lost     atomic.Bool
+	lastPong atomic.Int64 // unix nanos of the latest pong
+}
+
+// Lost reports whether the domain is currently declared lost.
+func (h *HealthState) Lost() bool { return h.lost.Load() }
+
+// MarkLost transitions live -> lost exactly once; it reports whether
+// this call made the transition.
+func (h *HealthState) MarkLost() bool { return h.lost.CompareAndSwap(false, true) }
+
+// RecordPong notes a pong received at the given unix-nano time.
+func (h *HealthState) RecordPong(now int64) { h.lastPong.Store(now) }
+
+// Expired reports whether the domain has been silent longer than
+// lostAfter as of now.
+func (h *HealthState) Expired(now int64, lostAfter time.Duration) bool {
+	return now-h.lastPong.Load() > int64(lostAfter)
+}
+
+// Readmit transitions lost -> live for a domain that restarted: the pong
+// clock is reset before the flag flips so the health monitor sees a
+// fresh domain. It reports whether the domain was actually lost (a live
+// domain cannot be readmitted).
+func (h *HealthState) Readmit(now int64) bool {
+	if !h.lost.Load() {
+		return false
+	}
+	h.lastPong.Store(now)
+	return h.lost.CompareAndSwap(true, false)
+}
+
+// HealthPeer is one monitored worker domain as the health monitor sees
+// it: its liveness record plus the two heartbeat endpoints.
+type HealthPeer struct {
+	ID       int             // worker domain ID (for ping frames)
+	State    *HealthState    // shared liveness record
+	PingTo   *mcapi.Endpoint // worker endpoint pings are sent to
+	PongFrom *mcapi.Endpoint // host endpoint pongs arrive on
+}
+
+// MonitorHealth runs the host-side heartbeat loop until stop closes:
+// each period it drains pongs into every live peer's state, declares
+// peers silent past lostAfter lost (calling onLost once per transition),
+// and pings the survivors. onPong, if non-nil, is called per accepted
+// pong — both subsystems use it to count heartbeats. A peer readmitted
+// via HealthState.Readmit re-enters the ping rotation automatically.
+func MonitorHealth(stop <-chan struct{}, period, lostAfter time.Duration,
+	peers []HealthPeer, onLost func(peer int), onPong func()) {
+	tick := time.NewTicker(period)
+	defer tick.Stop()
+	var seq uint64
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		now := time.Now().UnixNano()
+		for i, p := range peers {
+			if p.State.Lost() {
+				continue
+			}
+			for {
+				msg, _, err := mcapi.MsgRecv(p.PongFrom, mcapi.TimeoutImmediate)
+				if err != nil {
+					break
+				}
+				if _, derr := decodeHB(kindPong, msg); derr == nil {
+					p.State.RecordPong(now)
+					if onPong != nil {
+						onPong()
+					}
+				}
+			}
+			if p.State.Expired(now, lostAfter) {
+				if p.State.MarkLost() {
+					onLost(i)
+				}
+				continue
+			}
+			seq++
+			ping := encodeHB(kindPing, hbMsg{Domain: uint32(p.ID), Seq: seq})
+			_ = mcapi.MsgSend(p.PingTo, ping, 0, mcapi.TimeoutImmediate)
+		}
+	}
+}

@@ -174,36 +174,44 @@ func WithProfile(p perfmodel.KernelProfile) Option {
 	}
 }
 
+// ewmaAlpha is the smoothing factor for observed per-chunk service
+// times; see perfmodel.ServiceEWMA.
+const ewmaAlpha = 0.3
+
 // link is the host's view of one worker domain.
 type link struct {
-	d        *domain
-	cmd      *mcapi.PktSendHandle // chunk descriptors out
-	res      *mcapi.PktRecvHandle // results back
-	hbTo     *mcapi.Endpoint      // worker's ping endpoint
-	hbFrom   *mcapi.Endpoint      // host endpoint pongs arrive on
-	weight   float64              // perfmodel service rate (1/ns)
-	lost     atomic.Bool
-	lastPong atomic.Int64 // unix nanos of the latest pong
+	d      *domain
+	cmd    *mcapi.PktSendHandle   // chunk descriptors out
+	res    *mcapi.PktRecvHandle   // results back
+	hbTo   *mcapi.Endpoint        // worker's ping endpoint
+	hbFrom *mcapi.Endpoint        // host endpoint pongs arrive on
+	weight float64                // static perfmodel service rate (1/ns)
+	ewma   *perfmodel.ServiceEWMA // observed ns per iteration
+	health *HealthState
 }
 
 // stats are the Offloader's monotonically increasing counters.
 type stats struct {
-	regions      atomic.Uint64
-	remoteChunks atomic.Uint64
-	localChunks  atomic.Uint64
-	resends      atomic.Uint64
-	domainsLost  atomic.Uint64
-	heartbeats   atomic.Uint64
+	regions          atomic.Uint64
+	remoteChunks     atomic.Uint64
+	localChunks      atomic.Uint64
+	resends          atomic.Uint64
+	domainsLost      atomic.Uint64
+	heartbeats       atomic.Uint64
+	chunkAdaptations atomic.Uint64
+	readmissions     atomic.Uint64
 }
 
 // StatsSnapshot is a point-in-time copy of the offload counters.
 type StatsSnapshot struct {
-	Regions      uint64 // ParallelFor regions run
-	RemoteChunks uint64 // chunks completed by worker domains
-	LocalChunks  uint64 // chunks completed by the host
-	Resends      uint64 // chunk re-dispatches (deadline or domain loss)
-	DomainsLost  uint64 // worker domains declared dead
-	Heartbeats   uint64 // pongs received
+	Regions          uint64 // ParallelFor regions run
+	RemoteChunks     uint64 // chunks completed by worker domains
+	LocalChunks      uint64 // chunks completed by the host
+	Resends          uint64 // chunk re-dispatches (deadline or domain loss)
+	DomainsLost      uint64 // worker domains declared dead
+	Heartbeats       uint64 // pongs received
+	ChunkAdaptations uint64 // observed service times folded into the weights
+	Readmissions     uint64 // lost domains readmitted after restart
 }
 
 // arrival is one decoded result handed from a receiver to the scheduler.
@@ -261,7 +269,7 @@ func New(reg *Registry, opts ...Option) (*Offloader, error) {
 	}
 	now := time.Now().UnixNano()
 	for _, l := range cl.links {
-		l.lastPong.Store(now)
+		l.health.RecordPong(now)
 	}
 	for _, d := range cl.domains {
 		d.start()
@@ -281,17 +289,19 @@ func (o *Offloader) Domains() int { return len(o.cl.links) }
 func (o *Offloader) Board() *platform.Board { return o.cfg.board }
 
 // Render draws the hypervisor partition map.
-func (o *Offloader) Render() string { return o.cl.hv.Render() }
+func (o *Offloader) Render() string { return o.cl.net.HV.Render() }
 
 // Stats snapshots the offload counters.
 func (o *Offloader) Stats() StatsSnapshot {
 	return StatsSnapshot{
-		Regions:      o.st.regions.Load(),
-		RemoteChunks: o.st.remoteChunks.Load(),
-		LocalChunks:  o.st.localChunks.Load(),
-		Resends:      o.st.resends.Load(),
-		DomainsLost:  o.st.domainsLost.Load(),
-		Heartbeats:   o.st.heartbeats.Load(),
+		Regions:          o.st.regions.Load(),
+		RemoteChunks:     o.st.remoteChunks.Load(),
+		LocalChunks:      o.st.localChunks.Load(),
+		Resends:          o.st.resends.Load(),
+		DomainsLost:      o.st.domainsLost.Load(),
+		Heartbeats:       o.st.heartbeats.Load(),
+		ChunkAdaptations: o.st.chunkAdaptations.Load(),
+		Readmissions:     o.st.readmissions.Load(),
 	}
 }
 
@@ -303,6 +313,31 @@ func (o *Offloader) KillDomain(i int) error {
 		return fmt.Errorf("offload: no domain %d", i)
 	}
 	o.cl.links[i].d.Kill()
+	return nil
+}
+
+// ReadmitDomain brings a lost worker domain back into service after a
+// restart — the shared re-admission path (HealthState.Readmit plus a
+// domain restart) that internal/taskfabric follows too. The domain's
+// service loops restart against its existing MCAPI wiring, its pong
+// clock resets, and the scheduler resumes sending it chunks; without
+// this, a lost domain stayed lost until the Offloader was rebuilt.
+func (o *Offloader) ReadmitDomain(i int) error {
+	if o.closed.Load() {
+		return ErrClosed
+	}
+	if i < 0 || i >= len(o.cl.links) {
+		return fmt.Errorf("offload: no domain %d", i)
+	}
+	l := o.cl.links[i]
+	if !l.health.Lost() {
+		return fmt.Errorf("offload: domain %s is not lost", l.d.name)
+	}
+	l.d.restart()
+	if !l.health.Readmit(time.Now().UnixNano()) {
+		return fmt.Errorf("offload: domain %s readmitted concurrently", l.d.name)
+	}
+	o.st.readmissions.Add(1)
 	return nil
 }
 
@@ -329,60 +364,27 @@ func (o *Offloader) receiver(i int) {
 	}
 }
 
-// healthLoop pings every live domain each heartbeat period, folds pongs
-// into lastPong, and declares a domain lost once its pongs stop for
-// lostAfter.
-func (o *Offloader) healthLoop() {
-	defer o.wg.Done()
-	tick := time.NewTicker(o.cfg.heartbeat)
-	defer tick.Stop()
-	var seq uint64
-	for {
-		select {
-		case <-o.stopCh:
-			return
-		case <-tick.C:
-		}
-		now := time.Now()
-		for i, l := range o.cl.links {
-			if l.lost.Load() {
-				continue
-			}
-			for {
-				msg, _, err := mcapi.MsgRecv(l.hbFrom, mcapi.TimeoutImmediate)
-				if err != nil {
-					break
-				}
-				if _, derr := decodeHB(kindPong, msg); derr == nil {
-					l.lastPong.Store(now.UnixNano())
-					o.st.heartbeats.Add(1)
-				}
-			}
-			if now.UnixNano()-l.lastPong.Load() > int64(o.cfg.lostAfter) {
-				o.markLost(i)
-				continue
-			}
-			seq++
-			ping := encodeHB(kindPing, hbMsg{Domain: uint32(l.d.id), Seq: seq})
-			_ = mcapi.MsgSend(l.hbTo, ping, 0, mcapi.TimeoutImmediate)
-		}
-	}
-}
-
-// markLost transitions a domain to lost exactly once: it stops being
+// healthLoop runs the shared heartbeat monitor over the cluster's links;
+// a domain whose pongs stop for lostAfter is marked lost: it stops being
 // scheduled, its process is killed, and the active region (if any) is
 // told to reclaim the domain's in-flight chunks.
-func (o *Offloader) markLost(i int) {
-	l := o.cl.links[i]
-	if !l.lost.CompareAndSwap(false, true) {
-		return
+func (o *Offloader) healthLoop() {
+	defer o.wg.Done()
+	peers := make([]HealthPeer, len(o.cl.links))
+	for i, l := range o.cl.links {
+		peers[i] = HealthPeer{ID: l.d.id, State: l.health, PingTo: l.hbTo, PongFrom: l.hbFrom}
 	}
-	o.st.domainsLost.Add(1)
-	l.d.Kill()
-	select {
-	case o.lostCh <- i:
-	default:
-	}
+	MonitorHealth(o.stopCh, o.cfg.heartbeat, o.cfg.lostAfter, peers,
+		func(i int) {
+			l := o.cl.links[i]
+			o.st.domainsLost.Add(1)
+			l.d.Kill()
+			select {
+			case o.lostCh <- i:
+			default:
+			}
+		},
+		func() { o.st.heartbeats.Add(1) })
 }
 
 // flight tracks one chunk descriptor in flight to a domain.
@@ -390,6 +392,8 @@ type flight struct {
 	dom     int
 	attempt uint32
 	expiry  time.Time
+	sentAt  time.Time // dispatch time, for observed service-time feedback
+	iters   int       // chunk width, to normalize the observation
 }
 
 // localResult is one chunk completed by the host's local executor.
@@ -397,6 +401,7 @@ type localResult struct {
 	idx     int
 	payload []byte
 	err     error
+	elapsed time.Duration
 }
 
 // ParallelFor runs kernel over iterations [0,n), splitting the space
@@ -468,20 +473,25 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 	localBusy := false
 	go func() {
 		for idx := range localCh {
+			start := time.Now()
 			p, err := k.Chunk(o.cl.host, chunks[idx].lo, chunks[idx].hi, arg)
-			localDone <- localResult{idx: idx, payload: p, err: err}
+			localDone <- localResult{idx: idx, payload: p, err: err, elapsed: time.Since(start)}
 		}
 	}()
 	defer close(localCh)
 
+	// localShare weighs the host against the live domains using the
+	// adaptive rates: observed per-chunk service times once primed, the
+	// static perfmodel estimate before that.
 	localShare := func() float64 {
-		sum := o.cl.hostWeight
-		for _, l := range o.cl.links {
-			if !l.lost.Load() {
-				sum += l.weight
+		host := o.cl.hostRate()
+		sum := host
+		for li, l := range o.cl.links {
+			if !l.health.Lost() {
+				sum += o.cl.weightOf(li)
 			}
 		}
-		return o.cl.hostWeight / sum
+		return host / sum
 	}
 
 	// pump tops up every live domain to its credit limit with
@@ -489,7 +499,7 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 	// queue just means "try again next round".
 	pump := func() {
 		for li, l := range o.cl.links {
-			if l.lost.Load() {
+			if l.health.Lost() {
 				continue
 			}
 			for credits[li] > 0 {
@@ -519,7 +529,14 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 				pending = append(pending[:qi], pending[qi+1:]...)
 				credits[li]--
 				remoteDispatched++
-				inflight[ci] = flight{dom: li, attempt: attempt[ci], expiry: time.Now().Add(o.cfg.deadline)}
+				now := time.Now()
+				inflight[ci] = flight{
+					dom:     li,
+					attempt: attempt[ci],
+					expiry:  now.Add(o.cfg.deadline),
+					sentAt:  now,
+					iters:   chunks[ci].hi - chunks[ci].lo,
+				}
 				if o.cfg.sink != nil {
 					o.cfg.sink.OffloadSend(l.d.id, ci)
 				}
@@ -544,7 +561,7 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 		if qi < 0 {
 			live, free := 0, false
 			for li, l := range o.cl.links {
-				if !l.lost.Load() {
+				if !l.health.Lost() {
 					live++
 					if credits[li] > 0 {
 						free = true
@@ -599,7 +616,7 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 				continue // straggler from an earlier region
 			}
 			l := o.cl.links[a.dom]
-			if !l.lost.Load() && credits[a.dom] < o.cfg.inflight {
+			if !l.health.Lost() && credits[a.dom] < o.cfg.inflight {
 				credits[a.dom]++
 			}
 			ci := int(a.msg.Chunk)
@@ -611,6 +628,12 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 				done[ci] = true
 				parts[ci] = a.msg.Payload
 				remaining--
+				if fl, ok := inflight[ci]; ok && fl.dom == a.dom && fl.iters > 0 {
+					// Feed the observed service time back into this
+					// domain's weight for the next scheduling decisions.
+					l.ewma.Observe(float64(time.Since(fl.sentAt).Nanoseconds()) / float64(fl.iters))
+					o.st.chunkAdaptations.Add(1)
+				}
 				delete(inflight, ci)
 				o.st.remoteChunks.Add(1)
 				if o.cfg.sink != nil {
@@ -631,6 +654,10 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 				done[lr.idx] = true
 				parts[lr.idx] = lr.payload
 				remaining--
+				if iters := chunks[lr.idx].hi - chunks[lr.idx].lo; iters > 0 && lr.elapsed > 0 {
+					o.cl.hostEwma.Observe(float64(lr.elapsed.Nanoseconds()) / float64(iters))
+					o.st.chunkAdaptations.Add(1)
+				}
 				o.st.localChunks.Add(1)
 				if o.cfg.sink != nil {
 					o.cfg.sink.OffloadRecv(-1, lr.idx)
@@ -695,7 +722,7 @@ func (o *Offloader) Close() error {
 	}
 	close(o.stopCh)
 	for _, l := range o.cl.links {
-		if !l.lost.Load() {
+		if !l.health.Lost() {
 			_ = l.cmd.Send([]byte{byte(kindShutdown)}, mcapi.TimeoutImmediate)
 		}
 	}
@@ -705,8 +732,8 @@ func (o *Offloader) Close() error {
 	}
 	o.wg.Wait()
 	err := o.cl.host.Close()
-	for _, p := range o.cl.hv.Partitions() {
-		_ = o.cl.hv.Stop(p.Name)
+	for _, p := range o.cl.net.HV.Partitions() {
+		_ = o.cl.net.HV.Stop(p.Name)
 	}
 	return err
 }

@@ -274,3 +274,91 @@ func TestCloseIdempotentAndRejects(t *testing.T) {
 		t.Errorf("ParallelFor after Close = %v, want ErrClosed", err)
 	}
 }
+
+// TestChunkAdaptationsObserved: once a region completes, the scheduler
+// must have folded observed per-chunk service times into the adaptive
+// weights in place of the static perfmodel estimates.
+func TestChunkAdaptationsObserved(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(sumKernel("sum", 0)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(reg, WithDomains(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	const n = 50000
+	got, err := o.ParallelFor("sum", n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := seqSum(n); decodeSum(t, got) != want {
+		t.Errorf("sum = %d, want %d", decodeSum(t, got), want)
+	}
+	st := o.Stats()
+	if st.ChunkAdaptations == 0 {
+		t.Error("ChunkAdaptations = 0: no observed service times fed the weights")
+	}
+	if done := st.RemoteChunks + st.LocalChunks; st.ChunkAdaptations > done {
+		t.Errorf("ChunkAdaptations = %d > completed chunks = %d",
+			st.ChunkAdaptations, done)
+	}
+}
+
+// TestReadmitDomain: a lost domain, restarted, rejoins the fabric via
+// ReadmitDomain and serves chunks again.
+func TestReadmitDomain(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(sumKernel("sum", 0)); err != nil {
+		t.Fatal(err)
+	}
+	o, err := New(reg,
+		WithDomains(2),
+		WithHeartbeat(5*time.Millisecond), // lost after 40ms
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.Close()
+
+	// A live domain cannot be readmitted.
+	if err := o.ReadmitDomain(0); err == nil {
+		t.Error("ReadmitDomain accepted a live domain")
+	}
+	if err := o.ReadmitDomain(99); err == nil {
+		t.Error("ReadmitDomain accepted an out-of-range index")
+	}
+
+	if err := o.KillDomain(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for o.Stats().DomainsLost == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("domain never declared lost")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := o.ReadmitDomain(0); err != nil {
+		t.Fatalf("ReadmitDomain: %v", err)
+	}
+	if st := o.Stats(); st.Readmissions != 1 {
+		t.Errorf("Readmissions = %d, want 1", st.Readmissions)
+	}
+
+	// The readmitted fabric must complete regions correctly again.
+	const n = 20000
+	got, err := o.ParallelFor("sum", n, nil)
+	if err != nil {
+		t.Fatalf("region after readmission: %v", err)
+	}
+	if want := seqSum(n); decodeSum(t, got) != want {
+		t.Errorf("post-readmission sum = %d, want %d", decodeSum(t, got), want)
+	}
+	if st := o.Stats(); st.DomainsLost != 1 {
+		t.Errorf("DomainsLost = %d, want 1 (readmission must not re-count)", st.DomainsLost)
+	}
+}

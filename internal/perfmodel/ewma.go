@@ -1,0 +1,65 @@
+package perfmodel
+
+import "sync"
+
+// ServiceEWMA tracks an exponentially weighted moving average of an
+// observed service metric — typically nanoseconds per iteration or per
+// task measured on one runtime domain. The offload scheduler and the
+// task fabric use one per domain to replace the static EstimateRegionNs
+// weight with reality as completions stream in: the first observation
+// primes the average, later ones fold in with weight alpha.
+//
+// The zero value is not usable; create with NewServiceEWMA. Safe for
+// concurrent use.
+type ServiceEWMA struct {
+	mu    sync.Mutex
+	alpha float64
+	value float64
+	n     uint64
+}
+
+// DefaultEWMAAlpha is the smoothing factor used when NewServiceEWMA is
+// given a factor outside (0,1]: recent completions dominate quickly
+// without letting a single outlier whipsaw the schedule.
+const DefaultEWMAAlpha = 0.3
+
+// NewServiceEWMA creates an empty average with the given smoothing
+// factor; alpha outside (0,1] falls back to DefaultEWMAAlpha.
+func NewServiceEWMA(alpha float64) *ServiceEWMA {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultEWMAAlpha
+	}
+	return &ServiceEWMA{alpha: alpha}
+}
+
+// Observe folds one measurement into the average. Non-positive
+// observations are ignored: a zero-duration service time is a clock
+// artifact, and folding it in would drive a weight to infinity.
+func (e *ServiceEWMA) Observe(v float64) {
+	if v <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.n == 0 {
+		e.value = v
+	} else {
+		e.value = e.alpha*v + (1-e.alpha)*e.value
+	}
+	e.n++
+}
+
+// Value returns the current average and whether it has been primed by at
+// least one observation.
+func (e *ServiceEWMA) Value() (float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.value, e.n > 0
+}
+
+// Samples reports how many observations have been folded in.
+func (e *ServiceEWMA) Samples() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.n
+}

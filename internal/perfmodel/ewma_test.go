@@ -1,0 +1,82 @@
+package perfmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestServiceEWMAPrimesOnFirstObservation(t *testing.T) {
+	e := NewServiceEWMA(0.3)
+	if _, ok := e.Value(); ok {
+		t.Fatal("empty EWMA reports primed")
+	}
+	e.Observe(100)
+	v, ok := e.Value()
+	if !ok || v != 100 {
+		t.Fatalf("after one observation Value() = %v,%v, want 100,true", v, ok)
+	}
+	if e.Samples() != 1 {
+		t.Fatalf("Samples = %d, want 1", e.Samples())
+	}
+}
+
+func TestServiceEWMASmoothing(t *testing.T) {
+	e := NewServiceEWMA(0.5)
+	e.Observe(100)
+	e.Observe(200)
+	v, _ := e.Value()
+	if math.Abs(v-150) > 1e-9 {
+		t.Fatalf("EWMA after 100,200 with alpha 0.5 = %v, want 150", v)
+	}
+	e.Observe(150)
+	v, _ = e.Value()
+	if math.Abs(v-150) > 1e-9 {
+		t.Fatalf("EWMA = %v, want 150", v)
+	}
+}
+
+func TestServiceEWMAIgnoresNonPositive(t *testing.T) {
+	e := NewServiceEWMA(0.3)
+	e.Observe(0)
+	e.Observe(-5)
+	if _, ok := e.Value(); ok {
+		t.Fatal("non-positive observations primed the average")
+	}
+	e.Observe(42)
+	e.Observe(0)
+	if v, _ := e.Value(); v != 42 {
+		t.Fatalf("Value = %v, want 42 (zero must be ignored)", v)
+	}
+}
+
+func TestServiceEWMABadAlphaFallsBack(t *testing.T) {
+	for _, alpha := range []float64{0, -1, 1.5} {
+		e := NewServiceEWMA(alpha)
+		if e.alpha != DefaultEWMAAlpha {
+			t.Errorf("NewServiceEWMA(%v).alpha = %v, want %v", alpha, e.alpha, DefaultEWMAAlpha)
+		}
+	}
+}
+
+func TestServiceEWMAConcurrent(t *testing.T) {
+	e := NewServiceEWMA(0.3)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 1; j <= 100; j++ {
+				e.Observe(float64(j))
+				e.Value()
+			}
+		}()
+	}
+	wg.Wait()
+	if e.Samples() != 800 {
+		t.Fatalf("Samples = %d, want 800", e.Samples())
+	}
+	if v, ok := e.Value(); !ok || v <= 0 || v > 100 {
+		t.Fatalf("Value = %v,%v out of range", v, ok)
+	}
+}

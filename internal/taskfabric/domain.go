@@ -1,0 +1,318 @@
+package taskfabric
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/mcapi"
+	"openmpmca/internal/mtapi"
+	"openmpmca/internal/offload"
+)
+
+// fabricJob is the one MTAPI job every worker node registers: "execute a
+// fabric task frame". The frame's job name selects the actual work, so
+// the wire stays name-based while the local scheduler stays MTAPI.
+const fabricJob mtapi.JobID = 1
+
+// queuedTask is one task frame accepted by a worker but not yet running:
+// the unit of currency for steal grants and group-done drops, both of
+// which work by canceling the still-queued MTAPI task.
+type queuedTask struct {
+	frame offload.TaskFrame
+	mt    *mtapi.Task // nil for the instant between map insert and Start
+}
+
+// worker is the domain side of the fabric: an OpenMP runtime in its own
+// hypervisor partition, a local MTAPI node scheduling accepted tasks
+// onto it, and service loops speaking the task-frame protocol with the
+// host. Like offload's domains it is reachable only through MCAPI.
+type worker struct {
+	id   int    // 1-based; MCAPI domain ID and partition ordinal
+	name string // hypervisor partition name
+	rt   *core.Runtime
+	node *mcapi.Node
+	mt   *mtapi.Node
+	reg  *Registry
+
+	cmdRecv *mcapi.PktRecvHandle // host -> worker task/steal/group frames
+	resSend *mcapi.PktSendHandle // worker -> host results/yields/credits
+	hbEp    *mcapi.Endpoint      // receives host pings
+	hbHost  *mcapi.Endpoint      // host endpoint pongs are sent to
+
+	killed atomic.Bool
+	cmdReq atomic.Pointer[mcapi.Request]
+	hbReq  atomic.Pointer[mcapi.Request]
+	wg     sync.WaitGroup
+
+	sendMu  sync.Mutex // serializes result/yield/credit sends
+	qmu     sync.Mutex
+	queued  map[uint64]*queuedTask // accepted, not yet started
+	running int                    // tasks currently executing
+}
+
+func newWorker(id int, name string, rt *core.Runtime, node *mcapi.Node,
+	reg *Registry, cmdRecv *mcapi.PktRecvHandle, resSend *mcapi.PktSendHandle,
+	hbEp, hbHost *mcapi.Endpoint, mtWorkers int) (*worker, error) {
+	w := &worker{
+		id:      id,
+		name:    name,
+		rt:      rt,
+		node:    node,
+		mt:      mtapi.NewNode(uint32(id), 0, &mtapi.NodeAttributes{Workers: mtWorkers}),
+		reg:     reg,
+		cmdRecv: cmdRecv,
+		resSend: resSend,
+		hbEp:    hbEp,
+		hbHost:  hbHost,
+		queued:  make(map[uint64]*queuedTask),
+	}
+	if _, err := w.mt.CreateAction(fabricJob, "taskfabric", w.execute); err != nil {
+		w.mt.Shutdown()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *worker) start() {
+	w.wg.Add(2)
+	go w.dispatch()
+	go w.heartbeat()
+}
+
+// Kill simulates the domain crashing: the service loops abandon their
+// receives, the queue dies with the firmware image, and results of tasks
+// already running are suppressed. The host learns of the crash the way
+// real hardware would — missed heartbeats. Idempotent.
+func (w *worker) Kill() {
+	if !w.killed.CompareAndSwap(false, true) {
+		return
+	}
+	if r := w.cmdReq.Load(); r != nil {
+		_ = r.Cancel()
+	}
+	if r := w.hbReq.Load(); r != nil {
+		_ = r.Cancel()
+	}
+	w.qmu.Lock()
+	for id, qt := range w.queued {
+		if qt.mt != nil {
+			_ = qt.mt.Cancel()
+		}
+		delete(w.queued, id)
+	}
+	w.qmu.Unlock()
+}
+
+// restart brings a killed worker back for re-admission, mirroring
+// offload's domain restart: the crash flag clears and fresh service
+// loops start against the still-wired MCAPI endpoints.
+func (w *worker) restart() bool {
+	if !w.killed.CompareAndSwap(true, false) {
+		return false
+	}
+	w.start()
+	return true
+}
+
+// stop tears the worker down for good. The MCAPI node is finalized
+// before waiting so loops blocked in receives are woken; the host must
+// have finalized its node first so a blocked result send is woken too.
+// The MTAPI node drains last: its running tasks' sends fail fast once
+// the host endpoints are gone.
+func (w *worker) stop() {
+	w.Kill()
+	_ = w.node.Finalize()
+	w.wg.Wait()
+	w.mt.Shutdown()
+	_ = w.rt.Close()
+}
+
+// dispatch is the worker's command loop, one frame per MCAPI packet.
+// Receives are issued as cancelable requests so Kill can yank the loop
+// out from under a blocked receive.
+func (w *worker) dispatch() {
+	defer w.wg.Done()
+	for {
+		req := w.cmdRecv.RecvI(mcapi.TimeoutInfinite)
+		w.cmdReq.Store(req)
+		if w.killed.Load() {
+			_ = req.Cancel()
+		}
+		if err := req.Wait(mcapi.TimeoutInfinite); err != nil {
+			return
+		}
+		pkt, _, _ := req.Payload()
+		kind, ok := offload.FrameKind(pkt)
+		if !ok {
+			continue
+		}
+		switch kind {
+		case offload.KindFabricShutdown:
+			return
+		case offload.KindTask:
+			w.accept(pkt)
+		case offload.KindStealGrant:
+			w.yield(pkt)
+		case offload.KindGroupDone:
+			w.dropGroup(pkt)
+		}
+	}
+}
+
+// accept enqueues one task frame on the local MTAPI node. The queued-map
+// insert happens before Start so a steal grant can always find the task;
+// the mt field is backfilled under the lock, and skipped if the MTAPI
+// worker already started (and removed) the task in between.
+func (w *worker) accept(pkt []byte) {
+	f, err := offload.DecodeTaskFrame(offload.KindTask, pkt)
+	if err != nil {
+		return
+	}
+	qt := &queuedTask{frame: f}
+	w.qmu.Lock()
+	w.queued[f.Task] = qt
+	w.qmu.Unlock()
+	t, err := w.mt.Start(fabricJob, qt, nil)
+	if err != nil {
+		w.qmu.Lock()
+		delete(w.queued, f.Task)
+		w.qmu.Unlock()
+		return // node down; the host's deadline re-dispatches the task
+	}
+	w.qmu.Lock()
+	if _, still := w.queued[f.Task]; still {
+		qt.mt = t
+	}
+	w.qmu.Unlock()
+}
+
+// execute is the MTAPI action behind every fabric task: resolve the job
+// by name, run it on this domain's OpenMP runtime, send the result and a
+// fresh credit report. A killed worker's results die with it.
+func (w *worker) execute(args any) (any, error) {
+	qt := args.(*queuedTask)
+	f := qt.frame
+	w.qmu.Lock()
+	delete(w.queued, f.Task)
+	w.running++
+	w.qmu.Unlock()
+
+	res := offload.TaskResultFrame{Task: f.Task, Attempt: f.Attempt}
+	if job, ok := w.reg.Lookup(f.Job); !ok {
+		res.Status = offload.StatusUnknownJob
+		res.Payload = []byte(f.Job)
+	} else if payload, jerr := job.Execute(w.rt, f.Arg); jerr != nil {
+		res.Status = offload.StatusJobError
+		res.Payload = []byte(jerr.Error())
+	} else {
+		res.Payload = payload
+	}
+
+	w.qmu.Lock()
+	w.running--
+	credit := offload.CreditFrame{
+		Domain:  uint32(w.id),
+		Queued:  uint32(len(w.queued)),
+		Running: uint32(w.running),
+	}
+	w.qmu.Unlock()
+	if w.killed.Load() {
+		// Crashed mid-task: the computed result dies with the domain.
+		return nil, nil
+	}
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	if w.resSend.Send(offload.EncodeTaskResult(res), mcapi.TimeoutInfinite) != nil {
+		return nil, nil
+	}
+	_ = w.resSend.Send(offload.EncodeCredit(credit), mcapi.TimeoutInfinite)
+	return nil, nil
+}
+
+// yield answers a steal grant: cancel up to Want still-queued tasks —
+// mtapi.Task.Cancel succeeds only before the task starts running, which
+// is exactly steal semantics — and hand their frames back to the host,
+// followed by a credit report so the host can settle the grant.
+func (w *worker) yield(pkt []byte) {
+	g, err := offload.DecodeStealGrant(pkt)
+	if err != nil {
+		return
+	}
+	var yields []offload.TaskFrame
+	w.qmu.Lock()
+	for id, qt := range w.queued {
+		if len(yields) >= int(g.Want) {
+			break
+		}
+		if qt.mt == nil || qt.mt.Cancel() != nil {
+			continue // about to run, or already running
+		}
+		delete(w.queued, id)
+		yields = append(yields, qt.frame)
+	}
+	credit := offload.CreditFrame{
+		Domain:  uint32(w.id),
+		Queued:  uint32(len(w.queued)),
+		Running: uint32(w.running),
+	}
+	w.qmu.Unlock()
+	if w.killed.Load() {
+		return
+	}
+	w.sendMu.Lock()
+	defer w.sendMu.Unlock()
+	for _, f := range yields {
+		if w.resSend.Send(offload.EncodeTaskFrame(offload.KindTaskYield, f), mcapi.TimeoutInfinite) != nil {
+			return
+		}
+	}
+	_ = w.resSend.Send(offload.EncodeCredit(credit), mcapi.TimeoutInfinite)
+}
+
+// dropGroup discards queued tasks of a completed or canceled group.
+func (w *worker) dropGroup(pkt []byte) {
+	gd, err := offload.DecodeGroupDone(pkt)
+	if err != nil {
+		return
+	}
+	w.qmu.Lock()
+	for id, qt := range w.queued {
+		if qt.frame.Group != gd.Group || qt.mt == nil {
+			continue
+		}
+		if qt.mt.Cancel() != nil {
+			continue
+		}
+		delete(w.queued, id)
+	}
+	w.qmu.Unlock()
+}
+
+// heartbeat answers host pings with pongs, exactly like offload domains:
+// non-blocking pong sends, a full host queue just drops the pong.
+func (w *worker) heartbeat() {
+	defer w.wg.Done()
+	for {
+		req := mcapi.MsgRecvTI(w.hbEp, mcapi.TimeoutInfinite)
+		w.hbReq.Store(req)
+		if w.killed.Load() {
+			_ = req.Cancel()
+		}
+		if err := req.Wait(mcapi.TimeoutInfinite); err != nil {
+			return
+		}
+		msg, _, _ := req.Payload()
+		ping, err := offload.DecodePing(msg)
+		if err != nil {
+			continue
+		}
+		pong := offload.EncodePong(offload.HBFrame{Domain: uint32(w.id), Seq: ping.Seq})
+		if err := mcapi.MsgSend(w.hbHost, pong, 0, mcapi.TimeoutImmediate); err != nil {
+			if err == mcapi.ErrMemLimit || err == mcapi.ErrTimeout {
+				continue // queue full: drop the pong
+			}
+			return // host endpoint gone
+		}
+	}
+}

@@ -1,0 +1,917 @@
+// Package taskfabric distributes MTAPI-style irregular tasks across
+// multiple runtime domains — separate core.Runtime instances, each bound
+// to its own hypervisor partition of the board — joined only by MCAPI
+// packet channels.
+//
+// The host submits jobs by name; task descriptors travel to worker
+// domains as wire frames (internal/offload's task codec), where a local
+// MTAPI node schedules them onto the partition's OpenMP runtime. Results,
+// queue-occupancy credits and steal yields flow back on the result
+// channel. The host brokers work stealing between domains: a domain
+// reporting an empty queue is granted half of the most loaded peer's
+// unstarted tasks, which migrate as yield frames and re-dispatch to the
+// idle domain. Per-task deadlines and retries handle slow domains;
+// heartbeat loss detection reclaims a dead domain's in-flight tasks and
+// re-executes them locally on the host, so a submitted graph always
+// completes — the loss surfaces as an ErrDomainLost-wrapped error
+// alongside the full result, mirroring internal/offload.
+//
+// This completes the paper's MCA trio in load-bearing form: MRAPI under
+// each runtime (core.MCALayer), MCAPI as the inter-domain transport, and
+// MTAPI as the task-management layer on both sides of the wire.
+package taskfabric
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmpmca/internal/mcapi"
+	"openmpmca/internal/offload"
+	"openmpmca/internal/perfmodel"
+	"openmpmca/internal/platform"
+)
+
+// ErrDomainLost marks work that survived a worker domain dying — the
+// result is complete and correct, the lost domain's tasks were
+// re-executed — shared with internal/offload so callers handle both
+// subsystems with one errors.Is check.
+var ErrDomainLost = offload.ErrDomainLost
+
+var (
+	// ErrClosed is returned by operations on a closed Fabric.
+	ErrClosed = errors.New("taskfabric: fabric closed")
+	// ErrCanceled marks tasks canceled via Group.Cancel.
+	ErrCanceled = errors.New("taskfabric: task canceled")
+	// ErrTimeout is returned by bounded waits that expire.
+	ErrTimeout = errors.New("taskfabric: timeout")
+	// ErrGroupDrained is returned by WaitAny when the group has no
+	// outstanding and no undelivered completed tasks.
+	ErrGroupDrained = errors.New("taskfabric: group has no outstanding tasks")
+)
+
+// TimeoutInfinite waits forever. The wait contract matches
+// internal/mtapi: negative waits forever, zero polls once (ErrTimeout if
+// not ready), positive bounds the wait.
+const TimeoutInfinite time.Duration = -1
+
+// EventSink receives task-fabric trace events. Domain -1 is the host's
+// local executor. trace.Recorder implements it.
+type EventSink interface {
+	TaskSend(domain, task int)
+	TaskRecv(domain, task int)
+	TaskSteal(thief, victim int)
+}
+
+// stealMin is the outstanding-task floor below which a domain is not
+// worth stealing from.
+const stealMin = 2
+
+// config collects the tunables behind the Options.
+type config struct {
+	domains   int
+	board     *platform.Board
+	deadline  time.Duration
+	retries   int
+	heartbeat time.Duration
+	lostAfter time.Duration
+	inflight  int
+	mtWorkers int
+	sink      EventSink
+}
+
+// Option configures NewFabric.
+type Option func(*config) error
+
+func defaultConfig() config {
+	return config{
+		domains:   3,
+		board:     platform.T4240RDB(),
+		deadline:  time.Second,
+		retries:   2,
+		heartbeat: 20 * time.Millisecond,
+		inflight:  8,
+	}
+}
+
+// WithDomains sets the number of worker domains (default 3).
+func WithDomains(n int) Option {
+	return func(c *config) error {
+		if n < 1 || n > 64 {
+			return fmt.Errorf("taskfabric: WithDomains(%d): want 1..64", n)
+		}
+		c.domains = n
+		return nil
+	}
+}
+
+// WithBoard selects the simulated board to partition (default T4240RDB).
+func WithBoard(b *platform.Board) Option {
+	return func(c *config) error {
+		if b == nil {
+			return fmt.Errorf("taskfabric: WithBoard(nil)")
+		}
+		c.board = b
+		return nil
+	}
+}
+
+// WithTaskDeadline bounds how long the host waits for a dispatched
+// task's result before re-dispatching it (default 1s).
+func WithTaskDeadline(d time.Duration) Option {
+	return func(c *config) error {
+		if d <= 0 {
+			return fmt.Errorf("taskfabric: WithTaskDeadline(%v): want > 0", d)
+		}
+		c.deadline = d
+		return nil
+	}
+}
+
+// WithRetries sets how many re-dispatches a task gets before it is
+// pinned to local execution (default 2).
+func WithRetries(n int) Option {
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("taskfabric: WithRetries(%d): want >= 0", n)
+		}
+		c.retries = n
+		return nil
+	}
+}
+
+// WithHeartbeat sets the ping period; a domain missing pongs for eight
+// periods is declared lost (default 20ms).
+func WithHeartbeat(period time.Duration) Option {
+	return func(c *config) error {
+		if period <= 0 {
+			return fmt.Errorf("taskfabric: WithHeartbeat(%v): want > 0", period)
+		}
+		c.heartbeat = period
+		return nil
+	}
+}
+
+// WithInflight sets how many task descriptors may be in flight to one
+// domain at a time (default 8).
+func WithInflight(n int) Option {
+	return func(c *config) error {
+		if n < 1 || n > 64 {
+			return fmt.Errorf("taskfabric: WithInflight(%d): want 1..64", n)
+		}
+		c.inflight = n
+		return nil
+	}
+}
+
+// WithDomainWorkers sets each domain's MTAPI scheduler pool size;
+// 0 (the default) uses the partition's hardware threads, capped at 4.
+func WithDomainWorkers(n int) Option {
+	return func(c *config) error {
+		if n < 0 || n > 64 {
+			return fmt.Errorf("taskfabric: WithDomainWorkers(%d): want 0..64", n)
+		}
+		c.mtWorkers = n
+		return nil
+	}
+}
+
+// WithEventSink installs a sink for EvTaskSend/EvTaskRecv/EvTaskSteal
+// events.
+func WithEventSink(s EventSink) Option {
+	return func(c *config) error {
+		c.sink = s
+		return nil
+	}
+}
+
+// counters are the Fabric's monotonically increasing stats.
+type counters struct {
+	submitted    atomic.Uint64
+	remoteTasks  atomic.Uint64
+	localTasks   atomic.Uint64
+	resends      atomic.Uint64
+	steals       atomic.Uint64
+	canceled     atomic.Uint64
+	domainsLost  atomic.Uint64
+	readmissions atomic.Uint64
+	heartbeats   atomic.Uint64
+}
+
+// Stats is a point-in-time copy of the fabric counters.
+type Stats struct {
+	Submitted    uint64 // tasks accepted by SubmitJob
+	RemoteTasks  uint64 // tasks completed by worker domains
+	LocalTasks   uint64 // tasks completed by the host's local executor
+	Resends      uint64 // task re-dispatches (deadline or domain loss)
+	Steals       uint64 // queued tasks migrated between domains
+	Canceled     uint64 // tasks canceled via Group.Cancel
+	DomainsLost  uint64 // worker domains declared dead
+	Readmissions uint64 // lost domains readmitted after restart
+	Heartbeats   uint64 // pongs received
+}
+
+// TaskHandle tracks one submitted task. Waiters may call Wait from any
+// goroutine.
+type TaskHandle struct {
+	id  uint64
+	job string
+
+	done chan struct{}
+	mu   sync.Mutex
+	fin  bool
+	res  []byte
+	err  error
+}
+
+// ID returns the fabric-wide task ID.
+func (h *TaskHandle) ID() uint64 { return h.id }
+
+// Job returns the job name the task executes.
+func (h *TaskHandle) Job() string { return h.job }
+
+func (h *TaskHandle) finish(res []byte, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.fin {
+		return
+	}
+	h.fin = true
+	h.res = res
+	h.err = err
+	close(h.done)
+}
+
+func (h *TaskHandle) errOf() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.err
+}
+
+// Wait blocks up to timeout for the task's result, under the package
+// timeout contract. A task recovered from a lost domain returns its
+// (valid) result together with an ErrDomainLost-wrapped error.
+func (h *TaskHandle) Wait(timeout time.Duration) ([]byte, error) {
+	switch {
+	case timeout < 0:
+		<-h.done
+	case timeout == 0:
+		select {
+		case <-h.done:
+		default:
+			return nil, ErrTimeout
+		}
+	default:
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		select {
+		case <-h.done:
+		case <-t.C:
+			return nil, ErrTimeout
+		}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.res, h.err
+}
+
+// task is the scheduler's record of one submitted task.
+type task struct {
+	id          uint64
+	job         string
+	arg         []byte
+	h           *TaskHandle
+	g           *Group
+	attempt     uint32
+	forcedLocal bool // exhausted retries or recovered: host executes it
+	recovered   bool // reclaimed from a lost domain
+}
+
+// flight tracks one dispatched task: which executor has it and when the
+// host gives up waiting. Local flights (dom -1) have no deadline.
+type flight struct {
+	dom    int
+	expiry time.Time
+}
+
+// arrival is one raw packet handed from a link receiver to the scheduler.
+type arrival struct {
+	dom int
+	pkt []byte
+}
+
+// localDone is one task completed by the host's local executor.
+type localDone struct {
+	t       *task
+	payload []byte
+	err     error
+}
+
+// hostLink is the host's view of one worker domain.
+type hostLink struct {
+	w      *worker
+	cmd    *mcapi.PktSendHandle
+	res    *mcapi.PktRecvHandle
+	hbTo   *mcapi.Endpoint
+	hbFrom *mcapi.Endpoint
+	health *offload.HealthState
+}
+
+// Fabric owns a partitioned board: one host runtime plus N worker
+// domains, joined only by MCAPI, executing MTAPI-style jobs. It is safe
+// for concurrent use.
+type Fabric struct {
+	cfg config
+	reg *Registry
+	net *offload.Net
+
+	workers []*worker
+	links   []*hostLink
+
+	submitCh    chan *task
+	arrCh       chan arrival
+	localQ      chan *task
+	localDoneCh chan localDone
+	lostCh      chan int
+	cancelCh    chan *Group
+	stopCh      chan struct{}
+	wg          sync.WaitGroup
+
+	idSeq    atomic.Uint64
+	groupSeq atomic.Uint64
+	closed   atomic.Bool
+	st       counters
+}
+
+// NewFabric partitions the configured board, boots the host and worker
+// runtimes, wires the MCAPI fabric, starts each domain's MTAPI node and
+// the host's scheduler, receivers and health monitor.
+func NewFabric(reg *Registry, opts ...Option) (*Fabric, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("taskfabric: nil registry")
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	cfg.lostAfter = 8 * cfg.heartbeat
+
+	net, err := offload.BuildNet(offload.NetConfig{
+		Domains:    cfg.domains,
+		Board:      cfg.board,
+		NamePrefix: "fabric",
+		CmdDepth:   cfg.inflight + 4,
+		ResDepth:   cfg.inflight + 4,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	f := &Fabric{
+		cfg:         cfg,
+		reg:         reg,
+		net:         net,
+		submitCh:    make(chan *task),
+		arrCh:       make(chan arrival, 64),
+		localQ:      make(chan *task, 4),
+		localDoneCh: make(chan localDone),
+		lostCh:      make(chan int, cfg.domains),
+		cancelCh:    make(chan *Group),
+		stopCh:      make(chan struct{}),
+	}
+	now := time.Now().UnixNano()
+	for _, nl := range net.Links {
+		mtWorkers := cfg.mtWorkers
+		if mtWorkers == 0 {
+			mtWorkers = nl.CPUs
+			if mtWorkers > 4 {
+				mtWorkers = 4
+			}
+		}
+		w, werr := newWorker(nl.ID, nl.Name, nl.RT, nl.Node, reg,
+			nl.CmdRecv, nl.ResSend, nl.HBEp, nl.HBHost, mtWorkers)
+		if werr != nil {
+			_ = f.teardownNet()
+			return nil, werr
+		}
+		h := &offload.HealthState{}
+		h.RecordPong(now)
+		f.workers = append(f.workers, w)
+		f.links = append(f.links, &hostLink{
+			w:      w,
+			cmd:    nl.CmdSend,
+			res:    nl.ResRecv,
+			hbTo:   nl.HBEp,
+			hbFrom: nl.HBHost,
+			health: h,
+		})
+	}
+	for _, w := range f.workers {
+		w.start()
+	}
+	f.wg.Add(3 + len(f.links))
+	go f.scheduler()
+	go f.localExec()
+	go f.healthLoop()
+	for i := range f.links {
+		go f.receiver(i)
+	}
+	return f, nil
+}
+
+// teardownNet releases a partially built fabric before any goroutines
+// started.
+func (f *Fabric) teardownNet() error {
+	for _, w := range f.workers {
+		w.mt.Shutdown()
+	}
+	err := f.net.Host.Close()
+	for _, nl := range f.net.Links {
+		_ = nl.RT.Close()
+	}
+	for _, p := range f.net.HV.Partitions() {
+		_ = f.net.HV.Stop(p.Name)
+	}
+	return err
+}
+
+// Domains reports the number of worker domains.
+func (f *Fabric) Domains() int { return len(f.links) }
+
+// Board returns the partitioned board.
+func (f *Fabric) Board() *platform.Board { return f.cfg.board }
+
+// Render describes the hypervisor partitioning.
+func (f *Fabric) Render() string { return f.net.HV.Render() }
+
+// Stats snapshots the fabric counters.
+func (f *Fabric) Stats() Stats {
+	return Stats{
+		Submitted:    f.st.submitted.Load(),
+		RemoteTasks:  f.st.remoteTasks.Load(),
+		LocalTasks:   f.st.localTasks.Load(),
+		Resends:      f.st.resends.Load(),
+		Steals:       f.st.steals.Load(),
+		Canceled:     f.st.canceled.Load(),
+		DomainsLost:  f.st.domainsLost.Load(),
+		Readmissions: f.st.readmissions.Load(),
+		Heartbeats:   f.st.heartbeats.Load(),
+	}
+}
+
+// KillDomain crash-tests worker domain i (0-based): its service loops
+// die and the host must recover via missed heartbeats.
+func (f *Fabric) KillDomain(i int) error {
+	if i < 0 || i >= len(f.workers) {
+		return fmt.Errorf("taskfabric: no domain %d", i)
+	}
+	f.workers[i].Kill()
+	return nil
+}
+
+// ReadmitDomain returns a lost (and since restarted) domain to service,
+// along the same path as offload.Offloader.ReadmitDomain: restart the
+// worker's service loops, then clear the health record so the monitor
+// resumes pinging it. Only a lost domain can be readmitted.
+func (f *Fabric) ReadmitDomain(i int) error {
+	if f.closed.Load() {
+		return ErrClosed
+	}
+	if i < 0 || i >= len(f.links) {
+		return fmt.Errorf("taskfabric: no domain %d", i)
+	}
+	l := f.links[i]
+	if !l.health.Lost() {
+		return fmt.Errorf("taskfabric: domain %s is not lost", l.w.name)
+	}
+	l.w.restart()
+	if !l.health.Readmit(time.Now().UnixNano()) {
+		return fmt.Errorf("taskfabric: domain %s readmitted concurrently", l.w.name)
+	}
+	f.st.readmissions.Add(1)
+	return nil
+}
+
+// SubmitJob submits one ungrouped task executing the named job with the
+// given argument, dispatched to whichever domain has capacity.
+func (f *Fabric) SubmitJob(job string, arg []byte) (*TaskHandle, error) {
+	return f.submit(job, arg, nil)
+}
+
+func (f *Fabric) submit(job string, arg []byte, g *Group) (*TaskHandle, error) {
+	if f.closed.Load() {
+		return nil, ErrClosed
+	}
+	if _, ok := f.reg.Lookup(job); !ok {
+		return nil, fmt.Errorf("taskfabric: unknown job %q", job)
+	}
+	id := f.idSeq.Add(1)
+	h := &TaskHandle{id: id, job: job, done: make(chan struct{})}
+	t := &task{id: id, job: job, arg: append([]byte(nil), arg...), h: h, g: g}
+	if g != nil {
+		g.addMember(h)
+	}
+	select {
+	case f.submitCh <- t:
+	case <-f.stopCh:
+		if g != nil {
+			g.dropMember(h)
+		}
+		return nil, ErrClosed
+	}
+	f.st.submitted.Add(1)
+	return h, nil
+}
+
+// receiver drains one link's result channel into the scheduler.
+func (f *Fabric) receiver(i int) {
+	defer f.wg.Done()
+	l := f.links[i]
+	for {
+		pkt, err := l.res.Recv(mcapi.TimeoutInfinite)
+		if err != nil {
+			return
+		}
+		select {
+		case f.arrCh <- arrival{dom: i, pkt: pkt}:
+		case <-f.stopCh:
+			return
+		}
+	}
+}
+
+// localExec is the host's executor for tasks pinned local — recovered
+// from a lost domain, out of retries, or with no live domain to go to.
+func (f *Fabric) localExec() {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-f.stopCh:
+			return
+		case t := <-f.localQ:
+			var payload []byte
+			var err error
+			if job, ok := f.reg.Lookup(t.job); !ok {
+				err = fmt.Errorf("taskfabric: unknown job %q", t.job)
+			} else {
+				payload, err = job.Execute(f.net.Host, t.arg)
+			}
+			select {
+			case f.localDoneCh <- localDone{t: t, payload: payload, err: err}:
+			case <-f.stopCh:
+				return
+			}
+		}
+	}
+}
+
+// healthLoop runs the shared heartbeat monitor (internal/offload) over
+// the links; a lost domain is killed and reported to the scheduler for
+// task reclamation.
+func (f *Fabric) healthLoop() {
+	defer f.wg.Done()
+	peers := make([]offload.HealthPeer, len(f.links))
+	for i, l := range f.links {
+		peers[i] = offload.HealthPeer{ID: l.w.id, State: l.health, PingTo: l.hbTo, PongFrom: l.hbFrom}
+	}
+	offload.MonitorHealth(f.stopCh, f.cfg.heartbeat, f.cfg.lostAfter, peers,
+		func(i int) {
+			f.st.domainsLost.Add(1)
+			f.links[i].w.Kill()
+			select {
+			case f.lostCh <- i:
+			default:
+			}
+		},
+		func() { f.st.heartbeats.Add(1) })
+}
+
+// scheduler is the single goroutine owning all dispatch state: the
+// pending queue, the in-flight table, per-domain occupancy and the
+// active steal grant. Everything else talks to it over channels.
+func (f *Fabric) scheduler() {
+	defer f.wg.Done()
+	var (
+		pending     []*task
+		tasks       = make(map[uint64]*task)
+		infl        = make(map[uint64]flight)
+		outstanding = make([]int, len(f.links))
+		grantVictim = -1
+		grantThief  = -1
+	)
+	clearGrant := func() { grantVictim, grantThief = -1, -1 }
+	live := func(li int) bool { return !f.links[li].health.Lost() }
+	anyLive := func() bool {
+		for li := range f.links {
+			if live(li) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// finish completes a task: release its flight slot, settle the
+	// handle (a recovered task's success carries ErrDomainLost), notify
+	// its group.
+	finish := func(t *task, payload []byte, err error) {
+		delete(tasks, t.id)
+		if fl, ok := infl[t.id]; ok {
+			delete(infl, t.id)
+			if fl.dom >= 0 {
+				outstanding[fl.dom]--
+			}
+		}
+		if err == nil && t.recovered {
+			err = fmt.Errorf("task %d re-executed after domain loss: %w", t.id, ErrDomainLost)
+		}
+		t.h.finish(payload, err)
+		if t.g != nil {
+			t.g.taskDone(t.h)
+		}
+	}
+
+	// dispatch places one task: pinned-local tasks (and tasks with no
+	// live domain) go to the host executor, the rest to the live domain
+	// with the fewest tasks in flight. False means try again later.
+	dispatch := func(t *task) bool {
+		if t.forcedLocal || !anyLive() {
+			select {
+			case f.localQ <- t:
+				infl[t.id] = flight{dom: -1}
+				if f.cfg.sink != nil {
+					f.cfg.sink.TaskSend(-1, int(t.id))
+				}
+				return true
+			default:
+				return false // local executor saturated
+			}
+		}
+		best := -1
+		for li := range f.links {
+			if !live(li) || outstanding[li] >= f.cfg.inflight {
+				continue
+			}
+			if best < 0 || outstanding[li] < outstanding[best] {
+				best = li
+			}
+		}
+		if best < 0 {
+			return false
+		}
+		var gid uint64
+		if t.g != nil {
+			gid = t.g.id
+		}
+		frame := offload.EncodeTaskFrame(offload.KindTask, offload.TaskFrame{
+			Task: t.id, Attempt: t.attempt, Group: gid, Job: t.job, Arg: t.arg,
+		})
+		if f.links[best].cmd.Send(frame, mcapi.TimeoutImmediate) != nil {
+			return false // command queue full; the tick retries
+		}
+		infl[t.id] = flight{dom: best, expiry: time.Now().Add(f.cfg.deadline)}
+		outstanding[best]++
+		if f.cfg.sink != nil {
+			f.cfg.sink.TaskSend(best, int(t.id))
+		}
+		return true
+	}
+
+	pump := func() {
+		var rest []*task
+		for _, t := range pending {
+			if _, alive := tasks[t.id]; !alive {
+				continue // finished or canceled while queued
+			}
+			if !dispatch(t) {
+				rest = append(rest, t)
+			}
+		}
+		pending = rest
+	}
+
+	// reclaim pulls a task back from a failed dispatch for another try;
+	// past the retry budget (or after domain loss) it pins local.
+	reclaim := func(t *task, toLocal bool) {
+		t.attempt++
+		f.st.resends.Add(1)
+		if toLocal || int(t.attempt) > f.cfg.retries {
+			t.forcedLocal = true
+		}
+		pending = append(pending, t)
+	}
+
+	tick := time.NewTicker(10 * time.Millisecond)
+	defer tick.Stop()
+
+	for {
+		select {
+		case <-f.stopCh:
+			for _, t := range tasks {
+				t.h.finish(nil, ErrClosed)
+				if t.g != nil {
+					t.g.taskDone(t.h)
+				}
+			}
+			return
+
+		case t := <-f.submitCh:
+			tasks[t.id] = t
+			pending = append(pending, t)
+			pump()
+
+		case a := <-f.arrCh:
+			kind, ok := offload.FrameKind(a.pkt)
+			if !ok {
+				continue
+			}
+			switch kind {
+			case offload.KindTaskResult:
+				m, err := offload.DecodeTaskResult(a.pkt)
+				if err != nil {
+					continue
+				}
+				t, known := tasks[m.Task]
+				if !known {
+					continue // duplicate or stale: already settled
+				}
+				var terr error
+				switch m.Status {
+				case offload.StatusUnknownJob:
+					terr = fmt.Errorf("taskfabric: domain %d: unknown job %q", a.dom, string(m.Payload))
+				case offload.StatusJobError:
+					terr = fmt.Errorf("taskfabric: job %q: %s", t.job, string(m.Payload))
+				}
+				f.st.remoteTasks.Add(1)
+				if f.cfg.sink != nil {
+					f.cfg.sink.TaskRecv(a.dom, int(t.id))
+				}
+				finish(t, m.Payload, terr)
+				pump()
+			case offload.KindTaskYield:
+				m, err := offload.DecodeTaskFrame(offload.KindTaskYield, a.pkt)
+				if err != nil {
+					continue
+				}
+				t, known := tasks[m.Task]
+				if !known {
+					continue
+				}
+				if fl, ok := infl[t.id]; ok && fl.dom == a.dom {
+					delete(infl, t.id)
+					outstanding[a.dom]--
+					t.attempt++
+					f.st.steals.Add(1)
+					if f.cfg.sink != nil {
+						thief := -1
+						if grantVictim == a.dom {
+							thief = grantThief
+						}
+						f.cfg.sink.TaskSteal(thief, a.dom)
+					}
+					// Head of the queue: the idle thief has the lowest
+					// occupancy, so min-outstanding dispatch routes the
+					// migrated task straight to it.
+					pending = append([]*task{t}, pending...)
+					pump()
+				}
+			case offload.KindCredit:
+				m, err := offload.DecodeCredit(a.pkt)
+				if err != nil {
+					continue
+				}
+				if grantVictim == a.dom {
+					clearGrant() // grant settled: victim reported back
+				}
+				if m.Queued == 0 && m.Running == 0 && outstanding[a.dom] == 0 &&
+					len(pending) == 0 && grantVictim < 0 && live(a.dom) {
+					victim := -1
+					for li := range f.links {
+						if li == a.dom || !live(li) || outstanding[li] < stealMin {
+							continue
+						}
+						if victim < 0 || outstanding[li] > outstanding[victim] {
+							victim = li
+						}
+					}
+					if victim >= 0 {
+						grant := offload.EncodeStealGrant(offload.StealGrantFrame{
+							Want: uint32(outstanding[victim] / 2),
+						})
+						if f.links[victim].cmd.Send(grant, mcapi.TimeoutImmediate) == nil {
+							grantVictim, grantThief = victim, a.dom
+						}
+					}
+				}
+			}
+
+		case d := <-f.localDoneCh:
+			if _, known := tasks[d.t.id]; !known {
+				continue
+			}
+			f.st.localTasks.Add(1)
+			if f.cfg.sink != nil {
+				f.cfg.sink.TaskRecv(-1, int(d.t.id))
+			}
+			finish(d.t, d.payload, d.err)
+			pump()
+
+		case li := <-f.lostCh:
+			for id, fl := range infl {
+				if fl.dom != li {
+					continue
+				}
+				delete(infl, id)
+				t, known := tasks[id]
+				if !known {
+					continue
+				}
+				t.recovered = true
+				reclaim(t, true)
+			}
+			outstanding[li] = 0
+			if grantVictim == li || grantThief == li {
+				clearGrant()
+			}
+			pump()
+
+		case g := <-f.cancelCh:
+			for id, t := range tasks {
+				if t.g != g {
+					continue
+				}
+				delete(tasks, id)
+				if fl, ok := infl[id]; ok {
+					delete(infl, id)
+					if fl.dom >= 0 {
+						outstanding[fl.dom]--
+					}
+				}
+				f.st.canceled.Add(1)
+				t.h.finish(nil, ErrCanceled)
+				g.taskDone(t.h)
+			}
+			done := offload.EncodeGroupDone(offload.GroupDoneFrame{Group: g.id})
+			for li := range f.links {
+				if live(li) {
+					_ = f.links[li].cmd.Send(done, mcapi.TimeoutImmediate)
+				}
+			}
+
+		case <-tick.C:
+			now := time.Now()
+			for id, fl := range infl {
+				if fl.dom < 0 || fl.expiry.After(now) {
+					continue
+				}
+				delete(infl, id)
+				outstanding[fl.dom]--
+				t, known := tasks[id]
+				if !known {
+					continue
+				}
+				reclaim(t, false)
+			}
+			pump()
+		}
+	}
+}
+
+// Close shuts the fabric down: outstanding tasks settle with ErrClosed,
+// workers get a best-effort shutdown frame, the host's endpoints are
+// finalized first (waking blocked worker sends), then each domain stops
+// and the host runtime closes. Idempotent.
+func (f *Fabric) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(f.stopCh)
+	for _, l := range f.links {
+		if !l.health.Lost() {
+			_ = l.cmd.Send(offload.EncodeFabricShutdown(), mcapi.TimeoutImmediate)
+		}
+	}
+	_ = f.net.HostNode.Finalize()
+	for _, w := range f.workers {
+		w.stop()
+	}
+	f.wg.Wait()
+	err := f.net.Host.Close()
+	for _, p := range f.net.HV.Partitions() {
+		_ = f.net.HV.Stop(p.Name)
+	}
+	return err
+}
+
+// EstimateDomainNs exposes the perfmodel estimate for one task running n
+// units on domain li's partition — a planning aid for demos sizing
+// irregular graphs; the scheduler itself balances by occupancy.
+func (f *Fabric) EstimateDomainNs(li int, prof perfmodel.KernelProfile, units float64) (float64, error) {
+	if li < 0 || li >= len(f.net.Links) {
+		return 0, fmt.Errorf("taskfabric: no domain %d", li)
+	}
+	return perfmodel.EstimateRegionNs(f.cfg.board, prof, f.net.Links[li].CPUs, units), nil
+}

@@ -1,0 +1,415 @@
+package taskfabric
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"openmpmca/internal/core"
+	"openmpmca/internal/trace"
+)
+
+// trace.Recorder must satisfy EventSink so fabric events land in the
+// same ring as runtime and offload events.
+var _ EventSink = (*trace.Recorder)(nil)
+
+// sleepSumArg encodes "sleep ms, then return v": the irregular-duration
+// workload the scheduler and the stealing logic are exercised with.
+func sleepSumArg(ms uint32, v uint64) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, ms)
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+// testRegistry registers the jobs the tests share: "sleepsum" (sleep,
+// touch the domain's OpenMP runtime, echo the value) and "echo".
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	sleepsum := FuncJob{
+		JobName: "sleepsum",
+		Fn: func(rt *core.Runtime, arg []byte) ([]byte, error) {
+			if len(arg) != 12 {
+				return nil, fmt.Errorf("bad arg: %d bytes", len(arg))
+			}
+			ms := binary.LittleEndian.Uint32(arg)
+			v := binary.LittleEndian.Uint64(arg[4:])
+			if ms > 0 {
+				time.Sleep(time.Duration(ms) * time.Millisecond)
+			}
+			var mu sync.Mutex
+			var sum uint64
+			err := rt.ParallelForRange(64, func(lo, hi int) {
+				mu.Lock()
+				sum += uint64(hi - lo)
+				mu.Unlock()
+			})
+			if err != nil {
+				return nil, err
+			}
+			if sum != 64 {
+				return nil, fmt.Errorf("runtime summed %d, want 64", sum)
+			}
+			return binary.LittleEndian.AppendUint64(nil, v), nil
+		},
+	}
+	echo := FuncJob{
+		JobName: "echo",
+		Fn: func(rt *core.Runtime, arg []byte) ([]byte, error) {
+			return append([]byte(nil), arg...), nil
+		},
+	}
+	for _, j := range []Job{sleepsum, echo} {
+		if err := reg.Register(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func decodeU64(t *testing.T, b []byte) uint64 {
+	t.Helper()
+	if len(b) != 8 {
+		t.Fatalf("result is %d bytes, want 8", len(b))
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func TestSubmitDistributes(t *testing.T) {
+	rec := trace.NewRecorder(4096)
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(3),
+		WithHeartbeat(10*time.Millisecond),
+		WithEventSink(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g := f.NewGroup()
+	const n = 24
+	var want uint64
+	handles := make([]*TaskHandle, 0, n)
+	for i := 0; i < n; i++ {
+		h, err := g.SubmitJob("sleepsum", sleepSumArg(1, uint64(i)*7+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		want += uint64(i)*7 + 1
+	}
+	if err := g.WaitAll(TimeoutInfinite); err != nil {
+		t.Fatalf("WaitAll: %v", err)
+	}
+	var got uint64
+	for _, h := range handles {
+		res, err := h.Wait(0) // settled group: zero-timeout poll must succeed
+		if err != nil {
+			t.Fatalf("task %d: %v", h.ID(), err)
+		}
+		got += decodeU64(t, res)
+	}
+	if got != want {
+		t.Errorf("sum = %d, want %d", got, want)
+	}
+	st := f.Stats()
+	if st.Submitted != n {
+		t.Errorf("Submitted = %d, want %d", st.Submitted, n)
+	}
+	if st.RemoteTasks == 0 {
+		t.Error("no tasks ran remotely: fabric did not distribute")
+	}
+	if st.DomainsLost != 0 {
+		t.Errorf("DomainsLost = %d, want 0", st.DomainsLost)
+	}
+	sum := rec.Summary()
+	if sum.TaskSends == 0 || sum.TaskRecvs == 0 {
+		t.Errorf("trace recorded %d sends / %d recvs, want > 0", sum.TaskSends, sum.TaskRecvs)
+	}
+	if sum.TaskRecvs != st.RemoteTasks+st.LocalTasks {
+		t.Errorf("trace recvs %d != completed tasks %d", sum.TaskRecvs, st.RemoteTasks+st.LocalTasks)
+	}
+}
+
+// TestKillMidGraph is the integration test the fabric is specified by:
+// three worker domains run an irregular graph, one domain steals queued
+// work from a blocked peer and is then killed while holding the stolen
+// tasks. The graph must still complete with the exact result, surface
+// ErrDomainLost, count exactly one lost domain and at least one steal.
+//
+// The schedule is deterministic: serial MTAPI pools (one worker per
+// domain) let a long blocker task back up a domain's queue, the idle
+// third domain drains its own short tasks first and its empty-queue
+// credit triggers the host-brokered steal from the blocked domain.
+func TestKillMidGraph(t *testing.T) {
+	rec := trace.NewRecorder(8192)
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(3),
+		WithDomainWorkers(1),
+		WithInflight(16),
+		WithHeartbeat(5*time.Millisecond), // lost after 40ms
+		WithTaskDeadline(5*time.Second),   // deadlines must not mask the loss path
+		WithEventSink(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g := f.NewGroup()
+	var want uint64
+	var handles []*TaskHandle
+	submit := func(ms uint32, v uint64) {
+		t.Helper()
+		h, err := g.SubmitJob("sleepsum", sleepSumArg(ms, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		want += v
+	}
+
+	// Two 400ms blockers occupy domains 0 and 1; twenty 25ms tasks
+	// spread across all three. Domain 2 drains its share (~175ms) while
+	// 0 and 1 stay blocked with queued work — the steal setup.
+	submit(400, 1<<32)
+	submit(400, 1<<33)
+	for i := 0; i < 20; i++ {
+		submit(25, uint64(i)*13+5)
+	}
+
+	// Kill domain 2 as soon as it has stolen queued tasks.
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().Steals == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no steal happened within 10s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := f.KillDomain(2); err != nil {
+		t.Fatal(err)
+	}
+
+	err = g.WaitAll(TimeoutInfinite)
+	if !errors.Is(err, ErrDomainLost) {
+		t.Errorf("WaitAll = %v, want ErrDomainLost", err)
+	}
+	var got uint64
+	for _, h := range handles {
+		res, herr := h.Wait(0)
+		if herr != nil && !errors.Is(herr, ErrDomainLost) {
+			t.Fatalf("task %d: %v", h.ID(), herr)
+		}
+		got += decodeU64(t, res)
+	}
+	if got != want {
+		t.Errorf("graph sum = %d, want %d: work was lost with the domain", got, want)
+	}
+	st := f.Stats()
+	if st.DomainsLost != 1 {
+		t.Errorf("DomainsLost = %d, want 1", st.DomainsLost)
+	}
+	if st.Steals == 0 {
+		t.Error("Steals = 0, want >= 1")
+	}
+	if sum := rec.Summary(); sum.TaskSteals == 0 {
+		t.Errorf("trace TaskSteals = %d, want >= 1", sum.TaskSteals)
+	}
+}
+
+func TestReadmitDomain(t *testing.T) {
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(2),
+		WithHeartbeat(5*time.Millisecond), // lost after 40ms
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if err := f.ReadmitDomain(0); err == nil {
+		t.Error("ReadmitDomain accepted a live domain")
+	}
+	if err := f.ReadmitDomain(99); err == nil {
+		t.Error("ReadmitDomain accepted an out-of-range index")
+	}
+
+	if err := f.KillDomain(0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Stats().DomainsLost == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("domain never declared lost")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := f.ReadmitDomain(0); err != nil {
+		t.Fatalf("ReadmitDomain: %v", err)
+	}
+	if st := f.Stats(); st.Readmissions != 1 {
+		t.Errorf("Readmissions = %d, want 1", st.Readmissions)
+	}
+
+	// The readmitted fabric must serve tasks correctly again.
+	g := f.NewGroup()
+	var want uint64
+	for i := 0; i < 8; i++ {
+		if _, err := g.SubmitJob("sleepsum", sleepSumArg(1, uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+		want += uint64(i)
+	}
+	if err := g.WaitAll(TimeoutInfinite); err != nil {
+		t.Fatalf("post-readmission WaitAll: %v", err)
+	}
+	var got uint64
+	for {
+		h, err := g.WaitAny(0)
+		if err == ErrGroupDrained {
+			break
+		}
+		if err != nil {
+			t.Fatalf("WaitAny: %v", err)
+		}
+		res, err := h.Wait(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got += decodeU64(t, res)
+	}
+	if got != want {
+		t.Errorf("post-readmission sum = %d, want %d", got, want)
+	}
+	if st := f.Stats(); st.DomainsLost != 1 {
+		t.Errorf("DomainsLost = %d, want 1 (readmission must not re-count)", st.DomainsLost)
+	}
+}
+
+func TestGroupCancel(t *testing.T) {
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(2),
+		WithDomainWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g := f.NewGroup()
+	for i := 0; i < 10; i++ {
+		if _, err := g.SubmitJob("sleepsum", sleepSumArg(100, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.Cancel()
+	if err := g.WaitAll(5 * time.Second); !errors.Is(err, ErrCanceled) {
+		t.Errorf("WaitAll after Cancel = %v, want ErrCanceled", err)
+	}
+	if st := f.Stats(); st.Canceled == 0 {
+		t.Error("Canceled = 0, want > 0")
+	}
+	g.Cancel() // idempotent
+}
+
+func TestZeroTimeoutPollsOnce(t *testing.T) {
+	f, err := NewFabric(testRegistry(t), WithDomains(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g := f.NewGroup()
+	h, err := g.SubmitJob("sleepsum", sleepSumArg(200, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, werr := h.Wait(0); werr != ErrTimeout {
+		t.Errorf("Wait(0) on a running task = %v, want ErrTimeout", werr)
+	}
+	if werr := g.WaitAll(0); werr != ErrTimeout {
+		t.Errorf("WaitAll(0) on a running group = %v, want ErrTimeout", werr)
+	}
+	if _, werr := g.WaitAny(0); werr != ErrTimeout {
+		t.Errorf("WaitAny(0) on a running group = %v, want ErrTimeout", werr)
+	}
+
+	if werr := g.WaitAll(5 * time.Second); werr != nil {
+		t.Fatalf("WaitAll: %v", werr)
+	}
+	res, werr := h.Wait(0)
+	if werr != nil {
+		t.Fatalf("Wait(0) on a settled task: %v", werr)
+	}
+	if decodeU64(t, res) != 9 {
+		t.Errorf("result = %d, want 9", decodeU64(t, res))
+	}
+	if _, werr := g.WaitAny(0); werr == nil {
+		// First WaitAny delivers the one member.
+	} else if werr != ErrGroupDrained {
+		t.Errorf("WaitAny(0) = %v, want delivery or ErrGroupDrained", werr)
+	}
+	if _, werr := g.WaitAny(0); werr != ErrGroupDrained {
+		t.Errorf("WaitAny on a drained group = %v, want ErrGroupDrained", werr)
+	}
+}
+
+func TestJobErrors(t *testing.T) {
+	reg := testRegistry(t)
+	bad := FuncJob{
+		JobName: "bad",
+		Fn: func(rt *core.Runtime, arg []byte) ([]byte, error) {
+			return nil, fmt.Errorf("synthetic failure")
+		},
+	}
+	if err := reg.Register(bad); err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewFabric(reg, WithDomains(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	if _, err := f.SubmitJob("nope", nil); err == nil {
+		t.Error("unknown job accepted at submit")
+	}
+	h, err := f.SubmitJob("bad", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, werr := h.Wait(TimeoutInfinite); werr == nil {
+		t.Error("job error did not propagate")
+	}
+}
+
+func TestCloseSettlesOutstanding(t *testing.T) {
+	f, err := NewFabric(testRegistry(t), WithDomains(1), WithDomainWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := f.SubmitJob("sleepsum", sleepSumArg(500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := f.SubmitJob("sleepsum", sleepSumArg(500, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for _, h := range []*TaskHandle{h1, h2} {
+		if _, werr := h.Wait(time.Second); werr != ErrClosed {
+			t.Errorf("task %d after Close: %v, want ErrClosed", h.ID(), werr)
+		}
+	}
+	if _, err := f.SubmitJob("echo", nil); err != ErrClosed {
+		t.Errorf("SubmitJob after Close = %v, want ErrClosed", err)
+	}
+	_ = f.Close() // idempotent
+}

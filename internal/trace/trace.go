@@ -40,6 +40,15 @@ const (
 	// intra-team execution.
 	EvOffloadSend
 	EvOffloadRecv
+	// EvTaskSend / EvTaskRecv / EvTaskSteal record MTAPI task-fabric
+	// traffic (internal/taskfabric): a task descriptor dispatched to a
+	// worker domain, a task result accepted by the host, and a queued
+	// task migrating from an overloaded domain to an idle one through a
+	// host-brokered steal. Emitted through the Recorder's
+	// TaskSend/TaskRecv/TaskSteal methods — the fabric's EventSink.
+	EvTaskSend
+	EvTaskRecv
+	EvTaskSteal
 )
 
 var kindNames = [...]string{
@@ -58,6 +67,9 @@ var kindNames = [...]string{
 	EvCancel:        "cancel",
 	EvOffloadSend:   "offload-send",
 	EvOffloadRecv:   "offload-recv",
+	EvTaskSend:      "task-send",
+	EvTaskRecv:      "task-recv",
+	EvTaskSteal:     "task-steal",
 }
 
 func (k EventKind) String() string {
@@ -95,6 +107,7 @@ type Summary struct {
 	NestedForks, NestedJoins                    uint64
 	Cancels                                     uint64
 	OffloadSends, OffloadRecvs                  uint64
+	TaskSends, TaskRecvs, TaskSteals            uint64
 	ChargeEvents                                uint64
 	UnitsCharged                                float64
 	UnitsByThread                               map[int]float64
@@ -169,6 +182,12 @@ func (r *Recorder) record(kind EventKind, tid int, units float64) {
 		r.sum.OffloadSends++
 	case EvOffloadRecv:
 		r.sum.OffloadRecvs++
+	case EvTaskSend:
+		r.sum.TaskSends++
+	case EvTaskRecv:
+		r.sum.TaskRecvs++
+	case EvTaskSteal:
+		r.sum.TaskSteals++
 	case EvCharge:
 		r.sum.ChargeEvents++
 		r.sum.UnitsCharged += units
@@ -224,6 +243,20 @@ func (r *Recorder) OffloadSend(domain, chunk int) { r.record(EvOffloadSend, doma
 // OffloadRecv records a chunk result accepted by the host scheduler
 // (offload.EventSink); domain is -1 when the chunk ran locally.
 func (r *Recorder) OffloadRecv(domain, chunk int) { r.record(EvOffloadRecv, domain, float64(chunk)) }
+
+// TaskSend records a task descriptor dispatched to a worker domain
+// (taskfabric.EventSink): the domain id travels as the event's thread,
+// the task id in Units; domain is -1 for the host's local executor.
+func (r *Recorder) TaskSend(domain, task int) { r.record(EvTaskSend, domain, float64(task)) }
+
+// TaskRecv records a task result accepted by the fabric scheduler
+// (taskfabric.EventSink); domain is -1 when the task ran locally.
+func (r *Recorder) TaskRecv(domain, task int) { r.record(EvTaskRecv, domain, float64(task)) }
+
+// TaskSteal records a queued task migrating between domains through a
+// host-brokered steal: the thief is the event's thread, the victim
+// travels in Units.
+func (r *Recorder) TaskSteal(thief, victim int) { r.record(EvTaskSteal, thief, float64(victim)) }
 
 var _ core.Monitor = (*Recorder)(nil)
 
