@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments taskgraph clean
+.PHONY: all build vet test race bench bench-json bench-compare experiments taskgraph clean
 
 all: build vet test
 
@@ -18,8 +18,22 @@ test:
 race:
 	$(GO) test -race ./...
 
+# -run '^$' keeps the unit tests out of the benchmark run (without it
+# every package's tests execute first, drowning the timings).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
+
+# Machine-readable benchmark trajectory (internal/benchjson schema).
+# Usage: make bench-json [BENCH_LABEL=pr7] [BENCH_OUT=BENCH_7.json]
+BENCH_LABEL ?= dev
+BENCH_OUT   ?= bench-dev.json
+bench-json:
+	$(GO) run ./cmd/ompmca-bench -label $(BENCH_LABEL) -out $(BENCH_OUT)
+
+# Diff the two newest committed trajectories and fail on regressions.
+bench-compare:
+	$(GO) run ./cmd/ompmca-bench -compare -fail-on-regression \
+		$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -2)
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -57,3 +57,8 @@ func WithOffloadChunkIters(n int) OffloadOption { return offload.WithChunkIters(
 
 // WithOffloadEventSink installs a sink for offload trace events.
 func WithOffloadEventSink(s OffloadEventSink) OffloadOption { return offload.WithEventSink(s) }
+
+// WithOffloadBatching toggles chunk-frame coalescing per scheduler flush
+// (on by default); off restores one packet per chunk as an ablation
+// baseline for benchmarks.
+func WithOffloadBatching(on bool) OffloadOption { return offload.WithBatching(on) }

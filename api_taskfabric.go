@@ -81,3 +81,8 @@ func WithFabricEventSink(s FabricEventSink) TaskFabricOption { return taskfabric
 func WithFabricHeartbeat(period time.Duration) TaskFabricOption {
 	return taskfabric.WithHeartbeat(period)
 }
+
+// WithFabricBatching toggles task/result/credit frame coalescing per
+// flush (on by default); off restores one packet per frame as an
+// ablation baseline for benchmarks.
+func WithFabricBatching(on bool) TaskFabricOption { return taskfabric.WithBatching(on) }

@@ -1,0 +1,28 @@
+package openmpmca
+
+import (
+	"openmpmca/internal/offload"
+	"openmpmca/internal/syncq"
+)
+
+// Process-wide hot-path tuning knobs. Both default to on; they exist as
+// ablation switches (the WithTaskQueue pattern, but for cross-cutting
+// allocator behavior) so cmd/ompmca-bench can measure each
+// optimization's contribution against the unoptimized baseline.
+// Production callers leave them alone.
+
+// SetCodecPooling toggles wire-codec encode-buffer pooling for the
+// offload and task-fabric frame codecs (default on). Off restores
+// allocate-per-frame.
+func SetCodecPooling(on bool) { offload.SetCodecPooling(on) }
+
+// CodecPooling reports whether codec encode buffers are pooled.
+func CodecPooling() bool { return offload.CodecPooling() }
+
+// SetWaitPooling toggles waiter-channel and timer pooling in the
+// runtime's internal wait queues (default on). Off restores
+// allocate-per-wait.
+func SetWaitPooling(on bool) { syncq.SetPooling(on) }
+
+// WaitPooling reports whether wait-queue waiters and timers are pooled.
+func WaitPooling() bool { return syncq.PoolingEnabled() }

@@ -1,0 +1,211 @@
+// Package benchjson defines the machine-readable benchmark trajectory
+// the repo persists across PRs: cmd/ompmca-bench runs the curated
+// hot-path suite and emits one versioned BENCH_<n>.json per PR, and the
+// compare mode diffs two such files to flag regressions before they
+// land. The schema is deliberately small — a label, the knob settings
+// the run was taken under, and one record per benchmark — so a file
+// written by PR n is still readable (and comparable) many PRs later.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// SchemaVersion is bumped only on incompatible changes; Decode rejects
+// files from a different major schema.
+const SchemaVersion = 1
+
+// Result is one benchmark's measurement.
+type Result struct {
+	// Name identifies the benchmark within the suite, stable across
+	// trajectory files (e.g. "offload_chunk_roundtrip").
+	Name string `json:"name"`
+	// Iterations is the b.N the measurement averaged over.
+	Iterations int `json:"iterations"`
+	// NsPerOp is the headline latency metric.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp / BytesPerOp capture allocation pressure — the pooling
+	// optimizations are judged on these as much as on latency.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// Metrics holds benchmark-specific extras (e.g. "frames_per_sec").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Trajectory is one BENCH_<n>.json: a labeled suite run under recorded
+// knob settings.
+type Trajectory struct {
+	SchemaVersion int             `json:"schema_version"`
+	Label         string          `json:"label"`
+	GoVersion     string          `json:"go_version,omitempty"`
+	CreatedUnix   int64           `json:"created_unix,omitempty"`
+	Knobs         map[string]bool `json:"knobs,omitempty"`
+	Results       []Result        `json:"results"`
+}
+
+// Validate checks the invariants Decode and Encode enforce.
+func (t *Trajectory) Validate() error {
+	if t.SchemaVersion != SchemaVersion {
+		return fmt.Errorf("benchjson: schema_version %d, this reader speaks %d", t.SchemaVersion, SchemaVersion)
+	}
+	if t.Label == "" {
+		return fmt.Errorf("benchjson: empty label")
+	}
+	if len(t.Results) == 0 {
+		return fmt.Errorf("benchjson: no results")
+	}
+	seen := make(map[string]bool, len(t.Results))
+	for i, r := range t.Results {
+		if r.Name == "" {
+			return fmt.Errorf("benchjson: result %d has no name", i)
+		}
+		if seen[r.Name] {
+			return fmt.Errorf("benchjson: duplicate result %q", r.Name)
+		}
+		seen[r.Name] = true
+		if r.NsPerOp < 0 || r.Iterations < 0 {
+			return fmt.Errorf("benchjson: result %q has negative measurements", r.Name)
+		}
+	}
+	return nil
+}
+
+// Encode validates and marshals the trajectory in the committed format:
+// indented, trailing newline, results in suite order.
+func (t *Trajectory) Encode() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	buf, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(buf, '\n'), nil
+}
+
+// Decode parses and validates one trajectory file.
+func Decode(data []byte) (*Trajectory, error) {
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// Delta is one benchmark's movement between two trajectories. Positive
+// Pct means the current run is slower.
+type Delta struct {
+	Name        string
+	PrevNsPerOp float64
+	CurNsPerOp  float64
+	Pct         float64 // (cur-prev)/prev * 100
+	AllocsPrev  float64
+	AllocsCur   float64
+	Regressed   bool // slower than prev beyond tolerance
+	Improved    bool // faster than prev beyond tolerance
+}
+
+// Comparison is the diff of two trajectories.
+type Comparison struct {
+	PrevLabel    string
+	CurLabel     string
+	TolerancePct float64
+	Deltas       []Delta  // benchmarks present in both, in cur's order
+	Added        []string // in cur only
+	Removed      []string // in prev only
+}
+
+// Regressions counts deltas beyond tolerance in the slow direction.
+func (c *Comparison) Regressions() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Improvements counts deltas beyond tolerance in the fast direction.
+func (c *Comparison) Improvements() int {
+	n := 0
+	for _, d := range c.Deltas {
+		if d.Improved {
+			n++
+		}
+	}
+	return n
+}
+
+// Compare diffs two trajectories; a benchmark regresses (or improves)
+// when its ns/op moved more than tolerancePct from prev.
+func Compare(prev, cur *Trajectory, tolerancePct float64) *Comparison {
+	c := &Comparison{PrevLabel: prev.Label, CurLabel: cur.Label, TolerancePct: tolerancePct}
+	prevBy := make(map[string]Result, len(prev.Results))
+	for _, r := range prev.Results {
+		prevBy[r.Name] = r
+	}
+	curSeen := make(map[string]bool, len(cur.Results))
+	for _, r := range cur.Results {
+		curSeen[r.Name] = true
+		p, ok := prevBy[r.Name]
+		if !ok {
+			c.Added = append(c.Added, r.Name)
+			continue
+		}
+		d := Delta{
+			Name:        r.Name,
+			PrevNsPerOp: p.NsPerOp,
+			CurNsPerOp:  r.NsPerOp,
+			AllocsPrev:  p.AllocsPerOp,
+			AllocsCur:   r.AllocsPerOp,
+		}
+		if p.NsPerOp > 0 {
+			d.Pct = (r.NsPerOp - p.NsPerOp) / p.NsPerOp * 100
+		}
+		d.Regressed = d.Pct > tolerancePct
+		d.Improved = d.Pct < -tolerancePct
+		c.Deltas = append(c.Deltas, d)
+	}
+	for _, r := range prev.Results {
+		if !curSeen[r.Name] {
+			c.Removed = append(c.Removed, r.Name)
+		}
+	}
+	sort.Strings(c.Added)
+	sort.Strings(c.Removed)
+	return c
+}
+
+// Render formats the comparison as a plain-text table.
+func (c *Comparison) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "benchmark trajectory: %s -> %s (tolerance ±%.1f%%)\n",
+		c.PrevLabel, c.CurLabel, c.TolerancePct)
+	fmt.Fprintf(&b, "%-28s %14s %14s %9s %16s\n", "benchmark", "prev ns/op", "cur ns/op", "delta", "allocs/op")
+	for _, d := range c.Deltas {
+		tag := ""
+		switch {
+		case d.Regressed:
+			tag = "  REGRESSED"
+		case d.Improved:
+			tag = "  improved"
+		}
+		fmt.Fprintf(&b, "%-28s %14.1f %14.1f %+8.1f%% %7.1f -> %5.1f%s\n",
+			d.Name, d.PrevNsPerOp, d.CurNsPerOp, d.Pct, d.AllocsPrev, d.AllocsCur, tag)
+	}
+	for _, n := range c.Added {
+		fmt.Fprintf(&b, "%-28s (new benchmark)\n", n)
+	}
+	for _, n := range c.Removed {
+		fmt.Fprintf(&b, "%-28s (removed benchmark)\n", n)
+	}
+	fmt.Fprintf(&b, "%d regression(s), %d improvement(s)\n", c.Regressions(), c.Improvements())
+	return b.String()
+}

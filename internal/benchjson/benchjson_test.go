@@ -1,0 +1,133 @@
+package benchjson
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sample() *Trajectory {
+	return &Trajectory{
+		SchemaVersion: SchemaVersion,
+		Label:         "golden",
+		GoVersion:     "go1.23",
+		CreatedUnix:   1754600000,
+		Knobs: map[string]bool{
+			"codec_pooling":    true,
+			"offload_batching": false,
+		},
+		Results: []Result{
+			{Name: "fork_join", Iterations: 1000, NsPerOp: 12345.6, AllocsPerOp: 4, BytesPerOp: 512},
+			{Name: "taskcodec_frames", Iterations: 100000, NsPerOp: 180.25,
+				Metrics: map[string]float64{"frames_per_sec": 5547850.2}},
+		},
+	}
+}
+
+// TestGoldenFile pins the committed BENCH_<n>.json format: the checked-in
+// golden file must decode, validate, and re-encode byte-identically.
+// Regenerate with `BENCHJSON_UPDATE=1 go test ./internal/benchjson -run
+// Golden` only alongside a SchemaVersion bump.
+var update = os.Getenv("BENCHJSON_UPDATE") == "1"
+
+func TestGoldenFile(t *testing.T) {
+	path := filepath.Join("testdata", "golden.json")
+	want, err := sample().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update {
+		if err := os.WriteFile(path, want, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (set BENCHJSON_UPDATE=1 to create): %v", err)
+	}
+	tr, err := Decode(data)
+	if err != nil {
+		t.Fatalf("golden file does not decode: %v", err)
+	}
+	reenc, err := tr.Encode()
+	if err != nil {
+		t.Fatalf("golden trajectory does not re-encode: %v", err)
+	}
+	if !bytes.Equal(reenc, data) {
+		t.Errorf("golden round-trip not byte-identical:\n--- file ---\n%s--- re-encoded ---\n%s", data, reenc)
+	}
+	if !bytes.Equal(want, data) {
+		t.Errorf("golden file drifted from sample():\n--- sample ---\n%s--- file ---\n%s", want, data)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Trajectory)
+	}{
+		{"wrong schema", func(tr *Trajectory) { tr.SchemaVersion = 99 }},
+		{"empty label", func(tr *Trajectory) { tr.Label = "" }},
+		{"no results", func(tr *Trajectory) { tr.Results = nil }},
+		{"unnamed result", func(tr *Trajectory) { tr.Results[0].Name = "" }},
+		{"duplicate result", func(tr *Trajectory) { tr.Results[1].Name = tr.Results[0].Name }},
+		{"negative ns", func(tr *Trajectory) { tr.Results[0].NsPerOp = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tr := sample()
+			tc.mut(tr)
+			if err := tr.Validate(); err == nil {
+				t.Errorf("Validate accepted %s", tc.name)
+			}
+			if _, err := tr.Encode(); err == nil {
+				t.Errorf("Encode accepted %s", tc.name)
+			}
+		})
+	}
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Error("Decode accepted malformed JSON")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	prev := sample()
+	cur := sample()
+	cur.Label = "next"
+	cur.Results[0].NsPerOp = prev.Results[0].NsPerOp * 1.5 // regression
+	cur.Results[1].NsPerOp = prev.Results[1].NsPerOp * 0.5 // improvement
+	cur.Results = append(cur.Results, Result{Name: "brand_new", NsPerOp: 1})
+
+	c := Compare(prev, cur, 10)
+	if c.Regressions() != 1 {
+		t.Errorf("Regressions = %d, want 1", c.Regressions())
+	}
+	if c.Improvements() != 1 {
+		t.Errorf("Improvements = %d, want 1", c.Improvements())
+	}
+	if len(c.Added) != 1 || c.Added[0] != "brand_new" {
+		t.Errorf("Added = %v, want [brand_new]", c.Added)
+	}
+	if len(c.Removed) != 0 {
+		t.Errorf("Removed = %v, want none", c.Removed)
+	}
+	if d := c.Deltas[0]; !d.Regressed || d.Pct < 49 || d.Pct > 51 {
+		t.Errorf("delta 0 = %+v, want ~+50%% regression", d)
+	}
+
+	// Within tolerance: neither flag trips.
+	cur2 := sample()
+	cur2.Results[0].NsPerOp *= 1.05
+	c2 := Compare(prev, cur2, 10)
+	if c2.Regressions() != 0 || c2.Improvements() != 0 {
+		t.Errorf("5%% drift beyond 10%% tolerance: %d regressions, %d improvements",
+			c2.Regressions(), c2.Improvements())
+	}
+
+	// Render must mention the regressed benchmark and the summary line.
+	out := c.Render()
+	if !bytes.Contains([]byte(out), []byte("REGRESSED")) || !bytes.Contains([]byte(out), []byte("1 regression(s)")) {
+		t.Errorf("Render missing regression markers:\n%s", out)
+	}
+}

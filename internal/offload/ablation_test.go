@@ -1,0 +1,49 @@
+package offload
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAblationModes runs a full offload region under every combination
+// of the two hot-path knobs — frame batching and codec pooling — and
+// demands identical results. The knobs exist so benchmarks can measure
+// each optimization's contribution; correctness must not depend on them.
+func TestAblationModes(t *testing.T) {
+	for _, batch := range []bool{true, false} {
+		for _, pooled := range []bool{true, false} {
+			t.Run(fmt.Sprintf("batch=%v/pooled=%v", batch, pooled), func(t *testing.T) {
+				prev := CodecPooling()
+				SetCodecPooling(pooled)
+				defer SetCodecPooling(prev)
+
+				reg := NewRegistry()
+				if err := reg.Register(sumKernel("sum", 0)); err != nil {
+					t.Fatal(err)
+				}
+				o, err := New(reg,
+					WithDomains(3),
+					WithHeartbeat(10*time.Millisecond),
+					WithBatching(batch),
+				)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer o.Close()
+
+				const n = 20000
+				got, err := o.ParallelFor("sum", n, nil)
+				if err != nil {
+					t.Fatalf("ParallelFor: %v", err)
+				}
+				if want := seqSum(n); decodeSum(t, got) != want {
+					t.Errorf("sum = %d, want %d", decodeSum(t, got), want)
+				}
+				if st := o.Stats(); st.RemoteChunks == 0 {
+					t.Error("no chunks ran remotely")
+				}
+			})
+		}
+	}
+}

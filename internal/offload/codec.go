@@ -65,7 +65,7 @@ type hbMsg struct {
 }
 
 func encodeChunk(m chunkMsg) []byte {
-	buf := make([]byte, 0, 1+8+4+4+8+8+2+len(m.Kernel)+4+len(m.Arg))
+	buf := frameBuf(1 + 8 + 4 + 4 + 8 + 8 + 2 + len(m.Kernel) + 4 + len(m.Arg))
 	buf = append(buf, byte(kindChunk))
 	buf = binary.LittleEndian.AppendUint64(buf, m.Region)
 	buf = binary.LittleEndian.AppendUint32(buf, m.Chunk)
@@ -79,7 +79,15 @@ func encodeChunk(m chunkMsg) []byte {
 	return buf
 }
 
-func decodeChunk(pkt []byte) (chunkMsg, error) {
+// decodeChunk copies the variable-length fields out of pkt; use
+// decodeChunkShared when the caller owns pkt exclusively.
+func decodeChunk(pkt []byte) (chunkMsg, error) { return decodeChunkBuf(pkt, false) }
+
+// decodeChunkShared decodes with m.Arg aliasing pkt — no payload copy.
+// Only for receivers that own the delivered packet exclusively.
+func decodeChunkShared(pkt []byte) (chunkMsg, error) { return decodeChunkBuf(pkt, true) }
+
+func decodeChunkBuf(pkt []byte, share bool) (chunkMsg, error) {
 	var m chunkMsg
 	if len(pkt) < 1+8+4+4+8+8+2 || msgKind(pkt[0]) != kindChunk {
 		return m, fmt.Errorf("offload: malformed chunk message (%d bytes)", len(pkt))
@@ -103,13 +111,17 @@ func decodeChunk(pkt []byte) (chunkMsg, error) {
 		return m, fmt.Errorf("offload: chunk message arg length %d, have %d bytes", alen, len(p))
 	}
 	if alen > 0 {
-		m.Arg = append([]byte(nil), p...)
+		if share {
+			m.Arg = p
+		} else {
+			m.Arg = append([]byte(nil), p...)
+		}
 	}
 	return m, nil
 }
 
 func encodeResult(m resultMsg) []byte {
-	buf := make([]byte, 0, 1+8+4+4+1+4+len(m.Payload))
+	buf := frameBuf(1 + 8 + 4 + 4 + 1 + 4 + len(m.Payload))
 	buf = append(buf, byte(kindResult))
 	buf = binary.LittleEndian.AppendUint64(buf, m.Region)
 	buf = binary.LittleEndian.AppendUint32(buf, m.Chunk)
@@ -120,7 +132,15 @@ func encodeResult(m resultMsg) []byte {
 	return buf
 }
 
-func decodeResult(pkt []byte) (resultMsg, error) {
+// decodeResult copies the payload out of pkt; use decodeResultShared
+// when the caller owns pkt exclusively.
+func decodeResult(pkt []byte) (resultMsg, error) { return decodeResultBuf(pkt, false) }
+
+// decodeResultShared decodes with m.Payload aliasing pkt — no copy.
+// Only for receivers that own the delivered packet exclusively.
+func decodeResultShared(pkt []byte) (resultMsg, error) { return decodeResultBuf(pkt, true) }
+
+func decodeResultBuf(pkt []byte, share bool) (resultMsg, error) {
 	var m resultMsg
 	if len(pkt) < 1+8+4+4+1+4 || msgKind(pkt[0]) != kindResult {
 		return m, fmt.Errorf("offload: malformed result message (%d bytes)", len(pkt))
@@ -136,13 +156,17 @@ func decodeResult(pkt []byte) (resultMsg, error) {
 		return m, fmt.Errorf("offload: result payload length %d, have %d bytes", plen, len(p))
 	}
 	if plen > 0 {
-		m.Payload = append([]byte(nil), p...)
+		if share {
+			m.Payload = p
+		} else {
+			m.Payload = append([]byte(nil), p...)
+		}
 	}
 	return m, nil
 }
 
 func encodeHB(kind msgKind, m hbMsg) []byte {
-	buf := make([]byte, 0, 1+4+8)
+	buf := frameBuf(1 + 4 + 8)
 	buf = append(buf, byte(kind))
 	buf = binary.LittleEndian.AppendUint32(buf, m.Domain)
 	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)

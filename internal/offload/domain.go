@@ -104,6 +104,24 @@ func (d *domain) dispatch() {
 			if !d.serve(pkt) {
 				return
 			}
+		case KindBatch:
+			frames, err := DecodeBatch(pkt)
+			if err != nil {
+				continue
+			}
+			for _, f := range frames {
+				if len(f) == 0 {
+					continue
+				}
+				switch msgKind(f[0]) {
+				case kindShutdown:
+					return
+				case kindChunk:
+					if !d.serve(f) {
+						return
+					}
+				}
+			}
 		}
 	}
 }
@@ -112,7 +130,9 @@ func (d *domain) dispatch() {
 // false when the domain should stop (killed, or the result channel is
 // gone).
 func (d *domain) serve(pkt []byte) bool {
-	m, err := decodeChunk(pkt)
+	// The dispatcher owns each delivered packet exclusively, so the
+	// chunk argument may alias it instead of being copied.
+	m, err := decodeChunkShared(pkt)
 	if err != nil {
 		return true // drop malformed traffic, keep serving
 	}
@@ -130,7 +150,10 @@ func (d *domain) serve(pkt []byte) bool {
 		// Crashed mid-chunk: the computed result dies with the domain.
 		return false
 	}
-	return d.resSend.Send(encodeResult(res), mcapi.TimeoutInfinite) == nil
+	out := encodeResult(res)
+	ok := d.resSend.Send(out, mcapi.TimeoutInfinite) == nil
+	RecycleFrame(out)
+	return ok
 }
 
 // heartbeat answers host pings with pongs carrying the domain ID and the
@@ -153,7 +176,9 @@ func (d *domain) heartbeat() {
 			continue
 		}
 		pong := encodeHB(kindPong, hbMsg{Domain: uint32(d.id), Seq: ping.Seq})
-		if err := mcapi.MsgSend(d.hbHost, pong, 0, mcapi.TimeoutImmediate); err != nil {
+		err = mcapi.MsgSend(d.hbHost, pong, 0, mcapi.TimeoutImmediate)
+		RecycleFrame(pong)
+		if err != nil {
 			if err == mcapi.ErrMemLimit || err == mcapi.ErrTimeout {
 				continue // queue full: drop the pong
 			}

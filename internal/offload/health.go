@@ -33,6 +33,15 @@ func (h *HealthState) MarkLost() bool { return h.lost.CompareAndSwap(false, true
 // RecordPong notes a pong received at the given unix-nano time.
 func (h *HealthState) RecordPong(now int64) { h.lastPong.Store(now) }
 
+// StartClock stamps a never-ponged peer's clock: the zero value's
+// lastPong of 0 compares against the unix epoch, which would read as
+// instantly expired the moment a monitor looks at it. Stamping only the
+// zero value keeps a real pong timestamp intact. It reports whether the
+// clock was actually started by this call.
+func (h *HealthState) StartClock(now int64) bool {
+	return h.lastPong.CompareAndSwap(0, now)
+}
+
 // Expired reports whether the domain has been silent longer than
 // lostAfter as of now.
 func (h *HealthState) Expired(now int64, lostAfter time.Duration) bool {
@@ -66,10 +75,30 @@ type HealthPeer struct {
 // and pings the survivors. onPong, if non-nil, is called per accepted
 // pong — both subsystems use it to count heartbeats. A peer readmitted
 // via HealthState.Readmit re-enters the ping rotation automatically.
+//
+// Two failure modes are handled explicitly rather than silently:
+//
+//   - A peer whose clock was never started (zero-value HealthState) has
+//     lastPong == 0, which compares against the unix epoch and would read
+//     as expired on the very first tick. Every peer's clock is stamped
+//     when the loop starts, so a slow first pong cannot be declared lost
+//     at t=0.
+//   - Pings are sent non-blocking, so a briefly-full send queue drops
+//     the ping. A dropped ping means the silence that follows is the
+//     host's fault, not the domain's: each drop is counted via onDrop
+//     (if non-nil) and grants the peer one extra tick — the ping is
+//     retried before the loss deadline may fire, instead of
+//     false-positiving a healthy domain as lost.
 func MonitorHealth(stop <-chan struct{}, period, lostAfter time.Duration,
-	peers []HealthPeer, onLost func(peer int), onPong func()) {
+	peers []HealthPeer, onLost func(peer int), onPong func(), onDrop func()) {
 	tick := time.NewTicker(period)
 	defer tick.Stop()
+	start := time.Now().UnixNano()
+	dropped := make([]bool, len(peers)) // last ping send failed
+	graced := make([]bool, len(peers))  // retry grace already spent this episode
+	for _, p := range peers {
+		p.State.StartClock(start)
+	}
 	var seq uint64
 	for {
 		select {
@@ -95,14 +124,32 @@ func MonitorHealth(stop <-chan struct{}, period, lostAfter time.Duration,
 				}
 			}
 			if p.State.Expired(now, lostAfter) {
-				if p.State.MarkLost() {
-					onLost(i)
+				if dropped[i] && !graced[i] {
+					// The last ping never left the host, so the silence
+					// is self-inflicted; spend one retry tick before
+					// judging the peer. The grace is bounded: a peer that
+					// stays unreachable expires on the next tick.
+					graced[i] = true
+				} else {
+					if p.State.MarkLost() {
+						onLost(i)
+					}
+					continue
 				}
-				continue
 			}
 			seq++
 			ping := encodeHB(kindPing, hbMsg{Domain: uint32(p.ID), Seq: seq})
-			_ = mcapi.MsgSend(p.PingTo, ping, 0, mcapi.TimeoutImmediate)
+			err := mcapi.MsgSend(p.PingTo, ping, 0, mcapi.TimeoutImmediate)
+			RecycleFrame(ping)
+			if err != nil {
+				dropped[i] = true
+				if onDrop != nil {
+					onDrop()
+				}
+			} else {
+				dropped[i] = false
+				graced[i] = false
+			}
 		}
 	}
 }

@@ -1,0 +1,172 @@
+package offload
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"openmpmca/internal/mcapi"
+)
+
+// hbHarness wires a host-side monitor against one fake peer: pings land
+// on pingTo (the "worker" endpoint), pongs are sent to pongFrom (the
+// "host" endpoint).
+type hbHarness struct {
+	state    *HealthState
+	pingTo   *mcapi.Endpoint
+	pongFrom *mcapi.Endpoint
+	stop     chan struct{}
+	done     chan struct{}
+	lost     atomic.Int64
+	pongs    atomic.Int64
+	drops    atomic.Int64
+}
+
+func newHBHarness(t *testing.T, pingDepth int) *hbHarness {
+	t.Helper()
+	sys := mcapi.NewSystem()
+	worker, err := sys.Initialize(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := sys.Initialize(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pingTo, err := worker.CreateEndpoint(1, &mcapi.EndpointAttributes{QueueDepth: pingDepth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pongFrom, err := host.CreateEndpoint(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &hbHarness{
+		state:    &HealthState{}, // zero value: clock never started
+		pingTo:   pingTo,
+		pongFrom: pongFrom,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+func (h *hbHarness) monitor(period, lostAfter time.Duration) {
+	go func() {
+		defer close(h.done)
+		MonitorHealth(h.stop, period, lostAfter,
+			[]HealthPeer{{ID: 1, State: h.state, PingTo: h.pingTo, PongFrom: h.pongFrom}},
+			func(int) { h.lost.Add(1) },
+			func() { h.pongs.Add(1) },
+			func() { h.drops.Add(1) })
+	}()
+}
+
+func (h *hbHarness) shutdown() {
+	close(h.stop)
+	<-h.done
+}
+
+// TestNeverPongedPeerSurvivesFirstWindow is the zero-value HealthState
+// regression test: a peer whose clock was never started via RecordPong
+// must not be declared lost the instant the monitor looks at it —
+// lastPong == 0 compares against the unix epoch and read as "silent for
+// decades" before MonitorHealth stamped clocks at loop start.
+func TestNeverPongedPeerSurvivesFirstWindow(t *testing.T) {
+	h := newHBHarness(t, 0)
+	defer h.shutdown()
+
+	const (
+		period    = 5 * time.Millisecond
+		lostAfter = 60 * time.Millisecond
+	)
+	h.monitor(period, lostAfter)
+
+	// Well inside the first lostAfter window the peer must still be
+	// live, even though it has never ponged.
+	time.Sleep(lostAfter / 3)
+	if h.state.Lost() {
+		t.Fatal("never-ponged peer declared lost inside its first lostAfter window")
+	}
+
+	// With nobody answering pings it must eventually expire — the stamp
+	// defers judgment, it does not disable it.
+	deadline := time.Now().Add(10 * lostAfter)
+	for !h.state.Lost() {
+		if time.Now().After(deadline) {
+			t.Fatal("silent peer never declared lost")
+		}
+		time.Sleep(period)
+	}
+	if h.lost.Load() != 1 {
+		t.Fatalf("onLost called %d times, want 1", h.lost.Load())
+	}
+}
+
+// TestPingBackpressureCountsDrops fills the peer's ping queue (depth 1,
+// never drained) and checks that dropped pings are counted instead of
+// silently discarded.
+func TestPingBackpressureCountsDrops(t *testing.T) {
+	h := newHBHarness(t, 1)
+	defer h.shutdown()
+
+	const period = 2 * time.Millisecond
+	// Generous loss deadline: the test is about drop accounting, not
+	// expiry.
+	h.monitor(period, time.Second)
+
+	deadline := time.Now().Add(2 * time.Second)
+	for h.drops.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("ping drops not counted under backpressure: %d", h.drops.Load())
+		}
+		time.Sleep(period)
+	}
+	if h.state.Lost() {
+		t.Fatal("peer lost before its deadline purely from send-queue backpressure")
+	}
+}
+
+// TestPongKeepsPeerAliveAndCounts answers every ping and checks the pong
+// path: the peer stays live indefinitely and pongs are counted.
+func TestPongKeepsPeerAliveAndCounts(t *testing.T) {
+	h := newHBHarness(t, 0)
+
+	const (
+		period    = 2 * time.Millisecond
+		lostAfter = 16 * time.Millisecond
+	)
+	responderStop := make(chan struct{})
+	responderDone := make(chan struct{})
+	go func() {
+		defer close(responderDone)
+		for {
+			select {
+			case <-responderStop:
+				return
+			default:
+			}
+			msg, _, err := mcapi.MsgRecv(h.pingTo, mcapi.Timeout(period))
+			if err != nil {
+				continue
+			}
+			ping, derr := DecodePing(msg)
+			if derr != nil {
+				continue
+			}
+			pong := EncodePong(HBFrame{Domain: 1, Seq: ping.Seq})
+			_ = mcapi.MsgSend(h.pongFrom, pong, 0, mcapi.TimeoutImmediate)
+		}
+	}()
+	h.monitor(period, lostAfter)
+
+	time.Sleep(10 * lostAfter)
+	if h.state.Lost() {
+		t.Fatal("responsive peer declared lost")
+	}
+	if h.pongs.Load() == 0 {
+		t.Fatal("no pongs counted from a responsive peer")
+	}
+	h.shutdown()
+	close(responderStop)
+	<-responderDone
+}

@@ -56,6 +56,7 @@ type config struct {
 	heartbeat  time.Duration
 	lostAfter  time.Duration
 	inflight   int
+	batch      bool
 	sink       EventSink
 	prof       perfmodel.KernelProfile
 }
@@ -71,6 +72,7 @@ func defaultConfig() config {
 		retries:   2,
 		heartbeat: 20 * time.Millisecond,
 		inflight:  2,
+		batch:     true,
 		prof:      perfmodel.KernelProfile{Name: "offload", CyclesPerUnit: 1, MemoryIntensity: 0.2},
 	}
 }
@@ -157,6 +159,18 @@ func WithInflight(n int) Option {
 	}
 }
 
+// WithBatching toggles frame coalescing: when on (the default) a flush
+// that has several chunk descriptors bound for the same domain sends
+// them as one batch packet instead of one packet each. Off restores
+// one-frame-per-send as an ablation baseline, so the batching win stays
+// measurable against the paper's Table I methodology.
+func WithBatching(on bool) Option {
+	return func(c *config) error {
+		c.batch = on
+		return nil
+	}
+}
+
 // WithEventSink installs a sink for EvOffloadSend/EvOffloadRecv events.
 func WithEventSink(s EventSink) Option {
 	return func(c *config) error {
@@ -198,6 +212,7 @@ type stats struct {
 	resends          atomic.Uint64
 	domainsLost      atomic.Uint64
 	heartbeats       atomic.Uint64
+	pingDrops        atomic.Uint64
 	chunkAdaptations atomic.Uint64
 	readmissions     atomic.Uint64
 }
@@ -210,6 +225,7 @@ type StatsSnapshot struct {
 	Resends          uint64 // chunk re-dispatches (deadline or domain loss)
 	DomainsLost      uint64 // worker domains declared dead
 	Heartbeats       uint64 // pongs received
+	PingDrops        uint64 // pings dropped by a full send queue
 	ChunkAdaptations uint64 // observed service times folded into the weights
 	Readmissions     uint64 // lost domains readmitted after restart
 }
@@ -300,6 +316,7 @@ func (o *Offloader) Stats() StatsSnapshot {
 		Resends:          o.st.resends.Load(),
 		DomainsLost:      o.st.domainsLost.Load(),
 		Heartbeats:       o.st.heartbeats.Load(),
+		PingDrops:        o.st.pingDrops.Load(),
 		ChunkAdaptations: o.st.chunkAdaptations.Load(),
 		Readmissions:     o.st.readmissions.Load(),
 	}
@@ -352,7 +369,9 @@ func (o *Offloader) receiver(i int) {
 		if err != nil {
 			return
 		}
-		m, err := decodeResult(pkt)
+		// The receiver owns each delivered packet exclusively, so the
+		// payload may alias it instead of being copied.
+		m, err := decodeResultShared(pkt)
 		if err != nil {
 			continue
 		}
@@ -384,7 +403,8 @@ func (o *Offloader) healthLoop() {
 			default:
 			}
 		},
-		func() { o.st.heartbeats.Add(1) })
+		func() { o.st.heartbeats.Add(1) },
+		func() { o.st.pingDrops.Add(1) })
 }
 
 // flight tracks one chunk descriptor in flight to a domain.
@@ -494,52 +514,98 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 		return host / sum
 	}
 
+	encodeFor := func(ci int) []byte {
+		return encodeChunk(chunkMsg{
+			Region:  region,
+			Chunk:   uint32(ci),
+			Attempt: attempt[ci],
+			Lo:      int64(chunks[ci].lo),
+			Hi:      int64(chunks[ci].hi),
+			Kernel:  kernel,
+			Arg:     arg,
+		})
+	}
+
+	// commit records one successfully sent chunk and drops it from the
+	// pending queue (qi is its index there).
+	commit := func(li, qi int) {
+		ci := pending[qi]
+		pending = append(pending[:qi], pending[qi+1:]...)
+		credits[li]--
+		remoteDispatched++
+		now := time.Now()
+		inflight[ci] = flight{
+			dom:     li,
+			attempt: attempt[ci],
+			expiry:  now.Add(o.cfg.deadline),
+			sentAt:  now,
+			iters:   chunks[ci].hi - chunks[ci].lo,
+		}
+		if o.cfg.sink != nil {
+			o.cfg.sink.OffloadSend(o.cl.links[li].d.id, ci)
+		}
+	}
+
 	// pump tops up every live domain to its credit limit with
 	// remote-eligible pending chunks. Non-blocking sends: a full command
-	// queue just means "try again next round".
+	// queue just means "try again next round". With batching on (the
+	// default), one flush coalesces a domain's whole top-up into a single
+	// batch packet; off sends one packet per chunk, the ablation
+	// baseline.
 	pump := func() {
 		for li, l := range o.cl.links {
-			if l.health.Lost() {
+			if l.health.Lost() || credits[li] == 0 {
 				continue
 			}
-			for credits[li] > 0 {
-				qi := -1
-				for j, ci := range pending {
-					if !forcedLocal[ci] {
-						qi = j
-						break
-					}
-				}
-				if qi < 0 {
-					return
-				}
-				ci := pending[qi]
-				pkt := encodeChunk(chunkMsg{
-					Region:  region,
-					Chunk:   uint32(ci),
-					Attempt: attempt[ci],
-					Lo:      int64(chunks[ci].lo),
-					Hi:      int64(chunks[ci].hi),
-					Kernel:  kernel,
-					Arg:     arg,
-				})
-				if err := l.cmd.Send(pkt, mcapi.TimeoutImmediate); err != nil {
+			// Indexes into pending of the chunks this domain gets.
+			var sel []int
+			for j, ci := range pending {
+				if len(sel) >= credits[li] {
 					break
 				}
-				pending = append(pending[:qi], pending[qi+1:]...)
-				credits[li]--
-				remoteDispatched++
-				now := time.Now()
-				inflight[ci] = flight{
-					dom:     li,
-					attempt: attempt[ci],
-					expiry:  now.Add(o.cfg.deadline),
-					sentAt:  now,
-					iters:   chunks[ci].hi - chunks[ci].lo,
+				if !forcedLocal[ci] {
+					sel = append(sel, j)
 				}
-				if o.cfg.sink != nil {
-					o.cfg.sink.OffloadSend(l.d.id, ci)
+			}
+			if len(sel) == 0 {
+				return // nothing remote-eligible for any domain
+			}
+			if !o.cfg.batch {
+				// Ablation baseline: one packet per chunk, stopping on
+				// the first full queue.
+				for credits[li] > 0 {
+					qi := -1
+					for j, ci := range pending {
+						if !forcedLocal[ci] {
+							qi = j
+							break
+						}
+					}
+					if qi < 0 {
+						break
+					}
+					pkt := encodeFor(pending[qi])
+					err := l.cmd.Send(pkt, mcapi.TimeoutImmediate)
+					RecycleFrame(pkt)
+					if err != nil {
+						break
+					}
+					commit(li, qi)
 				}
+				continue
+			}
+			var b Batcher
+			for _, qi := range sel {
+				b.Add(encodeFor(pending[qi]))
+			}
+			if b.Flush(func(pkt []byte) error {
+				return l.cmd.Send(pkt, mcapi.TimeoutImmediate)
+			}) != nil {
+				continue // full queue: every selected chunk stays pending
+			}
+			// Commit back to front so earlier pending indexes stay valid.
+			for j := len(sel) - 1; j >= 0; j-- {
+				commit(li, sel[j])
 			}
 		}
 	}

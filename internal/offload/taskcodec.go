@@ -46,13 +46,15 @@ const (
 )
 
 // FrameKind classifies a task-fabric packet by its first byte; ok is
-// false for empty packets or kinds outside the task-fabric range.
+// false for empty packets or kinds outside the task-fabric range. Batch
+// envelopes (KindBatch) are part of the range: a receiver unwraps them
+// with DecodeBatch and classifies each inner frame.
 func FrameKind(pkt []byte) (WireKind, bool) {
 	if len(pkt) == 0 {
 		return 0, false
 	}
 	k := msgKind(pkt[0])
-	return k, k >= KindTask && k <= KindFabricShutdown
+	return k, (k >= KindTask && k <= KindFabricShutdown) || k == KindBatch
 }
 
 // TaskFrame describes one task for a worker domain to execute (KindTask)
@@ -97,7 +99,7 @@ type GroupDoneFrame struct {
 // EncodeTaskFrame encodes m under the given kind, which must be KindTask
 // or KindTaskYield.
 func EncodeTaskFrame(kind WireKind, m TaskFrame) []byte {
-	buf := make([]byte, 0, 1+8+4+8+2+len(m.Job)+4+len(m.Arg))
+	buf := frameBuf(1 + 8 + 4 + 8 + 2 + len(m.Job) + 4 + len(m.Arg))
 	buf = append(buf, byte(kind))
 	buf = binary.LittleEndian.AppendUint64(buf, m.Task)
 	buf = binary.LittleEndian.AppendUint32(buf, m.Attempt)
@@ -109,8 +111,22 @@ func EncodeTaskFrame(kind WireKind, m TaskFrame) []byte {
 	return buf
 }
 
-// DecodeTaskFrame decodes a KindTask or KindTaskYield packet.
+// DecodeTaskFrame decodes a KindTask or KindTaskYield packet, copying
+// the argument out of pkt; use DecodeTaskFrameShared when the caller
+// owns pkt exclusively.
 func DecodeTaskFrame(kind WireKind, pkt []byte) (TaskFrame, error) {
+	return decodeTaskFrameBuf(kind, pkt, false)
+}
+
+// DecodeTaskFrameShared decodes with m.Arg aliasing pkt — no payload
+// copy. Only for receivers that own the delivered packet exclusively
+// (MCAPI delivers each packet to exactly one receiver, so dispatcher
+// loops qualify); pkt must stay untouched while the frame is retained.
+func DecodeTaskFrameShared(kind WireKind, pkt []byte) (TaskFrame, error) {
+	return decodeTaskFrameBuf(kind, pkt, true)
+}
+
+func decodeTaskFrameBuf(kind WireKind, pkt []byte, share bool) (TaskFrame, error) {
 	var m TaskFrame
 	if len(pkt) < 1+8+4+8+2 || msgKind(pkt[0]) != kind {
 		return m, fmt.Errorf("offload: malformed task frame (%d bytes)", len(pkt))
@@ -132,14 +148,18 @@ func DecodeTaskFrame(kind WireKind, pkt []byte) (TaskFrame, error) {
 		return m, fmt.Errorf("offload: task frame arg length %d, have %d bytes", alen, len(p))
 	}
 	if alen > 0 {
-		m.Arg = append([]byte(nil), p...)
+		if share {
+			m.Arg = p
+		} else {
+			m.Arg = append([]byte(nil), p...)
+		}
 	}
 	return m, nil
 }
 
 // EncodeTaskResult encodes a KindTaskResult packet.
 func EncodeTaskResult(m TaskResultFrame) []byte {
-	buf := make([]byte, 0, 1+8+4+1+4+len(m.Payload))
+	buf := frameBuf(1 + 8 + 4 + 1 + 4 + len(m.Payload))
 	buf = append(buf, byte(KindTaskResult))
 	buf = binary.LittleEndian.AppendUint64(buf, m.Task)
 	buf = binary.LittleEndian.AppendUint32(buf, m.Attempt)
@@ -149,8 +169,21 @@ func EncodeTaskResult(m TaskResultFrame) []byte {
 	return buf
 }
 
-// DecodeTaskResult decodes a KindTaskResult packet.
+// DecodeTaskResult decodes a KindTaskResult packet, copying the payload
+// out of pkt; use DecodeTaskResultShared when the caller owns pkt
+// exclusively.
 func DecodeTaskResult(pkt []byte) (TaskResultFrame, error) {
+	return decodeTaskResultBuf(pkt, false)
+}
+
+// DecodeTaskResultShared decodes with m.Payload aliasing pkt — no copy.
+// Only for receivers that own the delivered packet exclusively; pkt must
+// stay untouched while the result is retained.
+func DecodeTaskResultShared(pkt []byte) (TaskResultFrame, error) {
+	return decodeTaskResultBuf(pkt, true)
+}
+
+func decodeTaskResultBuf(pkt []byte, share bool) (TaskResultFrame, error) {
 	var m TaskResultFrame
 	if len(pkt) < 1+8+4+1+4 || msgKind(pkt[0]) != KindTaskResult {
 		return m, fmt.Errorf("offload: malformed task result (%d bytes)", len(pkt))
@@ -165,14 +198,18 @@ func DecodeTaskResult(pkt []byte) (TaskResultFrame, error) {
 		return m, fmt.Errorf("offload: task result payload length %d, have %d bytes", plen, len(p))
 	}
 	if plen > 0 {
-		m.Payload = append([]byte(nil), p...)
+		if share {
+			m.Payload = p
+		} else {
+			m.Payload = append([]byte(nil), p...)
+		}
 	}
 	return m, nil
 }
 
 // EncodeCredit encodes a KindCredit packet.
 func EncodeCredit(m CreditFrame) []byte {
-	buf := make([]byte, 0, 1+4+4+4)
+	buf := frameBuf(1 + 4 + 4 + 4)
 	buf = append(buf, byte(KindCredit))
 	buf = binary.LittleEndian.AppendUint32(buf, m.Domain)
 	buf = binary.LittleEndian.AppendUint32(buf, m.Queued)
@@ -194,7 +231,7 @@ func DecodeCredit(pkt []byte) (CreditFrame, error) {
 
 // EncodeStealGrant encodes a KindStealGrant packet.
 func EncodeStealGrant(m StealGrantFrame) []byte {
-	buf := make([]byte, 0, 1+4)
+	buf := frameBuf(1 + 4)
 	buf = append(buf, byte(KindStealGrant))
 	buf = binary.LittleEndian.AppendUint32(buf, m.Want)
 	return buf
@@ -212,7 +249,7 @@ func DecodeStealGrant(pkt []byte) (StealGrantFrame, error) {
 
 // EncodeGroupDone encodes a KindGroupDone packet.
 func EncodeGroupDone(m GroupDoneFrame) []byte {
-	buf := make([]byte, 0, 1+8)
+	buf := frameBuf(1 + 8)
 	buf = append(buf, byte(KindGroupDone))
 	buf = binary.LittleEndian.AppendUint64(buf, m.Group)
 	return buf

@@ -2,12 +2,44 @@
 // per-waiter channels so a timeout can abandon the wait without losing a
 // wakeup. It backs the blocking primitives of both the MRAPI and MCAPI
 // implementations.
+//
+// Wait sits under every blocking MCAPI enqueue/dequeue, so its
+// allocations are on the runtime's hottest message path. By default both
+// the per-waiter wakeup channel and the timeout timer come from
+// sync.Pools; SetPooling(false) restores the allocate-per-wait behavior
+// as an ablation baseline (the seed's behavior), keeping the cost of the
+// optimization measurable.
 package syncq
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// pooling gates waiter-channel and timer reuse; on by default.
+var pooling atomic.Bool
+
+func init() { pooling.Store(true) }
+
+// SetPooling toggles waiter/timer pooling in Wait. It exists as an
+// ablation knob for benchmarks; production callers leave it on.
+func SetPooling(on bool) { pooling.Store(on) }
+
+// PoolingEnabled reports whether Wait reuses pooled waiters and timers.
+func PoolingEnabled() bool { return pooling.Load() }
+
+// waiterPool recycles wakeup channels. A channel is returned only after
+// it has been removed from its queue and drained, so a pooled channel is
+// always empty and unreferenced.
+var waiterPool = sync.Pool{
+	New: func() any { return make(chan struct{}, 1) },
+}
+
+// timerPool recycles timeout timers. Timers are Stop()ed before being
+// returned; under the go>=1.23 timer semantics a stopped timer's channel
+// never yields a stale value, so Reset is sufficient to rearm one.
+var timerPool sync.Pool
 
 // WaitQueue is a timed condition variable. All methods must be called with
 // the owning mutex held.
@@ -19,7 +51,13 @@ type WaitQueue struct {
 // infinite ignores d. It reports true when signaled (the caller must
 // re-check its predicate, condition-variable style) and false on timeout.
 func (q *WaitQueue) Wait(mu *sync.Mutex, d time.Duration, infinite bool) bool {
-	ch := make(chan struct{}, 1)
+	pooled := pooling.Load()
+	var ch chan struct{}
+	if pooled {
+		ch = waiterPool.Get().(chan struct{})
+	} else {
+		ch = make(chan struct{}, 1)
+	}
 	q.waiters = append(q.waiters, ch)
 	mu.Unlock()
 
@@ -27,12 +65,25 @@ func (q *WaitQueue) Wait(mu *sync.Mutex, d time.Duration, infinite bool) bool {
 	if infinite {
 		<-ch
 	} else {
-		t := time.NewTimer(d)
+		var t *time.Timer
+		if pooled {
+			if pt, _ := timerPool.Get().(*time.Timer); pt != nil {
+				t = pt
+				t.Reset(d)
+			}
+		}
+		if t == nil {
+			t = time.NewTimer(d)
+		}
 		select {
 		case <-ch:
 			t.Stop()
 		case <-t.C:
 			signaled = false
+		}
+		if pooled {
+			t.Stop()
+			timerPool.Put(t)
 		}
 	}
 
@@ -56,6 +107,12 @@ func (q *WaitQueue) Wait(mu *sync.Mutex, d time.Duration, infinite bool) bool {
 			default:
 			}
 		}
+	}
+	// Here ch is off the queue (Signal/Broadcast remove it before
+	// sending; the timeout path removed or drained it above) and empty,
+	// so it is safe to recycle.
+	if pooled {
+		waiterPool.Put(ch)
 	}
 	return signaled
 }

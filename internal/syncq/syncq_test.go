@@ -96,3 +96,100 @@ func TestConcurrentSignalAndTimeoutLosesNoWakeups(t *testing.T) {
 		t.Error("no waiter ever woke")
 	}
 }
+
+// runPoolingModes runs f once with pooling enabled and once disabled,
+// restoring the default afterwards.
+func runPoolingModes(t *testing.T, f func(t *testing.T)) {
+	t.Helper()
+	for _, on := range []bool{true, false} {
+		name := "pooled"
+		if !on {
+			name = "unpooled"
+		}
+		t.Run(name, func(t *testing.T) {
+			SetPooling(on)
+			defer SetPooling(true)
+			f(t)
+		})
+	}
+}
+
+func TestPoolingModesSignalAndTimeout(t *testing.T) {
+	runPoolingModes(t, func(t *testing.T) {
+		var mu sync.Mutex
+		var q WaitQueue
+
+		// Timeout path returns the waiter cleanly in both modes.
+		mu.Lock()
+		if q.Wait(&mu, 5*time.Millisecond, false) {
+			t.Error("expected timeout")
+		}
+		if q.Len() != 0 {
+			t.Errorf("timed-out waiter left queued (len %d)", q.Len())
+		}
+		mu.Unlock()
+
+		// Signal path: park, signal, observe the wakeup.
+		done := make(chan bool, 1)
+		go func() {
+			mu.Lock()
+			ok := q.Wait(&mu, time.Second, false)
+			mu.Unlock()
+			done <- ok
+		}()
+		for {
+			mu.Lock()
+			n := q.Len()
+			mu.Unlock()
+			if n == 1 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		mu.Lock()
+		q.Signal()
+		mu.Unlock()
+		if !<-done {
+			t.Error("signaled waiter reported timeout")
+		}
+	})
+}
+
+// TestPooledWaiterIsNotResignaled reuses waiters through the pool many
+// times concurrently; a stale wakeup left in a recycled channel would
+// surface as a Wait returning signaled with no Signal outstanding.
+func TestPooledWaiterIsNotResignaled(t *testing.T) {
+	SetPooling(true)
+	var mu sync.Mutex
+	var q WaitQueue
+	for i := 0; i < 500; i++ {
+		mu.Lock()
+		q.Signal() // no waiter: must be a no-op, not a stale credit
+		if q.Wait(&mu, 50*time.Microsecond, false) {
+			t.Fatalf("iteration %d: woke with no signal outstanding", i)
+		}
+		mu.Unlock()
+	}
+}
+
+func BenchmarkWaitTimeout(b *testing.B) {
+	for _, on := range []bool{true, false} {
+		name := "pooled"
+		if !on {
+			name = "unpooled"
+		}
+		b.Run(name, func(b *testing.B) {
+			SetPooling(on)
+			defer SetPooling(true)
+			var mu sync.Mutex
+			var q WaitQueue
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				mu.Lock()
+				q.Wait(&mu, time.Microsecond, false)
+				mu.Unlock()
+			}
+		})
+	}
+}

@@ -1,0 +1,56 @@
+package taskfabric
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestAblationBatching runs the same task graph with frame batching on
+// and off and demands identical results: the knob exists for benchmark
+// ablations, not behavior changes.
+func TestAblationBatching(t *testing.T) {
+	for _, batch := range []bool{true, false} {
+		t.Run(fmt.Sprintf("batch=%v", batch), func(t *testing.T) {
+			f, err := NewFabric(testRegistry(t),
+				WithDomains(3),
+				WithHeartbeat(10*time.Millisecond),
+				WithBatching(batch),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+
+			g := f.NewGroup()
+			const n = 24
+			var want uint64
+			handles := make([]*TaskHandle, 0, n)
+			for i := 0; i < n; i++ {
+				h, err := g.SubmitJob("sleepsum", sleepSumArg(1, uint64(i)*3+1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				handles = append(handles, h)
+				want += uint64(i)*3 + 1
+			}
+			if err := g.WaitAll(TimeoutInfinite); err != nil {
+				t.Fatalf("WaitAll: %v", err)
+			}
+			var got uint64
+			for _, h := range handles {
+				res, err := h.Wait(0)
+				if err != nil {
+					t.Fatalf("task %d: %v", h.ID(), err)
+				}
+				got += decodeU64(t, res)
+			}
+			if got != want {
+				t.Errorf("sum = %d, want %d", got, want)
+			}
+			if st := f.Stats(); st.RemoteTasks == 0 {
+				t.Error("no tasks ran remotely")
+			}
+		})
+	}
+}

@@ -39,6 +39,7 @@ type worker struct {
 	resSend *mcapi.PktSendHandle // worker -> host results/yields/credits
 	hbEp    *mcapi.Endpoint      // receives host pings
 	hbHost  *mcapi.Endpoint      // host endpoint pongs are sent to
+	batch   bool                 // coalesce outbound frames per flush
 
 	killed atomic.Bool
 	cmdReq atomic.Pointer[mcapi.Request]
@@ -53,7 +54,7 @@ type worker struct {
 
 func newWorker(id int, name string, rt *core.Runtime, node *mcapi.Node,
 	reg *Registry, cmdRecv *mcapi.PktRecvHandle, resSend *mcapi.PktSendHandle,
-	hbEp, hbHost *mcapi.Endpoint, mtWorkers int) (*worker, error) {
+	hbEp, hbHost *mcapi.Endpoint, mtWorkers int, batch bool) (*worker, error) {
 	w := &worker{
 		id:      id,
 		name:    name,
@@ -65,6 +66,7 @@ func newWorker(id int, name string, rt *core.Runtime, node *mcapi.Node,
 		resSend: resSend,
 		hbEp:    hbEp,
 		hbHost:  hbHost,
+		batch:   batch,
 		queued:  make(map[uint64]*queuedTask),
 	}
 	if _, err := w.mt.CreateAction(fabricJob, "taskfabric", w.execute); err != nil {
@@ -147,17 +149,39 @@ func (w *worker) dispatch() {
 		if !ok {
 			continue
 		}
-		switch kind {
-		case offload.KindFabricShutdown:
+		if kind == offload.KindBatch {
+			frames, err := offload.DecodeBatch(pkt)
+			if err != nil {
+				continue
+			}
+			for _, fr := range frames {
+				if k, fok := offload.FrameKind(fr); fok {
+					if !w.handle(k, fr) {
+						return
+					}
+				}
+			}
+			continue
+		}
+		if !w.handle(kind, pkt) {
 			return
-		case offload.KindTask:
-			w.accept(pkt)
-		case offload.KindStealGrant:
-			w.yield(pkt)
-		case offload.KindGroupDone:
-			w.dropGroup(pkt)
 		}
 	}
+}
+
+// handle processes one unwrapped command frame; false means shut down.
+func (w *worker) handle(kind offload.WireKind, pkt []byte) bool {
+	switch kind {
+	case offload.KindFabricShutdown:
+		return false
+	case offload.KindTask:
+		w.accept(pkt)
+	case offload.KindStealGrant:
+		w.yield(pkt)
+	case offload.KindGroupDone:
+		w.dropGroup(pkt)
+	}
+	return true
 }
 
 // accept enqueues one task frame on the local MTAPI node. The queued-map
@@ -165,7 +189,9 @@ func (w *worker) dispatch() {
 // the mt field is backfilled under the lock, and skipped if the MTAPI
 // worker already started (and removed) the task in between.
 func (w *worker) accept(pkt []byte) {
-	f, err := offload.DecodeTaskFrame(offload.KindTask, pkt)
+	// The dispatcher owns each delivered packet exclusively and never
+	// recycles it, so the frame's argument may alias it.
+	f, err := offload.DecodeTaskFrameShared(offload.KindTask, pkt)
 	if err != nil {
 		return
 	}
@@ -221,13 +247,37 @@ func (w *worker) execute(args any) (any, error) {
 		// Crashed mid-task: the computed result dies with the domain.
 		return nil, nil
 	}
+	w.flush(offload.EncodeTaskResult(res), offload.EncodeCredit(credit))
+	return nil, nil
+}
+
+// flush ships encoded frames to the host under sendMu — one batch packet
+// when batching is on, one packet per frame otherwise — and recycles
+// them. A failed send drops the remaining frames: the host's deadline
+// and credit machinery recover, exactly as with unbatched sends.
+func (w *worker) flush(frames ...[]byte) {
 	w.sendMu.Lock()
 	defer w.sendMu.Unlock()
-	if w.resSend.Send(offload.EncodeTaskResult(res), mcapi.TimeoutInfinite) != nil {
-		return nil, nil
+	if w.batch {
+		var b offload.Batcher
+		for _, fr := range frames {
+			b.Add(fr)
+		}
+		_ = b.Flush(func(pkt []byte) error {
+			return w.resSend.Send(pkt, mcapi.TimeoutInfinite)
+		})
+		return
 	}
-	_ = w.resSend.Send(offload.EncodeCredit(credit), mcapi.TimeoutInfinite)
-	return nil, nil
+	for i, fr := range frames {
+		err := w.resSend.Send(fr, mcapi.TimeoutInfinite)
+		offload.RecycleFrame(fr)
+		if err != nil {
+			for _, rest := range frames[i+1:] {
+				offload.RecycleFrame(rest)
+			}
+			return
+		}
+	}
 }
 
 // yield answers a steal grant: cancel up to Want still-queued tasks —
@@ -260,14 +310,12 @@ func (w *worker) yield(pkt []byte) {
 	if w.killed.Load() {
 		return
 	}
-	w.sendMu.Lock()
-	defer w.sendMu.Unlock()
+	frames := make([][]byte, 0, len(yields)+1)
 	for _, f := range yields {
-		if w.resSend.Send(offload.EncodeTaskFrame(offload.KindTaskYield, f), mcapi.TimeoutInfinite) != nil {
-			return
-		}
+		frames = append(frames, offload.EncodeTaskFrame(offload.KindTaskYield, f))
 	}
-	_ = w.resSend.Send(offload.EncodeCredit(credit), mcapi.TimeoutInfinite)
+	frames = append(frames, offload.EncodeCredit(credit))
+	w.flush(frames...)
 }
 
 // dropGroup discards queued tasks of a completed or canceled group.
@@ -308,7 +356,9 @@ func (w *worker) heartbeat() {
 			continue
 		}
 		pong := offload.EncodePong(offload.HBFrame{Domain: uint32(w.id), Seq: ping.Seq})
-		if err := mcapi.MsgSend(w.hbHost, pong, 0, mcapi.TimeoutImmediate); err != nil {
+		err = mcapi.MsgSend(w.hbHost, pong, 0, mcapi.TimeoutImmediate)
+		offload.RecycleFrame(pong)
+		if err != nil {
 			if err == mcapi.ErrMemLimit || err == mcapi.ErrTimeout {
 				continue // queue full: drop the pong
 			}

@@ -80,6 +80,7 @@ type config struct {
 	inflight  int
 	mtWorkers int
 	sink      EventSink
+	batch     bool
 }
 
 // Option configures NewFabric.
@@ -93,6 +94,7 @@ func defaultConfig() config {
 		retries:   2,
 		heartbeat: 20 * time.Millisecond,
 		inflight:  8,
+		batch:     true,
 	}
 }
 
@@ -178,6 +180,18 @@ func WithDomainWorkers(n int) Option {
 	}
 }
 
+// WithBatching toggles frame coalescing: when on (the default), a pump
+// that dispatches several tasks to one domain sends them as a single
+// batch packet, and workers likewise coalesce their result, credit and
+// yield frames per flush. Off restores one-packet-per-frame as an
+// ablation baseline for benchmarks.
+func WithBatching(on bool) Option {
+	return func(c *config) error {
+		c.batch = on
+		return nil
+	}
+}
+
 // WithEventSink installs a sink for EvTaskSend/EvTaskRecv/EvTaskSteal
 // events.
 func WithEventSink(s EventSink) Option {
@@ -198,6 +212,7 @@ type counters struct {
 	domainsLost  atomic.Uint64
 	readmissions atomic.Uint64
 	heartbeats   atomic.Uint64
+	pingDrops    atomic.Uint64
 }
 
 // Stats is a point-in-time copy of the fabric counters.
@@ -211,6 +226,7 @@ type Stats struct {
 	DomainsLost  uint64 // worker domains declared dead
 	Readmissions uint64 // lost domains readmitted after restart
 	Heartbeats   uint64 // pongs received
+	PingDrops    uint64 // pings dropped by a full send queue
 }
 
 // TaskHandle tracks one submitted task. Waiters may call Wait from any
@@ -393,7 +409,7 @@ func NewFabric(reg *Registry, opts ...Option) (*Fabric, error) {
 			}
 		}
 		w, werr := newWorker(nl.ID, nl.Name, nl.RT, nl.Node, reg,
-			nl.CmdRecv, nl.ResSend, nl.HBEp, nl.HBHost, mtWorkers)
+			nl.CmdRecv, nl.ResSend, nl.HBEp, nl.HBHost, mtWorkers, cfg.batch)
 		if werr != nil {
 			_ = f.teardownNet()
 			return nil, werr
@@ -460,6 +476,7 @@ func (f *Fabric) Stats() Stats {
 		DomainsLost:  f.st.domainsLost.Load(),
 		Readmissions: f.st.readmissions.Load(),
 		Heartbeats:   f.st.heartbeats.Load(),
+		PingDrops:    f.st.pingDrops.Load(),
 	}
 }
 
@@ -587,7 +604,8 @@ func (f *Fabric) healthLoop() {
 			default:
 			}
 		},
-		func() { f.st.heartbeats.Add(1) })
+		func() { f.st.heartbeats.Add(1) },
+		func() { f.st.pingDrops.Add(1) })
 }
 
 // scheduler is the single goroutine owning all dispatch state: the
@@ -634,6 +652,26 @@ func (f *Fabric) scheduler() {
 		}
 	}
 
+	// encodeTask builds one task descriptor frame.
+	encodeTask := func(t *task) []byte {
+		var gid uint64
+		if t.g != nil {
+			gid = t.g.id
+		}
+		return offload.EncodeTaskFrame(offload.KindTask, offload.TaskFrame{
+			Task: t.id, Attempt: t.attempt, Group: gid, Job: t.job, Arg: t.arg,
+		})
+	}
+
+	// commitRemote records a successful dispatch of t to domain li.
+	commitRemote := func(t *task, li int) {
+		infl[t.id] = flight{dom: li, expiry: time.Now().Add(f.cfg.deadline)}
+		outstanding[li]++
+		if f.cfg.sink != nil {
+			f.cfg.sink.TaskSend(li, int(t.id))
+		}
+	}
+
 	// dispatch places one task: pinned-local tasks (and tasks with no
 	// live domain) go to the host executor, the rest to the live domain
 	// with the fewest tasks in flight. False means try again later.
@@ -662,32 +700,86 @@ func (f *Fabric) scheduler() {
 		if best < 0 {
 			return false
 		}
-		var gid uint64
-		if t.g != nil {
-			gid = t.g.id
-		}
-		frame := offload.EncodeTaskFrame(offload.KindTask, offload.TaskFrame{
-			Task: t.id, Attempt: t.attempt, Group: gid, Job: t.job, Arg: t.arg,
-		})
-		if f.links[best].cmd.Send(frame, mcapi.TimeoutImmediate) != nil {
+		frame := encodeTask(t)
+		err := f.links[best].cmd.Send(frame, mcapi.TimeoutImmediate)
+		offload.RecycleFrame(frame)
+		if err != nil {
 			return false // command queue full; the tick retries
 		}
-		infl[t.id] = flight{dom: best, expiry: time.Now().Add(f.cfg.deadline)}
-		outstanding[best]++
-		if f.cfg.sink != nil {
-			f.cfg.sink.TaskSend(best, int(t.id))
-		}
+		commitRemote(t, best)
 		return true
 	}
 
 	pump := func() {
 		var rest []*task
+		if !f.cfg.batch {
+			// Ablation baseline: one packet per task.
+			for _, t := range pending {
+				if _, alive := tasks[t.id]; !alive {
+					continue // finished or canceled while queued
+				}
+				if !dispatch(t) {
+					rest = append(rest, t)
+				}
+			}
+			pending = rest
+			return
+		}
+		// Plan the whole queue first — min-occupancy placement using
+		// this round's tentative assignments (extra) on top of what is
+		// already in flight — then flush each domain's plan as one
+		// batch packet. A failed flush commits nothing for that domain;
+		// its tasks go back in the queue for the tick to retry.
+		extra := make([]int, len(f.links))
+		plans := make([][]*task, len(f.links))
 		for _, t := range pending {
 			if _, alive := tasks[t.id]; !alive {
 				continue // finished or canceled while queued
 			}
-			if !dispatch(t) {
+			if t.forcedLocal || !anyLive() {
+				select {
+				case f.localQ <- t:
+					infl[t.id] = flight{dom: -1}
+					if f.cfg.sink != nil {
+						f.cfg.sink.TaskSend(-1, int(t.id))
+					}
+				default:
+					rest = append(rest, t) // local executor saturated
+				}
+				continue
+			}
+			best := -1
+			for li := range f.links {
+				if !live(li) || outstanding[li]+extra[li] >= f.cfg.inflight {
+					continue
+				}
+				if best < 0 || outstanding[li]+extra[li] < outstanding[best]+extra[best] {
+					best = li
+				}
+			}
+			if best < 0 {
 				rest = append(rest, t)
+				continue
+			}
+			extra[best]++
+			plans[best] = append(plans[best], t)
+		}
+		for li, plan := range plans {
+			if len(plan) == 0 {
+				continue
+			}
+			var b offload.Batcher
+			for _, t := range plan {
+				b.Add(encodeTask(t))
+			}
+			if b.Flush(func(pkt []byte) error {
+				return f.links[li].cmd.Send(pkt, mcapi.TimeoutImmediate)
+			}) != nil {
+				rest = append(rest, plan...)
+				continue
+			}
+			for _, t := range plan {
+				commitRemote(t, li)
 			}
 		}
 		pending = rest
@@ -724,43 +816,52 @@ func (f *Fabric) scheduler() {
 			pump()
 
 		case a := <-f.arrCh:
-			kind, ok := offload.FrameKind(a.pkt)
-			if !ok {
-				continue
-			}
-			switch kind {
-			case offload.KindTaskResult:
-				m, err := offload.DecodeTaskResult(a.pkt)
-				if err != nil {
-					continue
+			// handleFrame processes one unwrapped frame from domain
+			// a.dom, reporting whether dispatch state changed (the
+			// caller pumps once after the whole packet). Decodes are
+			// zero-copy: the scheduler owns each delivered packet
+			// exclusively and never recycles it, so payloads may alias.
+			handleFrame := func(pkt []byte) bool {
+				kind, ok := offload.FrameKind(pkt)
+				if !ok {
+					return false
 				}
-				t, known := tasks[m.Task]
-				if !known {
-					continue // duplicate or stale: already settled
-				}
-				var terr error
-				switch m.Status {
-				case offload.StatusUnknownJob:
-					terr = fmt.Errorf("taskfabric: domain %d: unknown job %q", a.dom, string(m.Payload))
-				case offload.StatusJobError:
-					terr = fmt.Errorf("taskfabric: job %q: %s", t.job, string(m.Payload))
-				}
-				f.st.remoteTasks.Add(1)
-				if f.cfg.sink != nil {
-					f.cfg.sink.TaskRecv(a.dom, int(t.id))
-				}
-				finish(t, m.Payload, terr)
-				pump()
-			case offload.KindTaskYield:
-				m, err := offload.DecodeTaskFrame(offload.KindTaskYield, a.pkt)
-				if err != nil {
-					continue
-				}
-				t, known := tasks[m.Task]
-				if !known {
-					continue
-				}
-				if fl, ok := infl[t.id]; ok && fl.dom == a.dom {
+				switch kind {
+				case offload.KindTaskResult:
+					m, err := offload.DecodeTaskResultShared(pkt)
+					if err != nil {
+						return false
+					}
+					t, known := tasks[m.Task]
+					if !known {
+						return false // duplicate or stale: already settled
+					}
+					var terr error
+					switch m.Status {
+					case offload.StatusUnknownJob:
+						terr = fmt.Errorf("taskfabric: domain %d: unknown job %q", a.dom, string(m.Payload))
+					case offload.StatusJobError:
+						terr = fmt.Errorf("taskfabric: job %q: %s", t.job, string(m.Payload))
+					}
+					f.st.remoteTasks.Add(1)
+					if f.cfg.sink != nil {
+						f.cfg.sink.TaskRecv(a.dom, int(t.id))
+					}
+					finish(t, m.Payload, terr)
+					return true
+				case offload.KindTaskYield:
+					m, err := offload.DecodeTaskFrameShared(offload.KindTaskYield, pkt)
+					if err != nil {
+						return false
+					}
+					t, known := tasks[m.Task]
+					if !known {
+						return false
+					}
+					fl, ok := infl[t.id]
+					if !ok || fl.dom != a.dom {
+						return false
+					}
 					delete(infl, t.id)
 					outstanding[a.dom]--
 					t.attempt++
@@ -776,36 +877,54 @@ func (f *Fabric) scheduler() {
 					// occupancy, so min-outstanding dispatch routes the
 					// migrated task straight to it.
 					pending = append([]*task{t}, pending...)
-					pump()
-				}
-			case offload.KindCredit:
-				m, err := offload.DecodeCredit(a.pkt)
-				if err != nil {
-					continue
-				}
-				if grantVictim == a.dom {
-					clearGrant() // grant settled: victim reported back
-				}
-				if m.Queued == 0 && m.Running == 0 && outstanding[a.dom] == 0 &&
-					len(pending) == 0 && grantVictim < 0 && live(a.dom) {
-					victim := -1
-					for li := range f.links {
-						if li == a.dom || !live(li) || outstanding[li] < stealMin {
-							continue
+					return true
+				case offload.KindCredit:
+					m, err := offload.DecodeCredit(pkt)
+					if err != nil {
+						return false
+					}
+					if grantVictim == a.dom {
+						clearGrant() // grant settled: victim reported back
+					}
+					if m.Queued == 0 && m.Running == 0 && outstanding[a.dom] == 0 &&
+						len(pending) == 0 && grantVictim < 0 && live(a.dom) {
+						victim := -1
+						for li := range f.links {
+							if li == a.dom || !live(li) || outstanding[li] < stealMin {
+								continue
+							}
+							if victim < 0 || outstanding[li] > outstanding[victim] {
+								victim = li
+							}
 						}
-						if victim < 0 || outstanding[li] > outstanding[victim] {
-							victim = li
+						if victim >= 0 {
+							grant := offload.EncodeStealGrant(offload.StealGrantFrame{
+								Want: uint32(outstanding[victim] / 2),
+							})
+							err := f.links[victim].cmd.Send(grant, mcapi.TimeoutImmediate)
+							offload.RecycleFrame(grant)
+							if err == nil {
+								grantVictim, grantThief = victim, a.dom
+							}
 						}
 					}
-					if victim >= 0 {
-						grant := offload.EncodeStealGrant(offload.StealGrantFrame{
-							Want: uint32(outstanding[victim] / 2),
-						})
-						if f.links[victim].cmd.Send(grant, mcapi.TimeoutImmediate) == nil {
-							grantVictim, grantThief = victim, a.dom
+				}
+				return false
+			}
+			needPump := false
+			if offload.IsBatch(a.pkt) {
+				if frames, err := offload.DecodeBatch(a.pkt); err == nil {
+					for _, fr := range frames {
+						if handleFrame(fr) {
+							needPump = true
 						}
 					}
 				}
+			} else if handleFrame(a.pkt) {
+				needPump = true
+			}
+			if needPump {
+				pump()
 			}
 
 		case d := <-f.localDoneCh:
@@ -860,6 +979,7 @@ func (f *Fabric) scheduler() {
 					_ = f.links[li].cmd.Send(done, mcapi.TimeoutImmediate)
 				}
 			}
+			offload.RecycleFrame(done)
 
 		case <-tick.C:
 			now := time.Now()
@@ -889,11 +1009,13 @@ func (f *Fabric) Close() error {
 		return nil
 	}
 	close(f.stopCh)
+	shut := offload.EncodeFabricShutdown()
 	for _, l := range f.links {
 		if !l.health.Lost() {
-			_ = l.cmd.Send(offload.EncodeFabricShutdown(), mcapi.TimeoutImmediate)
+			_ = l.cmd.Send(shut, mcapi.TimeoutImmediate)
 		}
 	}
+	offload.RecycleFrame(shut)
 	_ = f.net.HostNode.Finalize()
 	for _, w := range f.workers {
 		w.stop()
