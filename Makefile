@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-compare experiments taskgraph clean
+.PHONY: all build vet test race bench bench-json bench-compare experiments taskgraph \
+	api api-check serve loadgen service-smoke clean
 
 all: build vet test
 
@@ -49,6 +50,36 @@ experiments:
 # domain-loss fault injection.
 taskgraph:
 	$(GO) run ./cmd/ompmca-taskgraph
+
+# Public API surface gate. API.txt is the committed `go doc .` output;
+# `make api` regenerates it after an intentional surface change,
+# `make api-check` (run in CI) fails when the surface drifted without
+# the file being updated.
+api:
+	$(GO) doc . > API.txt
+
+api-check:
+	$(GO) doc . > /tmp/api-now.txt
+	diff -u API.txt /tmp/api-now.txt || \
+		{ echo "public API surface changed: run 'make api' and commit API.txt"; exit 1; }
+
+# Multi-tenant job service: boot the HTTP front end / drive it.
+serve:
+	$(GO) run ./cmd/ompmca-serve
+
+loadgen:
+	$(GO) run ./cmd/ompmca-loadgen
+
+# End-to-end service smoke: boot ompmca-serve, drive it with 1000
+# concurrent submitters across 3 tenants with mid-run fault injection,
+# require zero lost jobs. CI runs this on every push.
+service-smoke:
+	$(GO) build -o /tmp/ompmca-serve ./cmd/ompmca-serve
+	$(GO) build -o /tmp/ompmca-loadgen ./cmd/ompmca-loadgen
+	/tmp/ompmca-serve -addr 127.0.0.1:18080 & \
+	SERVE_PID=$$!; \
+	trap "kill $$SERVE_PID 2>/dev/null" EXIT; \
+	/tmp/ompmca-loadgen -addr http://127.0.0.1:18080 -submitters 1000 -jobs 2 -fault
 
 clean:
 	$(GO) clean ./...

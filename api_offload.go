@@ -1,6 +1,8 @@
 package openmpmca
 
 import (
+	"time"
+
 	"openmpmca/internal/offload"
 )
 
@@ -8,6 +10,10 @@ import (
 // domains — separate Runtime instances on their own hypervisor
 // partitions — that communicate exclusively over MCAPI. See
 // internal/offload for the architecture.
+//
+// Naming convention: every option that configures NewOffload is named
+// WithOffload*; every option that configures NewTaskFabric is named
+// WithFabric*. Process-wide tuning toggles live in api_tuning.go.
 
 // Offload farms ParallelFor regions out to worker domains; see NewOffload.
 type Offload = offload.Offloader
@@ -28,8 +34,14 @@ type OffloadFuncKernel = offload.FuncKernel
 type OffloadRegistry = offload.Registry
 
 // OffloadStats is a snapshot of the offload counters (RemoteChunks,
-// Resends, DomainsLost, ...).
+// Resends, DomainsLost, ...). It forms the "offload" section of the
+// unified Snapshot.
 type OffloadStats = offload.StatsSnapshot
+
+// OffloadDomainInfo describes one offload worker domain for
+// introspection: identity, liveness and the adaptive per-iteration
+// service estimate.
+type OffloadDomainInfo = offload.DomainInfo
 
 // OffloadEventSink receives offload send/recv trace events; a
 // trace.Recorder satisfies it.
@@ -49,16 +61,33 @@ func NewOffload(reg *OffloadRegistry, opts ...OffloadOption) (*Offload, error) {
 	return offload.New(reg, opts...)
 }
 
+// WithOffloadDomains sets the number of worker domains.
+func WithOffloadDomains(n int) OffloadOption { return offload.WithDomains(n) }
+
 // WithDomains sets the number of worker domains.
+//
+// Deprecated: use WithOffloadDomains. WithDomains predates the unified
+// WithOffload*/WithFabric* naming and is kept only so existing callers
+// keep compiling; it will not grow siblings.
 func WithDomains(n int) OffloadOption { return offload.WithDomains(n) }
 
 // WithOffloadChunkIters fixes the iterations per offloaded chunk.
 func WithOffloadChunkIters(n int) OffloadOption { return offload.WithChunkIters(n) }
 
+// WithOffloadChunkDeadline bounds how long a dispatched chunk may stay
+// unanswered before it is resent to another domain.
+func WithOffloadChunkDeadline(d time.Duration) OffloadOption { return offload.WithChunkDeadline(d) }
+
+// WithOffloadRetries caps per-chunk resends before the region fails.
+func WithOffloadRetries(n int) OffloadOption { return offload.WithRetries(n) }
+
+// WithOffloadHeartbeat sets the offloader's domain-health ping period; a
+// domain missing pongs for eight periods is declared lost.
+func WithOffloadHeartbeat(period time.Duration) OffloadOption { return offload.WithHeartbeat(period) }
+
+// WithOffloadInflight caps the chunks outstanding on one domain (the
+// credit window).
+func WithOffloadInflight(n int) OffloadOption { return offload.WithInflight(n) }
+
 // WithOffloadEventSink installs a sink for offload trace events.
 func WithOffloadEventSink(s OffloadEventSink) OffloadOption { return offload.WithEventSink(s) }
-
-// WithOffloadBatching toggles chunk-frame coalescing per scheduler flush
-// (on by default); off restores one packet per chunk as an ablation
-// baseline for benchmarks.
-func WithOffloadBatching(on bool) OffloadOption { return offload.WithBatching(on) }

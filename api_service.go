@@ -1,0 +1,81 @@
+package openmpmca
+
+import (
+	"time"
+
+	"openmpmca/internal/jobservice"
+)
+
+// Multi-tenant job service: a persistent HTTP/JSON front end over a
+// TaskFabric (and optionally an Offload) with API-key tenants, quotas,
+// priority classes and weighted-fair dispatch. See internal/jobservice
+// for the architecture and cmd/ompmca-serve for a ready-to-run server.
+
+// JobService is the HTTP job service; it implements http.Handler. See
+// NewJobService.
+type JobService = jobservice.Server
+
+// JobServiceOption configures NewJobService.
+type JobServiceOption = jobservice.Option
+
+// Tenant is one API-key principal of a JobService: a name, a secret
+// key, an in-flight quota and a priority class (plus the optional admin
+// role unlocking domain drain/readmit).
+type Tenant = jobservice.Tenant
+
+// ServicePriority is a tenant's service class; it maps to a
+// weighted-fair dispatch weight.
+type ServicePriority = jobservice.Priority
+
+// Tenant service classes (dispatch weights 4, 2 and 1).
+const (
+	ServicePriorityHigh   = jobservice.PriorityHigh
+	ServicePriorityNormal = jobservice.PriorityNormal
+	ServicePriorityLow    = jobservice.PriorityLow
+)
+
+// Snapshot is the unified stats umbrella: core runtime, offload, fabric
+// and job-service counters in one JSON-taggable shape. GET /v1/stats,
+// ompmca-info -stats and ompmca-bench -stats all serialize this type.
+type Snapshot = jobservice.Snapshot
+
+// ServiceStats is the job service's section of Snapshot.
+type ServiceStats = jobservice.ServiceStats
+
+// TenantStats is one tenant's slice of ServiceStats.
+type TenantStats = jobservice.TenantStats
+
+// ErrServiceClosed is returned by operations on a closed JobService.
+var ErrServiceClosed = jobservice.ErrClosed
+
+// NewJobService builds a job service over a fabric and its job registry.
+// At least one tenant (WithServiceTenants) is required; wire an
+// offloader with WithServiceOffloader to also serve parallel-for jobs.
+// Serve it with net/http and stop it with Close:
+//
+//	svc, err := openmpmca.NewJobService(fab, jobs,
+//		openmpmca.WithServiceTenants(openmpmca.Tenant{
+//			Name: "alice", Key: "s3cret", Quota: 16,
+//			Priority: openmpmca.ServicePriorityNormal,
+//		}))
+//	http.ListenAndServe(":8080", svc)
+func NewJobService(fab *TaskFabric, jobs *JobRegistry, opts ...JobServiceOption) (*JobService, error) {
+	return jobservice.New(fab, jobs, opts...)
+}
+
+// WithServiceTenants registers the service's tenants.
+func WithServiceTenants(ts ...Tenant) JobServiceOption { return jobservice.WithTenants(ts...) }
+
+// WithServiceOffloader wires an offloader and its kernel registry into
+// the service so tenants can submit parallel-for jobs.
+func WithServiceOffloader(o *Offload, kernels *OffloadRegistry) JobServiceOption {
+	return jobservice.WithOffloader(o, kernels)
+}
+
+// WithServiceDispatchWindow bounds how many jobs may be inside the
+// fabric and offloader at once (default 64).
+func WithServiceDispatchWindow(n int) JobServiceOption { return jobservice.WithDispatchWindow(n) }
+
+// WithServiceRetryAfter sets the Retry-After hint on HTTP 429 responses
+// (default 1s).
+func WithServiceRetryAfter(d time.Duration) JobServiceOption { return jobservice.WithRetryAfter(d) }

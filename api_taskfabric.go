@@ -40,8 +40,14 @@ type FabricTask = taskfabric.TaskHandle
 type FabricGroup = taskfabric.Group
 
 // FabricStats is a snapshot of the fabric counters (RemoteTasks, Steals,
-// DomainsLost, ...).
+// DomainsLost, ...). It forms the "fabric" section of the unified
+// Snapshot.
 type FabricStats = taskfabric.Stats
+
+// FabricDomainInfo describes one fabric worker domain for introspection:
+// identity, liveness, outstanding tasks and the adaptive per-task
+// service estimate.
+type FabricDomainInfo = taskfabric.DomainInfo
 
 // FabricEventSink receives task send/recv/steal trace events; a
 // trace.Recorder satisfies it.
@@ -82,7 +88,19 @@ func WithFabricHeartbeat(period time.Duration) TaskFabricOption {
 	return taskfabric.WithHeartbeat(period)
 }
 
-// WithFabricBatching toggles task/result/credit frame coalescing per
-// flush (on by default); off restores one packet per frame as an
-// ablation baseline for benchmarks.
-func WithFabricBatching(on bool) TaskFabricOption { return taskfabric.WithBatching(on) }
+// WithFabricTaskDeadline bounds how long a dispatched task may stay
+// unanswered before it is resent.
+func WithFabricTaskDeadline(d time.Duration) TaskFabricOption {
+	return taskfabric.WithTaskDeadline(d)
+}
+
+// WithFabricRetries caps per-task resends before the task fails.
+func WithFabricRetries(n int) TaskFabricOption { return taskfabric.WithRetries(n) }
+
+// WithFabricInflight caps the tasks outstanding on one domain (the
+// credit window).
+func WithFabricInflight(n int) TaskFabricOption { return taskfabric.WithInflight(n) }
+
+// WithFabricDomainWorkers sets each worker domain's MTAPI scheduler
+// width (workers per domain).
+func WithFabricDomainWorkers(n int) TaskFabricOption { return taskfabric.WithDomainWorkers(n) }

@@ -108,6 +108,121 @@ func TestPublicErrorTaxonomy(t *testing.T) {
 	}
 }
 
+// TestOptionValidationParity pins the facade-wide error contract: every
+// constructor — New, NewOffload, NewTaskFabric, NewJobService — rejects
+// a nonsense option with an error matching ErrInvalidOption, so callers
+// need exactly one errors.Is branch regardless of which layer they are
+// configuring.
+func TestOptionValidationParity(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"core threads", func() error { _, err := New(WithNumThreads(-1)); return err }},
+		{"offload nil registry", func() error { _, err := NewOffload(nil); return err }},
+		{"offload domains", func() error {
+			_, err := NewOffload(NewOffloadRegistry(), WithOffloadDomains(0))
+			return err
+		}},
+		{"offload chunk iters", func() error {
+			_, err := NewOffload(NewOffloadRegistry(), WithOffloadChunkIters(-5))
+			return err
+		}},
+		{"offload deadline", func() error {
+			_, err := NewOffload(NewOffloadRegistry(), WithOffloadChunkDeadline(0))
+			return err
+		}},
+		{"offload retries", func() error {
+			_, err := NewOffload(NewOffloadRegistry(), WithOffloadRetries(-1))
+			return err
+		}},
+		{"offload heartbeat", func() error {
+			_, err := NewOffload(NewOffloadRegistry(), WithOffloadHeartbeat(-time.Second))
+			return err
+		}},
+		{"offload inflight", func() error {
+			_, err := NewOffload(NewOffloadRegistry(), WithOffloadInflight(0))
+			return err
+		}},
+		{"fabric nil registry", func() error { _, err := NewTaskFabric(nil); return err }},
+		{"fabric domains", func() error {
+			_, err := NewTaskFabric(NewJobRegistry(), WithFabricDomains(-2))
+			return err
+		}},
+		{"fabric deadline", func() error {
+			_, err := NewTaskFabric(NewJobRegistry(), WithFabricTaskDeadline(-time.Second))
+			return err
+		}},
+		{"fabric retries", func() error {
+			_, err := NewTaskFabric(NewJobRegistry(), WithFabricRetries(-1))
+			return err
+		}},
+		{"fabric inflight", func() error {
+			_, err := NewTaskFabric(NewJobRegistry(), WithFabricInflight(0))
+			return err
+		}},
+		{"fabric workers", func() error {
+			_, err := NewTaskFabric(NewJobRegistry(), WithFabricDomainWorkers(-1))
+			return err
+		}},
+		{"service nil fabric", func() error {
+			_, err := NewJobService(nil, NewJobRegistry(),
+				WithServiceTenants(Tenant{Name: "t", Key: "k", Quota: 1, Priority: ServicePriorityNormal}))
+			return err
+		}},
+		{"service no tenants", func() error {
+			jobs := NewJobRegistry()
+			fab, err := NewTaskFabric(jobs, WithFabricDomains(2))
+			if err != nil {
+				return err
+			}
+			defer fab.Close()
+			_, err = NewJobService(fab, jobs)
+			return err
+		}},
+		{"service bad quota", func() error {
+			jobs := NewJobRegistry()
+			fab, err := NewTaskFabric(jobs, WithFabricDomains(2))
+			if err != nil {
+				return err
+			}
+			defer fab.Close()
+			_, err = NewJobService(fab, jobs,
+				WithServiceTenants(Tenant{Name: "t", Key: "k", Quota: 0, Priority: ServicePriorityNormal}))
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		if err := tc.run(); !errors.Is(err, ErrInvalidOption) {
+			t.Errorf("%s: err = %v, want ErrInvalidOption", tc.name, err)
+		}
+	}
+}
+
+// TestDeprecatedOptionAliases pins that the pre-unification names still
+// build working values and configure exactly what their canonical
+// replacements do.
+func TestDeprecatedOptionAliases(t *testing.T) {
+	reg := NewOffloadRegistry()
+	off, err := NewOffload(reg, WithDomains(2)) // deprecated alias of WithOffloadDomains
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if off.Domains() != 2 {
+		t.Errorf("WithDomains(2) built %d domains", off.Domains())
+	}
+
+	off2, err := NewOffload(NewOffloadRegistry(), WithOffloadDomains(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off2.Close()
+	if off2.Domains() != off.Domains() {
+		t.Errorf("alias and canonical option disagree: %d vs %d", off.Domains(), off2.Domains())
+	}
+}
+
 func TestPublicSaturation(t *testing.T) {
 	rt, err := New(WithLayer(NewNativeLayer(4)), WithNumThreads(2), WithMaxConcurrentRegions(1))
 	if err != nil {

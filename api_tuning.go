@@ -3,11 +3,12 @@ package openmpmca
 import (
 	"openmpmca/internal/offload"
 	"openmpmca/internal/syncq"
+	"openmpmca/internal/taskfabric"
 )
 
-// Process-wide hot-path tuning knobs. Both default to on; they exist as
-// ablation switches (the WithTaskQueue pattern, but for cross-cutting
-// allocator behavior) so cmd/ompmca-bench can measure each
+// Cross-cutting tuning knobs. All default to on; they exist as ablation
+// switches (the WithTaskQueue pattern, but for cross-cutting allocator
+// and wire behavior) so cmd/ompmca-bench can measure each
 // optimization's contribution against the unoptimized baseline.
 // Production callers leave them alone.
 
@@ -26,3 +27,13 @@ func SetWaitPooling(on bool) { syncq.SetPooling(on) }
 
 // WaitPooling reports whether wait-queue waiters and timers are pooled.
 func WaitPooling() bool { return syncq.PoolingEnabled() }
+
+// WithOffloadBatching toggles chunk-frame coalescing per scheduler flush
+// (on by default); off restores one packet per chunk as an ablation
+// baseline for benchmarks.
+func WithOffloadBatching(on bool) OffloadOption { return offload.WithBatching(on) }
+
+// WithFabricBatching toggles task/result/credit frame coalescing per
+// flush (on by default); off restores one packet per frame as an
+// ablation baseline for benchmarks.
+func WithFabricBatching(on bool) TaskFabricOption { return taskfabric.WithBatching(on) }

@@ -19,6 +19,7 @@ package main
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,10 +30,12 @@ import (
 
 	"openmpmca/internal/benchjson"
 	"openmpmca/internal/core"
+	"openmpmca/internal/jobservice"
 	"openmpmca/internal/mcapi"
 	"openmpmca/internal/offload"
 	"openmpmca/internal/platform"
 	"openmpmca/internal/syncq"
+	"openmpmca/internal/taskfabric"
 )
 
 func main() {
@@ -52,6 +55,7 @@ func run() error {
 		tolerance = flag.Float64("tolerance", 10, "percent ns/op drift tolerated by -compare before flagging")
 		failRegr  = flag.Bool("fail-on-regression", false, "with -compare, exit nonzero when regressions are found")
 		list      = flag.Bool("list", false, "list suite benchmarks and exit")
+		stats     = flag.Bool("stats", false, "run a short fabric+offload workload and emit the unified openmpmca.Snapshot JSON instead of benchmarking")
 	)
 	testing.Init()
 	flag.Parse()
@@ -61,6 +65,9 @@ func run() error {
 			fmt.Println(s.name)
 		}
 		return nil
+	}
+	if *stats {
+		return runStats()
 	}
 	if *compare {
 		return runCompare(flag.Args(), *tolerance, *failRegr)
@@ -104,6 +111,52 @@ func run() error {
 		return err
 	}
 	return os.WriteFile(*out, buf, 0o644)
+}
+
+// runStats exercises the fabric and the offloader with the built-in
+// demo workloads and prints the unified stats umbrella — the same
+// openmpmca.Snapshot shape the job service serves on /v1/stats — so
+// benchmark tooling and the service speak one format.
+func runStats() error {
+	jobs := taskfabric.NewRegistry()
+	if err := jobservice.RegisterBuiltinJobs(jobs); err != nil {
+		return err
+	}
+	fab, err := taskfabric.NewFabric(jobs, taskfabric.WithDomains(3))
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+	kernels := offload.NewRegistry()
+	if err := jobservice.RegisterBuiltinKernels(kernels); err != nil {
+		return err
+	}
+	off, err := offload.New(kernels, offload.WithDomains(2))
+	if err != nil {
+		return err
+	}
+	defer off.Close()
+
+	g := fab.NewGroup()
+	for i := 0; i < 32; i++ {
+		if _, err := g.SubmitJob(jobservice.JobFib, jobservice.U64(uint64(10+i))); err != nil {
+			return err
+		}
+	}
+	if err := g.WaitAll(taskfabric.TimeoutInfinite); err != nil {
+		return err
+	}
+	if _, err := off.ParallelFor(jobservice.KernelVecSum, 100000, nil); err != nil {
+		return err
+	}
+
+	host := fab.HostStats()
+	fabStats := fab.Stats()
+	offStats := off.Stats()
+	snap := jobservice.Snapshot{Core: &host, Offload: &offStats, Fabric: &fabStats}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
 }
 
 func runCompare(paths []string, tolerance float64, failRegr bool) error {

@@ -6,9 +6,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"openmpmca"
 	"openmpmca/internal/core"
@@ -25,6 +27,7 @@ func main() {
 		tree       = flag.Bool("tree", false, "render the MRAPI metadata resource tree")
 		stats      = flag.Bool("stats", false, "run a sample tasking workload and print runtime scheduler counters")
 		threads    = flag.Int("threads", 8, "team size for -stats")
+		jsonOut    = flag.Bool("json", false, "with -stats, emit the unified openmpmca.Snapshot as NDJSON (one line per layer)")
 	)
 	flag.Parse()
 	all := !*diagram && !*hypervisor && !*compare && !*tree && !*stats
@@ -59,8 +62,10 @@ func main() {
 		fmt.Println(t4.ResourceTree().Render())
 	}
 	if *stats || all {
-		fmt.Println("=== runtime scheduler counters (task workload) ===")
-		if err := printStats(t4, *threads); err != nil {
+		if !*jsonOut {
+			fmt.Println("=== runtime scheduler counters (task workload) ===")
+		}
+		if err := printStats(t4, *threads, *jsonOut); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -69,8 +74,10 @@ func main() {
 // printStats runs the same recursive tasking workload on the native and the
 // MCA-backed runtime and prints each one's counter snapshot, making the
 // work-stealing scheduler's behavior (local pops vs steals vs failed
-// probes) observable from the command line.
-func printStats(board *platform.Board, threads int) error {
+// probes) observable from the command line. With jsonOut it emits one
+// NDJSON line per layer carrying the unified openmpmca.Snapshot — the
+// same shape the job service serves on /v1/stats.
+func printStats(board *platform.Board, threads int, jsonOut bool) error {
 	layers := []struct {
 		name  string
 		layer func() (openmpmca.ThreadLayer, error)
@@ -112,10 +119,20 @@ func printStats(board *platform.Board, threads int) error {
 			return err
 		}
 		s := rt.Stats().Snapshot()
-		fmt.Printf("%-6s  queue=%s regions=%d threads=%d barriers=%d tasks=%d\n",
-			lc.name, rt.TaskQueueKind(), s.Regions, s.Threads, s.Barriers, s.Tasks)
-		fmt.Printf("        local-pops=%d steals=%d steal-fails=%d\n",
-			s.LocalPops, s.Steals, s.StealFails)
+		if jsonOut {
+			line := struct {
+				Layer    string             `json:"layer"`
+				Snapshot openmpmca.Snapshot `json:"snapshot"`
+			}{lc.name, openmpmca.Snapshot{Core: &s}}
+			if err := json.NewEncoder(os.Stdout).Encode(line); err != nil {
+				return err
+			}
+		} else {
+			fmt.Printf("%-6s  queue=%s regions=%d threads=%d barriers=%d tasks=%d\n",
+				lc.name, rt.TaskQueueKind(), s.Regions, s.Threads, s.Barriers, s.Tasks)
+			fmt.Printf("        local-pops=%d steals=%d steal-fails=%d\n",
+				s.LocalPops, s.Steals, s.StealFails)
+		}
 		if err := rt.Close(); err != nil {
 			return err
 		}

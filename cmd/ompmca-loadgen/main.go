@@ -1,0 +1,587 @@
+// Command ompmca-loadgen drives an ompmca-serve instance with thousands
+// of concurrent submitters across multiple tenants and asserts the job
+// service's contracts from the outside:
+//
+//   - every accepted job returns its exact expected result — including
+//     jobs in flight while a domain is drained and readmitted (-fault);
+//   - quotas are enforced: an over-quota burst is refused with HTTP 429
+//     plus a Retry-After header and never wedges the fabric (the probe
+//     phase);
+//   - dispatch is weighted-fair: under sustained contention every
+//     tenant's completion share stays within bounds of its priority
+//     weight share (the fairness phase);
+//   - nothing is lost: at the end the server's own counters must show
+//     zero failed and zero unaccounted jobs.
+//
+// Exit status is nonzero if any assertion fails or the -timeout expires.
+//
+//	ompmca-serve &
+//	ompmca-loadgen -submitters 1000 -jobs 2 -fault
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"openmpmca"
+	"openmpmca/internal/jobservice"
+)
+
+type tenantFlags []openmpmca.Tenant
+
+func (f *tenantFlags) String() string { return fmt.Sprintf("%d tenants", len(*f)) }
+
+func (f *tenantFlags) Set(spec string) error {
+	t, err := jobservice.ParseTenant(spec)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, t)
+	return nil
+}
+
+// gen is the load generator's shared state.
+type gen struct {
+	base    string
+	client  *http.Client
+	tenants []openmpmca.Tenant
+	ctx     context.Context
+
+	useOffload bool
+
+	retries429 atomic.Uint64
+	accepted   atomic.Uint64
+	verified   atomic.Uint64
+	recovered  atomic.Uint64
+	failures   atomic.Uint64
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ompmca-loadgen: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "ompmca-serve base URL")
+		submitters  = flag.Int("submitters", 1000, "concurrent submitter goroutines across all tenants")
+		jobsPerSub  = flag.Int("jobs", 2, "jobs each submitter runs to completion")
+		timeout     = flag.Duration("timeout", 3*time.Minute, "overall deadline; expiry is a failure")
+		fault       = flag.Bool("fault", false, "drain and readmit a fabric domain mid-run")
+		faultDomain = flag.Int("fault-domain", 1, "fabric domain -fault drains")
+		fairnessMin = flag.Float64("fairness-min", 0.2, "min completion share as a fraction of weight share (0 skips the fairness phase)")
+		quotaProbe  = flag.Bool("quota-probe", true, "burst each tenant over quota and require 429 + Retry-After")
+		useOffload  = flag.Bool("offload", true, "include parallel_for (vecsum) jobs in the mix")
+		maxConns    = flag.Int("max-conns", 256, "HTTP connection cap toward the server")
+		tenants     tenantFlags
+	)
+	flag.Var(&tenants, "tenant", "tenant spec name:key:quota:priority[:admin] (repeatable; default: demo tenants)")
+	flag.Parse()
+
+	if len(tenants) == 0 {
+		tenants = jobservice.DemoTenants()
+	}
+	if len(tenants) < 3 {
+		return fmt.Errorf("need at least 3 tenants for a meaningful run, got %d", len(tenants))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	g := &gen{
+		base: strings.TrimRight(*addr, "/"),
+		client: &http.Client{Transport: &http.Transport{
+			MaxConnsPerHost:     *maxConns,
+			MaxIdleConnsPerHost: *maxConns,
+		}},
+		tenants:    tenants,
+		ctx:        ctx,
+		useOffload: *useOffload,
+	}
+
+	if err := g.waitReady(15 * time.Second); err != nil {
+		return err
+	}
+	before, err := g.stats()
+	if err != nil {
+		return err
+	}
+	if before.Service == nil {
+		return fmt.Errorf("server stats carry no service section")
+	}
+
+	if *quotaProbe {
+		for _, t := range tenants {
+			if err := g.probeQuota(t); err != nil {
+				return fmt.Errorf("quota probe (%s): %w", t.Name, err)
+			}
+		}
+		log.Printf("quota probe: every tenant refused over quota with 429 + Retry-After")
+	}
+
+	var faultErr error
+	faultDone := make(chan struct{})
+	if *fault {
+		admin := adminTenant(tenants)
+		if admin == nil {
+			return fmt.Errorf("-fault needs an admin tenant")
+		}
+		go func() {
+			defer close(faultDone)
+			faultErr = g.injectFault(*admin, *faultDomain)
+		}()
+	} else {
+		close(faultDone)
+	}
+
+	total := *submitters * *jobsPerSub
+	log.Printf("main load: %d submitters × %d jobs across %d tenants (%d jobs total)",
+		*submitters, *jobsPerSub, len(tenants), total)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for si := 0; si < *submitters; si++ {
+		wg.Add(1)
+		go func(si int) {
+			defer wg.Done()
+			t := g.tenants[si%len(g.tenants)]
+			rng := rand.New(rand.NewSource(int64(si)))
+			for k := 0; k < *jobsPerSub; k++ {
+				if g.ctx.Err() != nil {
+					return
+				}
+				if err := g.runJob(t, si**jobsPerSub+k, rng); err != nil {
+					g.failures.Add(1)
+					log.Printf("FAIL [%s] %v", t.Name, err)
+				}
+			}
+		}(si)
+	}
+	wg.Wait()
+	<-faultDone
+	if g.ctx.Err() != nil {
+		return fmt.Errorf("deadline expired after %v: %d/%d jobs verified", *timeout, g.verified.Load(), total)
+	}
+	if faultErr != nil {
+		return fmt.Errorf("fault injection: %w", faultErr)
+	}
+	log.Printf("main load: %d accepted, %d verified exact (%d recovered from domain loss), %d retries on 429, %v",
+		g.accepted.Load(), g.verified.Load(), g.recovered.Load(), g.retries429.Load(), time.Since(start).Round(time.Millisecond))
+
+	if *fairnessMin > 0 {
+		if err := g.checkFairness(*fairnessMin); err != nil {
+			return fmt.Errorf("fairness: %w", err)
+		}
+	}
+
+	after, err := g.stats()
+	if err != nil {
+		return err
+	}
+	svc := after.Service
+	dF, dA, dC := svc.Failed-before.Service.Failed, svc.Accepted-before.Service.Accepted,
+		svc.Completed-before.Service.Completed+svc.Canceled-before.Service.Canceled
+	if dF != 0 {
+		return fmt.Errorf("server reports %d failed jobs", dF)
+	}
+	if dA != dC || svc.Queued != 0 || svc.Running != 0 {
+		return fmt.Errorf("lost jobs: accepted %d, settled %d, queued %d, running %d", dA, dC, svc.Queued, svc.Running)
+	}
+	if g.failures.Load() != 0 {
+		return fmt.Errorf("%d job assertions failed", g.failures.Load())
+	}
+	log.Printf("OK: %d jobs accepted server-side, %d settled, zero lost", dA, dC)
+	return nil
+}
+
+func adminTenant(ts []openmpmca.Tenant) *openmpmca.Tenant {
+	for i := range ts {
+		if ts[i].Admin {
+			return &ts[i]
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// HTTP plumbing.
+
+type envelope struct {
+	Type      string          `json:"type"`
+	Metadata  json.RawMessage `json:"metadata"`
+	Error     string          `json:"error"`
+	ErrorCode int             `json:"error_code"`
+}
+
+// call issues one request; out (when non-nil) receives the decoded
+// metadata. The Retry-After header value (seconds) is returned alongside.
+func (g *gen) call(method, path, key string, body, out any) (int, string, error) {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return 0, "", err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(g.ctx, method, g.base+path, rd)
+	if err != nil {
+		return 0, "", err
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	var env envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		return resp.StatusCode, "", fmt.Errorf("%s %s: bad envelope: %w", method, path, err)
+	}
+	if env.Type == "error" {
+		return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+	}
+	if out != nil {
+		if err := json.Unmarshal(env.Metadata, out); err != nil {
+			return resp.StatusCode, "", fmt.Errorf("%s %s: bad metadata: %w", method, path, err)
+		}
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+func (g *gen) waitReady(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		code, _, err := g.call(http.MethodGet, "/v1/ready", "", nil, nil)
+		if err == nil && code == http.StatusOK {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %v (last: code=%d err=%v)", g.base, d, code, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func (g *gen) stats() (openmpmca.Snapshot, error) {
+	var snap openmpmca.Snapshot
+	code, _, err := g.call(http.MethodGet, "/v1/stats", g.tenants[0].Key, nil, &snap)
+	if err != nil {
+		return snap, err
+	}
+	if code != http.StatusOK {
+		return snap, fmt.Errorf("stats: HTTP %d", code)
+	}
+	return snap, nil
+}
+
+type submitRequest struct {
+	Job  string `json:"job"`
+	Kind string `json:"kind,omitempty"`
+	Arg  []byte `json:"arg,omitempty"`
+	N    int    `json:"n,omitempty"`
+}
+
+// submit posts one job, retrying on 429 with the server's Retry-After
+// hint (capped, jittered). Returns the job ID.
+func (g *gen) submit(t openmpmca.Tenant, req submitRequest, rng *rand.Rand) (string, error) {
+	for {
+		var v jobservice.JobView
+		code, retryAfter, err := g.call(http.MethodPost, "/v1/jobs", t.Key, req, &v)
+		if err != nil {
+			return "", err
+		}
+		switch code {
+		case http.StatusAccepted:
+			g.accepted.Add(1)
+			return v.ID, nil
+		case http.StatusTooManyRequests:
+			g.retries429.Add(1)
+			backoff := time.Second
+			if retryAfter != "" {
+				var secs int
+				if _, err := fmt.Sscanf(retryAfter, "%d", &secs); err == nil && secs > 0 {
+					backoff = time.Duration(secs) * time.Second
+				}
+			}
+			if backoff > 2*time.Second {
+				backoff = 2 * time.Second
+			}
+			jitter := time.Duration(rng.Intn(50)) * time.Millisecond
+			select {
+			case <-time.After(backoff/4 + jitter):
+			case <-g.ctx.Done():
+				return "", g.ctx.Err()
+			}
+		default:
+			return "", fmt.Errorf("submit %q: HTTP %d", req.Job, code)
+		}
+	}
+}
+
+// await long-polls a job to settlement.
+func (g *gen) await(t openmpmca.Tenant, id string) (jobservice.JobView, error) {
+	for {
+		var v jobservice.JobView
+		code, _, err := g.call(http.MethodGet, "/v1/jobs/"+id+"?wait=2s", t.Key, nil, &v)
+		if err != nil {
+			return v, err
+		}
+		if code != http.StatusOK {
+			return v, fmt.Errorf("job %s: HTTP %d", id, code)
+		}
+		switch v.Status {
+		case jobservice.StatusSucceeded, jobservice.StatusFailed, jobservice.StatusCanceled:
+			return v, nil
+		}
+		if g.ctx.Err() != nil {
+			return v, g.ctx.Err()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Phases.
+
+// runJob submits workload #idx and asserts its exact result.
+func (g *gen) runJob(t openmpmca.Tenant, idx int, rng *rand.Rand) error {
+	var req submitRequest
+	var want []byte
+	mix := 4
+	if g.useOffload {
+		mix = 5
+	}
+	switch idx % mix {
+	case 0:
+		lo, hi := int64(-(idx % 50)), int64(idx%1000)
+		req = submitRequest{Job: jobservice.JobSum, Arg: jobservice.I64Pair(lo, hi)}
+		want = jobservice.SumExpected(lo, hi)
+	case 1:
+		n := uint64(10 + idx%40)
+		req = submitRequest{Job: jobservice.JobFib, Arg: jobservice.U64(n)}
+		want = jobservice.FibExpected(n)
+	case 2:
+		payload := []byte(fmt.Sprintf("payload-%d", idx))
+		req = submitRequest{Job: jobservice.JobEcho, Arg: payload}
+		want = payload
+	case 3:
+		ns := uint64(5 * time.Millisecond)
+		req = submitRequest{Job: jobservice.JobSpin, Arg: jobservice.U64(ns)}
+		want = jobservice.U64(ns)
+	case 4:
+		n := 100 + idx%900
+		req = submitRequest{Job: jobservice.KernelVecSum, Kind: jobservice.KindParallelFor, N: n}
+		want = jobservice.VecSumExpected(n)
+	}
+	id, err := g.submit(t, req, rng)
+	if err != nil {
+		return err
+	}
+	v, err := g.await(t, id)
+	if err != nil {
+		return err
+	}
+	if v.Status != jobservice.StatusSucceeded {
+		return fmt.Errorf("job %s (%s) settled %s: %s", id, req.Job, v.Status, v.Error)
+	}
+	if !bytes.Equal(v.Result, want) {
+		return fmt.Errorf("job %s (%s): result %x, want %x", id, req.Job, v.Result, want)
+	}
+	if v.Recovered {
+		g.recovered.Add(1)
+	}
+	g.verified.Add(1)
+	return nil
+}
+
+// probeQuota deterministically bursts one idle tenant to its quota with
+// slow jobs, requires the next submit to bounce with 429 + Retry-After,
+// then drains the burst and verifies every accepted job's result.
+func (g *gen) probeQuota(t openmpmca.Tenant) error {
+	if t.Quota > 128 {
+		log.Printf("quota probe: skipping %s (quota %d too large to burst)", t.Name, t.Quota)
+		return nil
+	}
+	rng := rand.New(rand.NewSource(1))
+	spin := jobservice.U64(uint64(300 * time.Millisecond))
+	ids := make([]string, 0, t.Quota)
+	for i := 0; i < t.Quota; i++ {
+		var v jobservice.JobView
+		code, _, err := g.call(http.MethodPost, "/v1/jobs", t.Key,
+			submitRequest{Job: jobservice.JobSpin, Arg: spin}, &v)
+		if err != nil {
+			return err
+		}
+		if code != http.StatusAccepted {
+			return fmt.Errorf("burst submit %d/%d: HTTP %d", i+1, t.Quota, code)
+		}
+		ids = append(ids, v.ID)
+	}
+	code, retryAfter, err := g.call(http.MethodPost, "/v1/jobs", t.Key,
+		submitRequest{Job: jobservice.JobEcho}, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusTooManyRequests {
+		return fmt.Errorf("submit over quota: HTTP %d, want 429", code)
+	}
+	if retryAfter == "" {
+		return fmt.Errorf("429 carried no Retry-After header")
+	}
+	for _, id := range ids {
+		v, err := g.await(t, id)
+		if err != nil {
+			return err
+		}
+		if v.Status != jobservice.StatusSucceeded || !bytes.Equal(v.Result, spin) {
+			return fmt.Errorf("burst job %s settled %s (result %x)", id, v.Status, v.Result)
+		}
+	}
+	// Capacity freed: the tenant is welcome again.
+	id, err := g.submit(t, submitRequest{Job: jobservice.JobEcho, Arg: []byte("after")}, rng)
+	if err != nil {
+		return err
+	}
+	if v, err := g.await(t, id); err != nil || v.Status != jobservice.StatusSucceeded {
+		return fmt.Errorf("post-burst submit: %v (status %s)", err, v.Status)
+	}
+	return nil
+}
+
+// injectFault waits for the run to be well underway, drains a fabric
+// domain through the loss path, verifies the fleet reports it dead,
+// then readmits it — all via the admin API while submitters hammer the
+// service.
+func (g *gen) injectFault(admin openmpmca.Tenant, domain int) error {
+	for {
+		if g.ctx.Err() != nil {
+			return g.ctx.Err()
+		}
+		if g.verified.Load() >= 50 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	path := fmt.Sprintf("/v1/domains/%d/drain", domain)
+	code, _, err := g.call(http.MethodPost, path, admin.Key, nil, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("drain: HTTP %d", code)
+	}
+	log.Printf("fault: drained fabric domain %d mid-run", domain)
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		var doms jobservice.DomainsView
+		if _, _, err := g.call(http.MethodGet, "/v1/domains", admin.Key, nil, &doms); err != nil {
+			return err
+		}
+		if domain < len(doms.Fabric) && !doms.Fabric[domain].Live {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("domain %d still live 15s after drain", domain)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(300 * time.Millisecond) // let the degraded fleet absorb load
+	code, _, err = g.call(http.MethodPost, fmt.Sprintf("/v1/domains/%d/readmit", domain), admin.Key, nil, nil)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("readmit: HTTP %d", code)
+	}
+	log.Printf("fault: readmitted fabric domain %d", domain)
+	return nil
+}
+
+// checkFairness saturates every tenant simultaneously with uniform slow
+// jobs, then compares each tenant's share of the completions against its
+// weight share: share/weightShare must stay >= min for every tenant.
+func (g *gen) checkFairness(min float64) error {
+	before, err := g.stats()
+	if err != nil {
+		return err
+	}
+	spinNs := uint64(20 * time.Millisecond)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for ti, t := range g.tenants {
+		for s := 0; s < t.Quota; s++ {
+			wg.Add(1)
+			go func(t openmpmca.Tenant, seed int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(seed)))
+				for {
+					select {
+					case <-stop:
+						return
+					case <-g.ctx.Done():
+						return
+					default:
+					}
+					id, err := g.submit(t, submitRequest{Job: jobservice.JobSpin, Arg: jobservice.U64(spinNs)}, rng)
+					if err != nil {
+						return
+					}
+					if _, err := g.await(t, id); err != nil {
+						return
+					}
+				}
+			}(t, ti*1000+s)
+		}
+	}
+	time.Sleep(2 * time.Second)
+	close(stop)
+	wg.Wait()
+	after, err := g.stats()
+	if err != nil {
+		return err
+	}
+
+	perTenant := func(s openmpmca.Snapshot) map[string]uint64 {
+		m := make(map[string]uint64)
+		for _, ts := range s.Service.Tenants {
+			m[ts.Name] = ts.Completed
+		}
+		return m
+	}
+	b, a := perTenant(before), perTenant(after)
+	var totalDelta, totalWeight float64
+	for _, t := range g.tenants {
+		totalDelta += float64(a[t.Name] - b[t.Name])
+		totalWeight += float64(t.Priority.Weight())
+	}
+	if totalDelta < 100 {
+		log.Printf("fairness: only %.0f completions in the window; skipping the share check", totalDelta)
+		return nil
+	}
+	for _, t := range g.tenants {
+		share := float64(a[t.Name]-b[t.Name]) / totalDelta
+		weightShare := float64(t.Priority.Weight()) / totalWeight
+		ratio := share / weightShare
+		log.Printf("fairness: %-6s weight=%d share=%.3f weight-share=%.3f ratio=%.2f",
+			t.Name, t.Priority.Weight(), share, weightShare, ratio)
+		if ratio < min {
+			return fmt.Errorf("tenant %s starved: share %.3f < %.2f × weight share %.3f",
+				t.Name, share, min, weightShare)
+		}
+	}
+	return nil
+}

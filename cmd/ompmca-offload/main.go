@@ -96,7 +96,7 @@ func run(n, domains int, chunkDelay time.Duration, out *log.Logger) error {
 	}
 	rec := trace.NewRecorder(8192)
 	o, err := openmpmca.NewOffload(reg,
-		openmpmca.WithDomains(domains),
+		openmpmca.WithOffloadDomains(domains),
 		openmpmca.WithOffloadEventSink(rec),
 	)
 	if err != nil {

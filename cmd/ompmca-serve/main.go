@@ -1,0 +1,151 @@
+// Command ompmca-serve boots the multi-tenant job service: a simulated
+// T4240RDB board partitioned into a host plus worker domains, an MTAPI
+// task fabric and an MCAPI offload cluster over it, and the HTTP/JSON
+// front end of internal/jobservice on top — turning the one-shot demo
+// binaries into a persistent daemon tenants share.
+//
+//	ompmca-serve -addr :8080 -domains 3 -offload-domains 2
+//
+// With no -tenant flags the demo tenants are installed (alice: admin,
+// high priority; bob: normal; carol: low) and printed at startup. The
+// built-in demo jobs (sum, fib, echo, spin) and the vecsum parallel-for
+// kernel are always registered:
+//
+//	curl -s -H 'X-API-Key: key-bob' -d '{"job":"fib","arg":"AAAAAAAAACg="}' \
+//	    localhost:8080/v1/jobs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"openmpmca"
+	"openmpmca/internal/jobservice"
+)
+
+// tenantFlags collects repeated -tenant specs.
+type tenantFlags []openmpmca.Tenant
+
+func (f *tenantFlags) String() string { return fmt.Sprintf("%d tenants", len(*f)) }
+
+func (f *tenantFlags) Set(spec string) error {
+	t, err := jobservice.ParseTenant(spec)
+	if err != nil {
+		return err
+	}
+	*f = append(*f, t)
+	return nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ompmca-serve: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address")
+		domains    = flag.Int("domains", 3, "fabric worker domains")
+		offDomains = flag.Int("offload-domains", 2, "offload worker domains (0 disables parallel_for jobs)")
+		heartbeat  = flag.Duration("heartbeat", 25*time.Millisecond, "domain health ping period")
+		dispatch   = flag.Int("dispatch", 64, "dispatch window: jobs inside the fabric/offloader at once")
+		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		tenants    tenantFlags
+	)
+	flag.Var(&tenants, "tenant", "tenant spec name:key:quota:priority[:admin] (repeatable; default: demo tenants)")
+	flag.Parse()
+
+	if len(tenants) == 0 {
+		tenants = jobservice.DemoTenants()
+		log.Print("no -tenant flags: installing demo tenants")
+		for _, t := range tenants {
+			role := ""
+			if t.Admin {
+				role = " admin"
+			}
+			log.Printf("  %-6s key=%s quota=%d priority=%s%s", t.Name, t.Key, t.Quota, t.Priority, role)
+		}
+	}
+
+	jobs := openmpmca.NewJobRegistry()
+	if err := jobservice.RegisterBuiltinJobs(jobs); err != nil {
+		return err
+	}
+	fab, err := openmpmca.NewTaskFabric(jobs,
+		openmpmca.WithFabricDomains(*domains),
+		openmpmca.WithFabricHeartbeat(*heartbeat),
+	)
+	if err != nil {
+		return err
+	}
+	defer fab.Close()
+
+	opts := []openmpmca.JobServiceOption{
+		openmpmca.WithServiceTenants(tenants...),
+		openmpmca.WithServiceDispatchWindow(*dispatch),
+		openmpmca.WithServiceRetryAfter(*retryAfter),
+	}
+	if *offDomains > 0 {
+		kernels := openmpmca.NewOffloadRegistry()
+		if err := jobservice.RegisterBuiltinKernels(kernels); err != nil {
+			return err
+		}
+		off, err := openmpmca.NewOffload(kernels,
+			openmpmca.WithOffloadDomains(*offDomains),
+			openmpmca.WithOffloadHeartbeat(*heartbeat),
+		)
+		if err != nil {
+			return err
+		}
+		defer off.Close()
+		opts = append(opts, openmpmca.WithServiceOffloader(off, kernels))
+	}
+
+	svc, err := openmpmca.NewJobService(fab, jobs, opts...)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: svc}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	// The readiness line CI and scripts wait for; keep its shape stable.
+	fmt.Printf("ompmca-serve: listening on http://%s (%d fabric domains, %d offload domains)\n",
+		ln.Addr(), *domains, *offDomains)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shCtx); err != nil {
+			return err
+		}
+		return nil
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

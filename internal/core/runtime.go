@@ -40,11 +40,26 @@ type Stats struct {
 	Panics      atomic.Uint64 // region-body panics contained per thread
 }
 
-// StatsSnapshot is a point-in-time copy of Stats.
+// StatsSnapshot is a point-in-time copy of Stats. It is JSON-taggable:
+// the job service's /v1/stats endpoint, ompmca-info -stats -json and
+// ompmca-bench -stats all serialize it as the "core" section of the
+// unified openmpmca.Snapshot.
 type StatsSnapshot struct {
-	Regions, Threads, Barriers, Chunks, Tasks, Crits, Singles uint64
-	LocalPops, Steals, StealFails                             uint64
-	LeaseHits, LeaseMisses, Saturations, Cancels, Panics      uint64
+	Regions     uint64 `json:"regions"`
+	Threads     uint64 `json:"threads"`
+	Barriers    uint64 `json:"barriers"`
+	Chunks      uint64 `json:"chunks"`
+	Tasks       uint64 `json:"tasks"`
+	Crits       uint64 `json:"crits"`
+	Singles     uint64 `json:"singles"`
+	LocalPops   uint64 `json:"local_pops"`
+	Steals      uint64 `json:"steals"`
+	StealFails  uint64 `json:"steal_fails"`
+	LeaseHits   uint64 `json:"lease_hits"`
+	LeaseMisses uint64 `json:"lease_misses"`
+	Saturations uint64 `json:"saturations"`
+	Cancels     uint64 `json:"cancels"`
+	Panics      uint64 `json:"panics"`
 }
 
 // Snapshot copies the counters.

@@ -1,0 +1,36 @@
+package jobservice
+
+import (
+	"openmpmca/internal/core"
+	"openmpmca/internal/offload"
+	"openmpmca/internal/taskfabric"
+)
+
+// Snapshot is the unified stats umbrella every surface serializes: the
+// job service's GET /v1/stats, ompmca-info -stats -json and
+// ompmca-bench -stats all emit this one shape, replacing the three
+// divergent ad-hoc dumps that predated it. Sections a producer cannot
+// fill are omitted from the JSON rather than zeroed, so a consumer can
+// tell "no offloader wired" from "offloader idle".
+type Snapshot struct {
+	Core    *core.StatsSnapshot    `json:"core,omitempty"`    // host runtime scheduler counters
+	Offload *offload.StatsSnapshot `json:"offload,omitempty"` // parallel-for offload counters
+	Fabric  *taskfabric.Stats      `json:"fabric,omitempty"`  // task-fabric counters
+	Service *ServiceStats          `json:"service,omitempty"` // job-service admission/dispatch counters
+}
+
+// ServiceStats is the job service's own section of Snapshot: admission,
+// dispatch and settlement counters plus the live queue state, overall
+// and per tenant.
+type ServiceStats struct {
+	Accepted   uint64        `json:"accepted"`   // jobs admitted (202)
+	Rejected   uint64        `json:"rejected"`   // jobs refused over quota (429)
+	Dispatched uint64        `json:"dispatched"` // jobs handed to the fabric/offloader
+	Completed  uint64        `json:"completed"`  // jobs settled with a result
+	Failed     uint64        `json:"failed"`     // jobs settled with an error
+	Canceled   uint64        `json:"canceled"`   // jobs canceled before dispatch
+	Recovered  uint64        `json:"recovered"`  // completions that survived a domain loss
+	Queued     int           `json:"queued"`     // live: admitted, waiting for a slot
+	Running    int           `json:"running"`    // live: dispatched, not settled
+	Tenants    []TenantStats `json:"tenants"`
+}

@@ -1,0 +1,161 @@
+package jobservice
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"openmpmca/internal/core"
+)
+
+// Priority is a tenant's service class. It maps to a weight in the
+// weighted-fair dispatcher: under contention a high tenant is dequeued
+// four times for every one dequeue of a low tenant.
+type Priority string
+
+// Tenant service classes.
+const (
+	PriorityHigh   Priority = "high"
+	PriorityNormal Priority = "normal"
+	PriorityLow    Priority = "low"
+)
+
+// Weight returns the fair-share weight of the class (high 4, normal 2,
+// low 1; unknown classes are invalid and rejected at construction).
+func (p Priority) Weight() int {
+	switch p {
+	case PriorityHigh:
+		return 4
+	case PriorityNormal:
+		return 2
+	case PriorityLow:
+		return 1
+	}
+	return 0
+}
+
+// Tenant is one API-key principal of the job service. Quota bounds the
+// tenant's jobs in flight — admitted but not yet settled, queued and
+// running alike — and further submissions are refused with HTTP 429
+// until a slot frees. Admin additionally unlocks the domain
+// drain/readmit endpoints.
+type Tenant struct {
+	Name     string   `json:"name"`
+	Key      string   `json:"-"` // API key; never serialized
+	Quota    int      `json:"quota"`
+	Priority Priority `json:"priority"`
+	Admin    bool     `json:"admin,omitempty"`
+}
+
+func (t Tenant) validate() error {
+	if strings.TrimSpace(t.Name) == "" {
+		return fmt.Errorf("%w: jobservice: tenant with empty name", core.ErrInvalidOption)
+	}
+	if t.Key == "" {
+		return fmt.Errorf("%w: jobservice: tenant %q has no API key", core.ErrInvalidOption, t.Name)
+	}
+	if t.Quota < 1 {
+		return fmt.Errorf("%w: jobservice: tenant %q quota %d: want >= 1", core.ErrInvalidOption, t.Name, t.Quota)
+	}
+	if t.Priority.Weight() == 0 {
+		return fmt.Errorf("%w: jobservice: tenant %q priority %q: want high|normal|low", core.ErrInvalidOption, t.Name, t.Priority)
+	}
+	return nil
+}
+
+// ParseTenant parses the "name:key:quota:priority[:admin]" spec the
+// command-line tools (ompmca-serve -tenant, ompmca-loadgen -tenant)
+// share.
+func ParseTenant(spec string) (Tenant, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 && len(parts) != 5 {
+		return Tenant{}, fmt.Errorf("%w: jobservice: tenant spec %q: want name:key:quota:priority[:admin]",
+			core.ErrInvalidOption, spec)
+	}
+	quota, err := strconv.Atoi(parts[2])
+	if err != nil {
+		return Tenant{}, fmt.Errorf("%w: jobservice: tenant spec %q: bad quota: %v",
+			core.ErrInvalidOption, spec, err)
+	}
+	t := Tenant{Name: parts[0], Key: parts[1], Quota: quota, Priority: Priority(parts[3])}
+	if len(parts) == 5 {
+		if parts[4] != "admin" {
+			return Tenant{}, fmt.Errorf("%w: jobservice: tenant spec %q: trailing field must be \"admin\"",
+				core.ErrInvalidOption, spec)
+		}
+		t.Admin = true
+	}
+	if err := t.validate(); err != nil {
+		return Tenant{}, err
+	}
+	return t, nil
+}
+
+// DemoTenants is the out-of-the-box tenant set ompmca-serve boots with
+// when no -tenant flags are given, and the set ompmca-loadgen drives by
+// default; the keys are demo fixtures for the simulated board, not
+// secrets.
+func DemoTenants() []Tenant {
+	return []Tenant{
+		{Name: "alice", Key: "key-alice", Quota: 64, Priority: PriorityHigh, Admin: true},
+		{Name: "bob", Key: "key-bob", Quota: 32, Priority: PriorityNormal},
+		{Name: "carol", Key: "key-carol", Quota: 8, Priority: PriorityLow},
+	}
+}
+
+// tenantState is the server's live record of one tenant: its static
+// config, the FIFO of admitted-but-undispatched jobs, the in-flight
+// count the quota is enforced against, and the smooth-WRR credit the
+// fair dispatcher cycles.
+type tenantState struct {
+	Tenant
+	weight int
+
+	// Guarded by Server.mu.
+	queue    []*jobRec
+	inflight int
+	wrr      int
+	jobs     []string // every job ID ever admitted, submission order
+
+	accepted  atomic.Uint64
+	rejected  atomic.Uint64
+	completed atomic.Uint64
+}
+
+// TenantStats is one tenant's section of ServiceStats.
+type TenantStats struct {
+	Name      string   `json:"name"`
+	Priority  Priority `json:"priority"`
+	Weight    int      `json:"weight"`
+	Quota     int      `json:"quota"`
+	InFlight  int      `json:"in_flight"`
+	Queued    int      `json:"queued"`
+	Accepted  uint64   `json:"accepted"`
+	Rejected  uint64   `json:"rejected"`
+	Completed uint64   `json:"completed"`
+}
+
+// nextTenant picks the tenant to dequeue from next using smooth weighted
+// round-robin over the tenants with queued jobs: each candidate's credit
+// grows by its weight, the highest credit wins and pays back the total.
+// Over a contended interval every tenant's dequeue share converges to
+// weight/Σweights, with no tenant ever starved. Caller holds Server.mu.
+func (s *Server) nextTenant() *tenantState {
+	total := 0
+	var best *tenantState
+	for _, t := range s.order {
+		if len(t.queue) == 0 {
+			continue
+		}
+		total += t.weight
+		t.wrr += t.weight
+		if best == nil || t.wrr > best.wrr {
+			best = t
+		}
+	}
+	if best != nil {
+		best.wrr -= total
+	}
+	return best
+}

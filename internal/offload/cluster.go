@@ -60,6 +60,7 @@ func buildCluster(cfg *config, reg *Registry) (*cluster, error) {
 		}
 		l := &link{
 			d:      d,
+			cpus:   nl.CPUs,
 			cmd:    nl.CmdSend,
 			res:    nl.ResRecv,
 			hbTo:   nl.HBEp,

@@ -25,6 +25,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"openmpmca/internal/core"
 	"openmpmca/internal/mcapi"
 	"openmpmca/internal/perfmodel"
 	"openmpmca/internal/platform"
@@ -81,7 +82,7 @@ func defaultConfig() config {
 func WithDomains(n int) Option {
 	return func(c *config) error {
 		if n < 1 || n > 64 {
-			return fmt.Errorf("offload: WithDomains(%d): want 1..64", n)
+			return fmt.Errorf("%w: offload: WithDomains(%d): want 1..64", core.ErrInvalidOption, n)
 		}
 		c.domains = n
 		return nil
@@ -92,7 +93,7 @@ func WithDomains(n int) Option {
 func WithBoard(b *platform.Board) Option {
 	return func(c *config) error {
 		if b == nil {
-			return fmt.Errorf("offload: WithBoard(nil)")
+			return fmt.Errorf("%w: offload: WithBoard(nil)", core.ErrInvalidOption)
 		}
 		c.board = b
 		return nil
@@ -104,7 +105,7 @@ func WithBoard(b *platform.Board) Option {
 func WithChunkIters(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
-			return fmt.Errorf("offload: WithChunkIters(%d): want >= 0", n)
+			return fmt.Errorf("%w: offload: WithChunkIters(%d): want >= 0", core.ErrInvalidOption, n)
 		}
 		c.chunkIters = n
 		return nil
@@ -116,7 +117,7 @@ func WithChunkIters(n int) Option {
 func WithChunkDeadline(d time.Duration) Option {
 	return func(c *config) error {
 		if d <= 0 {
-			return fmt.Errorf("offload: WithChunkDeadline(%v): want > 0", d)
+			return fmt.Errorf("%w: offload: WithChunkDeadline(%v): want > 0", core.ErrInvalidOption, d)
 		}
 		c.deadline = d
 		return nil
@@ -128,7 +129,7 @@ func WithChunkDeadline(d time.Duration) Option {
 func WithRetries(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
-			return fmt.Errorf("offload: WithRetries(%d): want >= 0", n)
+			return fmt.Errorf("%w: offload: WithRetries(%d): want >= 0", core.ErrInvalidOption, n)
 		}
 		c.retries = n
 		return nil
@@ -140,7 +141,7 @@ func WithRetries(n int) Option {
 func WithHeartbeat(period time.Duration) Option {
 	return func(c *config) error {
 		if period <= 0 {
-			return fmt.Errorf("offload: WithHeartbeat(%v): want > 0", period)
+			return fmt.Errorf("%w: offload: WithHeartbeat(%v): want > 0", core.ErrInvalidOption, period)
 		}
 		c.heartbeat = period
 		return nil
@@ -152,7 +153,7 @@ func WithHeartbeat(period time.Duration) Option {
 func WithInflight(n int) Option {
 	return func(c *config) error {
 		if n < 1 || n > 32 {
-			return fmt.Errorf("offload: WithInflight(%d): want 1..32", n)
+			return fmt.Errorf("%w: offload: WithInflight(%d): want 1..32", core.ErrInvalidOption, n)
 		}
 		c.inflight = n
 		return nil
@@ -195,6 +196,7 @@ const ewmaAlpha = 0.3
 // link is the host's view of one worker domain.
 type link struct {
 	d      *domain
+	cpus   int                    // hardware threads in the domain's partition
 	cmd    *mcapi.PktSendHandle   // chunk descriptors out
 	res    *mcapi.PktRecvHandle   // results back
 	hbTo   *mcapi.Endpoint        // worker's ping endpoint
@@ -217,17 +219,31 @@ type stats struct {
 	readmissions     atomic.Uint64
 }
 
-// StatsSnapshot is a point-in-time copy of the offload counters.
+// StatsSnapshot is a point-in-time copy of the offload counters. It is
+// JSON-taggable: it serializes as the "offload" section of the unified
+// openmpmca.Snapshot.
 type StatsSnapshot struct {
-	Regions          uint64 // ParallelFor regions run
-	RemoteChunks     uint64 // chunks completed by worker domains
-	LocalChunks      uint64 // chunks completed by the host
-	Resends          uint64 // chunk re-dispatches (deadline or domain loss)
-	DomainsLost      uint64 // worker domains declared dead
-	Heartbeats       uint64 // pongs received
-	PingDrops        uint64 // pings dropped by a full send queue
-	ChunkAdaptations uint64 // observed service times folded into the weights
-	Readmissions     uint64 // lost domains readmitted after restart
+	Regions          uint64 `json:"regions"`           // ParallelFor regions run
+	RemoteChunks     uint64 `json:"remote_chunks"`     // chunks completed by worker domains
+	LocalChunks      uint64 `json:"local_chunks"`      // chunks completed by the host
+	Resends          uint64 `json:"resends"`           // chunk re-dispatches (deadline or domain loss)
+	DomainsLost      uint64 `json:"domains_lost"`      // worker domains declared dead
+	Heartbeats       uint64 `json:"heartbeats"`        // pongs received
+	PingDrops        uint64 `json:"ping_drops"`        // pings dropped by a full send queue
+	ChunkAdaptations uint64 `json:"chunk_adaptations"` // observed service times folded into the weights
+	Readmissions     uint64 `json:"readmissions"`      // lost domains readmitted after restart
+}
+
+// DomainInfo describes one worker domain for introspection surfaces (the
+// job service's GET /v1/domains): identity, liveness, and the adaptive
+// EWMA service weight the scheduler balances with.
+type DomainInfo struct {
+	ID          int     `json:"id"`   // 0-based link index
+	Name        string  `json:"name"` // hypervisor partition name
+	CPUs        int     `json:"cpus"`
+	Live        bool    `json:"live"`
+	EWMAIterNs  float64 `json:"ewma_iter_ns"` // observed ns per iteration, 0 until primed
+	EWMASamples uint64  `json:"ewma_samples"`
 }
 
 // arrival is one decoded result handed from a receiver to the scheduler.
@@ -260,7 +276,7 @@ type Offloader struct {
 // runtimes, wires the MCAPI fabric and starts health monitoring.
 func New(reg *Registry, opts ...Option) (*Offloader, error) {
 	if reg == nil {
-		return nil, fmt.Errorf("offload: nil registry")
+		return nil, fmt.Errorf("%w: offload: nil registry", core.ErrInvalidOption)
 	}
 	cfg := defaultConfig()
 	for _, opt := range opts {
@@ -320,6 +336,29 @@ func (o *Offloader) Stats() StatsSnapshot {
 		ChunkAdaptations: o.st.chunkAdaptations.Load(),
 		Readmissions:     o.st.readmissions.Load(),
 	}
+}
+
+// DomainInfos snapshots every worker domain's identity, liveness and
+// adaptive service weight.
+func (o *Offloader) DomainInfos() []DomainInfo {
+	out := make([]DomainInfo, len(o.cl.links))
+	for i, l := range o.cl.links {
+		ns, _ := l.ewma.Value()
+		out[i] = DomainInfo{
+			ID:          i,
+			Name:        l.d.name,
+			CPUs:        l.cpus,
+			Live:        !l.health.Lost(),
+			EWMAIterNs:  ns,
+			EWMASamples: l.ewma.Samples(),
+		}
+	}
+	return out
+}
+
+// HostStats snapshots the host runtime's scheduler counters.
+func (o *Offloader) HostStats() core.StatsSnapshot {
+	return o.cl.host.Stats().Snapshot()
 }
 
 // KillDomain crashes worker domain i (0-based) for fault injection. The

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"openmpmca/internal/core"
 	"openmpmca/internal/mcapi"
 	"openmpmca/internal/offload"
 	"openmpmca/internal/perfmodel"
@@ -102,7 +103,7 @@ func defaultConfig() config {
 func WithDomains(n int) Option {
 	return func(c *config) error {
 		if n < 1 || n > 64 {
-			return fmt.Errorf("taskfabric: WithDomains(%d): want 1..64", n)
+			return fmt.Errorf("%w: taskfabric: WithDomains(%d): want 1..64", core.ErrInvalidOption, n)
 		}
 		c.domains = n
 		return nil
@@ -113,7 +114,7 @@ func WithDomains(n int) Option {
 func WithBoard(b *platform.Board) Option {
 	return func(c *config) error {
 		if b == nil {
-			return fmt.Errorf("taskfabric: WithBoard(nil)")
+			return fmt.Errorf("%w: taskfabric: WithBoard(nil)", core.ErrInvalidOption)
 		}
 		c.board = b
 		return nil
@@ -125,7 +126,7 @@ func WithBoard(b *platform.Board) Option {
 func WithTaskDeadline(d time.Duration) Option {
 	return func(c *config) error {
 		if d <= 0 {
-			return fmt.Errorf("taskfabric: WithTaskDeadline(%v): want > 0", d)
+			return fmt.Errorf("%w: taskfabric: WithTaskDeadline(%v): want > 0", core.ErrInvalidOption, d)
 		}
 		c.deadline = d
 		return nil
@@ -137,7 +138,7 @@ func WithTaskDeadline(d time.Duration) Option {
 func WithRetries(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
-			return fmt.Errorf("taskfabric: WithRetries(%d): want >= 0", n)
+			return fmt.Errorf("%w: taskfabric: WithRetries(%d): want >= 0", core.ErrInvalidOption, n)
 		}
 		c.retries = n
 		return nil
@@ -149,7 +150,7 @@ func WithRetries(n int) Option {
 func WithHeartbeat(period time.Duration) Option {
 	return func(c *config) error {
 		if period <= 0 {
-			return fmt.Errorf("taskfabric: WithHeartbeat(%v): want > 0", period)
+			return fmt.Errorf("%w: taskfabric: WithHeartbeat(%v): want > 0", core.ErrInvalidOption, period)
 		}
 		c.heartbeat = period
 		return nil
@@ -161,7 +162,7 @@ func WithHeartbeat(period time.Duration) Option {
 func WithInflight(n int) Option {
 	return func(c *config) error {
 		if n < 1 || n > 64 {
-			return fmt.Errorf("taskfabric: WithInflight(%d): want 1..64", n)
+			return fmt.Errorf("%w: taskfabric: WithInflight(%d): want 1..64", core.ErrInvalidOption, n)
 		}
 		c.inflight = n
 		return nil
@@ -173,7 +174,7 @@ func WithInflight(n int) Option {
 func WithDomainWorkers(n int) Option {
 	return func(c *config) error {
 		if n < 0 || n > 64 {
-			return fmt.Errorf("taskfabric: WithDomainWorkers(%d): want 0..64", n)
+			return fmt.Errorf("%w: taskfabric: WithDomainWorkers(%d): want 0..64", core.ErrInvalidOption, n)
 		}
 		c.mtWorkers = n
 		return nil
@@ -215,18 +216,20 @@ type counters struct {
 	pingDrops    atomic.Uint64
 }
 
-// Stats is a point-in-time copy of the fabric counters.
+// Stats is a point-in-time copy of the fabric counters. It is
+// JSON-taggable: it serializes as the "fabric" section of the unified
+// openmpmca.Snapshot.
 type Stats struct {
-	Submitted    uint64 // tasks accepted by SubmitJob
-	RemoteTasks  uint64 // tasks completed by worker domains
-	LocalTasks   uint64 // tasks completed by the host's local executor
-	Resends      uint64 // task re-dispatches (deadline or domain loss)
-	Steals       uint64 // queued tasks migrated between domains
-	Canceled     uint64 // tasks canceled via Group.Cancel
-	DomainsLost  uint64 // worker domains declared dead
-	Readmissions uint64 // lost domains readmitted after restart
-	Heartbeats   uint64 // pongs received
-	PingDrops    uint64 // pings dropped by a full send queue
+	Submitted    uint64 `json:"submitted"`    // tasks accepted by SubmitJob
+	RemoteTasks  uint64 `json:"remote_tasks"` // tasks completed by worker domains
+	LocalTasks   uint64 `json:"local_tasks"`  // tasks completed by the host's local executor
+	Resends      uint64 `json:"resends"`      // task re-dispatches (deadline or domain loss)
+	Steals       uint64 `json:"steals"`       // queued tasks migrated between domains
+	Canceled     uint64 `json:"canceled"`     // tasks canceled via Group.Cancel
+	DomainsLost  uint64 `json:"domains_lost"` // worker domains declared dead
+	Readmissions uint64 `json:"readmissions"` // lost domains readmitted after restart
+	Heartbeats   uint64 `json:"heartbeats"`   // pongs received
+	PingDrops    uint64 `json:"ping_drops"`   // pings dropped by a full send queue
 }
 
 // TaskHandle tracks one submitted task. Waiters may call Wait from any
@@ -305,10 +308,12 @@ type task struct {
 	recovered   bool // reclaimed from a lost domain
 }
 
-// flight tracks one dispatched task: which executor has it and when the
-// host gives up waiting. Local flights (dom -1) have no deadline.
+// flight tracks one dispatched task: which executor has it, when it was
+// dispatched and when the host gives up waiting. Local flights (dom -1)
+// have no deadline.
 type flight struct {
 	dom    int
+	sent   time.Time
 	expiry time.Time
 }
 
@@ -325,14 +330,22 @@ type localDone struct {
 	err     error
 }
 
-// hostLink is the host's view of one worker domain.
+// hostLink is the host's view of one worker domain. occ mirrors the
+// scheduler's outstanding-task count for this domain (the scheduler
+// goroutine is the only writer; introspection surfaces such as
+// DomainInfos read it atomically), and ewma folds in observed
+// dispatch-to-result service times per completed remote task.
 type hostLink struct {
 	w      *worker
+	name   string
+	cpus   int
 	cmd    *mcapi.PktSendHandle
 	res    *mcapi.PktRecvHandle
 	hbTo   *mcapi.Endpoint
 	hbFrom *mcapi.Endpoint
 	health *offload.HealthState
+	occ    atomic.Int64
+	ewma   *perfmodel.ServiceEWMA
 }
 
 // Fabric owns a partitioned board: one host runtime plus N worker
@@ -366,7 +379,7 @@ type Fabric struct {
 // the host's scheduler, receivers and health monitor.
 func NewFabric(reg *Registry, opts ...Option) (*Fabric, error) {
 	if reg == nil {
-		return nil, fmt.Errorf("taskfabric: nil registry")
+		return nil, fmt.Errorf("%w: taskfabric: nil registry", core.ErrInvalidOption)
 	}
 	cfg := defaultConfig()
 	for _, opt := range opts {
@@ -419,11 +432,14 @@ func NewFabric(reg *Registry, opts ...Option) (*Fabric, error) {
 		f.workers = append(f.workers, w)
 		f.links = append(f.links, &hostLink{
 			w:      w,
+			name:   nl.Name,
+			cpus:   nl.CPUs,
 			cmd:    nl.CmdSend,
 			res:    nl.ResRecv,
 			hbTo:   nl.HBEp,
 			hbFrom: nl.HBHost,
 			health: h,
+			ewma:   perfmodel.NewServiceEWMA(perfmodel.DefaultEWMAAlpha),
 		})
 	}
 	for _, w := range f.workers {
@@ -478,6 +494,44 @@ func (f *Fabric) Stats() Stats {
 		Heartbeats:   f.st.heartbeats.Load(),
 		PingDrops:    f.st.pingDrops.Load(),
 	}
+}
+
+// DomainInfo describes one worker domain for introspection surfaces (the
+// job service's GET /v1/domains): identity, liveness, the tasks
+// currently outstanding on it, and the EWMA of observed
+// dispatch-to-result service times.
+type DomainInfo struct {
+	ID          int     `json:"id"`   // 0-based link index
+	Name        string  `json:"name"` // hypervisor partition name
+	CPUs        int     `json:"cpus"`
+	Live        bool    `json:"live"`
+	Outstanding int     `json:"outstanding"`  // tasks dispatched, result pending
+	EWMATaskNs  float64 `json:"ewma_task_ns"` // observed ns per remote task, 0 until primed
+	EWMASamples uint64  `json:"ewma_samples"`
+}
+
+// DomainInfos snapshots every worker domain's identity, liveness,
+// occupancy and adaptive service estimate.
+func (f *Fabric) DomainInfos() []DomainInfo {
+	out := make([]DomainInfo, len(f.links))
+	for i, l := range f.links {
+		ns, _ := l.ewma.Value()
+		out[i] = DomainInfo{
+			ID:          i,
+			Name:        l.name,
+			CPUs:        l.cpus,
+			Live:        !l.health.Lost(),
+			Outstanding: int(l.occ.Load()),
+			EWMATaskNs:  ns,
+			EWMASamples: l.ewma.Samples(),
+		}
+	}
+	return out
+}
+
+// HostStats snapshots the host runtime's scheduler counters.
+func (f *Fabric) HostStats() core.StatsSnapshot {
+	return f.net.Host.Stats().Snapshot()
 }
 
 // KillDomain crash-tests worker domain i (0-based): its service loops
@@ -617,10 +671,12 @@ func (f *Fabric) scheduler() {
 		pending     []*task
 		tasks       = make(map[uint64]*task)
 		infl        = make(map[uint64]flight)
-		outstanding = make([]int, len(f.links))
 		grantVictim = -1
 		grantThief  = -1
 	)
+	// Per-domain outstanding counts live on the links as atomics so
+	// DomainInfos can snapshot them; the scheduler is the only writer.
+	occ := func(li int) int { return int(f.links[li].occ.Load()) }
 	clearGrant := func() { grantVictim, grantThief = -1, -1 }
 	live := func(li int) bool { return !f.links[li].health.Lost() }
 	anyLive := func() bool {
@@ -640,7 +696,10 @@ func (f *Fabric) scheduler() {
 		if fl, ok := infl[t.id]; ok {
 			delete(infl, t.id)
 			if fl.dom >= 0 {
-				outstanding[fl.dom]--
+				f.links[fl.dom].occ.Add(-1)
+				if !fl.sent.IsZero() {
+					f.links[fl.dom].ewma.Observe(float64(time.Since(fl.sent)))
+				}
 			}
 		}
 		if err == nil && t.recovered {
@@ -665,8 +724,9 @@ func (f *Fabric) scheduler() {
 
 	// commitRemote records a successful dispatch of t to domain li.
 	commitRemote := func(t *task, li int) {
-		infl[t.id] = flight{dom: li, expiry: time.Now().Add(f.cfg.deadline)}
-		outstanding[li]++
+		now := time.Now()
+		infl[t.id] = flight{dom: li, sent: now, expiry: now.Add(f.cfg.deadline)}
+		f.links[li].occ.Add(1)
 		if f.cfg.sink != nil {
 			f.cfg.sink.TaskSend(li, int(t.id))
 		}
@@ -690,10 +750,10 @@ func (f *Fabric) scheduler() {
 		}
 		best := -1
 		for li := range f.links {
-			if !live(li) || outstanding[li] >= f.cfg.inflight {
+			if !live(li) || occ(li) >= f.cfg.inflight {
 				continue
 			}
-			if best < 0 || outstanding[li] < outstanding[best] {
+			if best < 0 || occ(li) < occ(best) {
 				best = li
 			}
 		}
@@ -750,10 +810,10 @@ func (f *Fabric) scheduler() {
 			}
 			best := -1
 			for li := range f.links {
-				if !live(li) || outstanding[li]+extra[li] >= f.cfg.inflight {
+				if !live(li) || occ(li)+extra[li] >= f.cfg.inflight {
 					continue
 				}
-				if best < 0 || outstanding[li]+extra[li] < outstanding[best]+extra[best] {
+				if best < 0 || occ(li)+extra[li] < occ(best)+extra[best] {
 					best = li
 				}
 			}
@@ -863,7 +923,7 @@ func (f *Fabric) scheduler() {
 						return false
 					}
 					delete(infl, t.id)
-					outstanding[a.dom]--
+					f.links[a.dom].occ.Add(-1)
 					t.attempt++
 					f.st.steals.Add(1)
 					if f.cfg.sink != nil {
@@ -886,20 +946,20 @@ func (f *Fabric) scheduler() {
 					if grantVictim == a.dom {
 						clearGrant() // grant settled: victim reported back
 					}
-					if m.Queued == 0 && m.Running == 0 && outstanding[a.dom] == 0 &&
+					if m.Queued == 0 && m.Running == 0 && occ(a.dom) == 0 &&
 						len(pending) == 0 && grantVictim < 0 && live(a.dom) {
 						victim := -1
 						for li := range f.links {
-							if li == a.dom || !live(li) || outstanding[li] < stealMin {
+							if li == a.dom || !live(li) || occ(li) < stealMin {
 								continue
 							}
-							if victim < 0 || outstanding[li] > outstanding[victim] {
+							if victim < 0 || occ(li) > occ(victim) {
 								victim = li
 							}
 						}
 						if victim >= 0 {
 							grant := offload.EncodeStealGrant(offload.StealGrantFrame{
-								Want: uint32(outstanding[victim] / 2),
+								Want: uint32(occ(victim) / 2),
 							})
 							err := f.links[victim].cmd.Send(grant, mcapi.TimeoutImmediate)
 							offload.RecycleFrame(grant)
@@ -951,7 +1011,7 @@ func (f *Fabric) scheduler() {
 				t.recovered = true
 				reclaim(t, true)
 			}
-			outstanding[li] = 0
+			f.links[li].occ.Store(0)
 			if grantVictim == li || grantThief == li {
 				clearGrant()
 			}
@@ -966,7 +1026,7 @@ func (f *Fabric) scheduler() {
 				if fl, ok := infl[id]; ok {
 					delete(infl, id)
 					if fl.dom >= 0 {
-						outstanding[fl.dom]--
+						f.links[fl.dom].occ.Add(-1)
 					}
 				}
 				f.st.canceled.Add(1)
@@ -988,7 +1048,7 @@ func (f *Fabric) scheduler() {
 					continue
 				}
 				delete(infl, id)
-				outstanding[fl.dom]--
+				f.links[fl.dom].occ.Add(-1)
 				t, known := tasks[id]
 				if !known {
 					continue
