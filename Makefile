@@ -3,7 +3,7 @@
 GO ?= go
 
 .PHONY: all build vet test race bench bench-json bench-compare experiments taskgraph \
-	api api-check serve loadgen service-smoke clean
+	api api-check serve loadgen service-smoke chaos chaos-smoke clean
 
 all: build vet test
 
@@ -62,6 +62,24 @@ api-check:
 	$(GO) doc . > /tmp/api-now.txt
 	diff -u API.txt /tmp/api-now.txt || \
 		{ echo "public API surface changed: run 'make api' and commit API.txt"; exit 1; }
+
+# Seeded fault campaigns against offload, fabric and service workloads:
+# byte-exact results and zero lost jobs under domain kills, frame
+# drops/delays/duplication, admission saturation and group cancellation.
+# Usage: make chaos [CHAOS_SEED=42] [CHAOS_CAMPAIGNS=6] [CHAOS_DURATION=2s]
+CHAOS_SEED      ?= 42
+CHAOS_CAMPAIGNS ?= 6
+CHAOS_DURATION  ?= 2s
+chaos:
+	$(GO) run ./cmd/ompmca-chaos -seed $(CHAOS_SEED) \
+		-campaigns $(CHAOS_CAMPAIGNS) -duration $(CHAOS_DURATION) -v
+
+# Short seeded campaign sweep under the race detector; CI runs this on
+# every push. Nonzero exit on any lost job, inexact result or
+# unclassified error.
+chaos-smoke:
+	$(GO) run -race ./cmd/ompmca-chaos -seed 42 -campaigns 3 -duration 1s
+	$(GO) run -race ./cmd/ompmca-chaos -kill-mid-graph
 
 # Multi-tenant job service: boot the HTTP front end / drive it.
 serve:

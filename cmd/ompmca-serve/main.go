@@ -62,6 +62,7 @@ func run() error {
 		heartbeat  = flag.Duration("heartbeat", 25*time.Millisecond, "domain health ping period")
 		dispatch   = flag.Int("dispatch", 64, "dispatch window: jobs inside the fabric/offloader at once")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+		spanCap    = flag.Int("spans", 0, "span ring capacity for GET /v1/spans (0: default bound)")
 		tenants    tenantFlags
 	)
 	flag.Var(&tenants, "tenant", "tenant spec name:key:quota:priority[:admin] (repeatable; default: demo tenants)")
@@ -83,9 +84,11 @@ func run() error {
 	if err := jobservice.RegisterBuiltinJobs(jobs); err != nil {
 		return err
 	}
+	sp := openmpmca.NewSpanExporter(*spanCap)
 	fab, err := openmpmca.NewTaskFabric(jobs,
 		openmpmca.WithFabricDomains(*domains),
 		openmpmca.WithFabricHeartbeat(*heartbeat),
+		openmpmca.WithFabricEventSink(sp),
 	)
 	if err != nil {
 		return err
@@ -96,6 +99,7 @@ func run() error {
 		openmpmca.WithServiceTenants(tenants...),
 		openmpmca.WithServiceDispatchWindow(*dispatch),
 		openmpmca.WithServiceRetryAfter(*retryAfter),
+		openmpmca.WithServiceSpans(sp),
 	}
 	if *offDomains > 0 {
 		kernels := openmpmca.NewOffloadRegistry()
@@ -105,6 +109,7 @@ func run() error {
 		off, err := openmpmca.NewOffload(kernels,
 			openmpmca.WithOffloadDomains(*offDomains),
 			openmpmca.WithOffloadHeartbeat(*heartbeat),
+			openmpmca.WithOffloadEventSink(sp),
 		)
 		if err != nil {
 			return err

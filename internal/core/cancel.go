@@ -1,29 +1,34 @@
 package core
 
 import (
-	"errors"
 	"fmt"
+
+	"openmpmca/internal/oerrors"
 )
 
 // ErrSaturated is returned by Parallel and friends when the runtime's
 // admission control refuses a region: the number of outstanding parallel
 // regions has reached the WithMaxConcurrentRegions cap and the bounded
 // admission queue is full. The caller owns the backpressure decision —
-// retry, shed load, or fail upward.
-var ErrSaturated = errors.New("core: runtime saturated: too many concurrent parallel regions")
+// retry, shed load, or fail upward. Classified Admission/saturated.
+var ErrSaturated = oerrors.Sentinel(oerrors.Admission, oerrors.CodeSaturated,
+	"core: runtime saturated: too many concurrent parallel regions")
 
 // ErrCanceled is returned by ParallelCtx and friends when a region was
 // torn down before completing — the OpenMP "cancel parallel" semantics:
 // every thread of the team unwinds at its next cancellation point (loop
 // chunk dispatch, task scheduling, barriers) and the fork returns. The
 // returned error wraps the context's cause, so
-// errors.Is(err, context.DeadlineExceeded) also works.
-var ErrCanceled = errors.New("core: parallel region canceled")
+// errors.Is(err, context.DeadlineExceeded) also works. Classified
+// Cancel/canceled.
+var ErrCanceled = oerrors.Sentinel(oerrors.Cancel, oerrors.CodeCanceled,
+	"core: parallel region canceled")
 
 // ErrInvalidOption wraps every validation error the Option constructors
 // return from New, so callers can classify configuration mistakes with
-// errors.Is(err, ErrInvalidOption).
-var ErrInvalidOption = errors.New("core: invalid option")
+// errors.Is(err, ErrInvalidOption). Classified Admission/invalid_option.
+var ErrInvalidOption = oerrors.Sentinel(oerrors.Admission, oerrors.CodeInvalidOption,
+	"core: invalid option")
 
 // RegionPanicError reports that a thread's region body panicked. The
 // runtime recovers the panic on the worker, cancels the rest of the team

@@ -2,18 +2,21 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"openmpmca/internal/oerrors"
 )
 
 // ErrClosed is returned by Parallel (and the worker pool underneath) when
 // the runtime has been Closed; a fork racing Close is refused whole with
-// this error instead of panicking or hanging a partial team.
-var ErrClosed = errors.New("core: runtime is closed")
+// this error instead of panicking or hanging a partial team. Classified
+// Cancel/runtime_closed.
+var ErrClosed = oerrors.Sentinel(oerrors.Cancel, oerrors.CodeRuntimeClosed,
+	"core: runtime is closed")
 
 // Stats aggregates runtime event counters; read them with Snapshot.
 type Stats struct {

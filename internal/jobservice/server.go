@@ -40,12 +40,16 @@ import (
 	"time"
 
 	"openmpmca/internal/core"
+	"openmpmca/internal/oerrors"
 	"openmpmca/internal/offload"
+	"openmpmca/internal/spans"
 	"openmpmca/internal/taskfabric"
 )
 
-// ErrClosed is returned by operations on a closed Server.
-var ErrClosed = errors.New("jobservice: server closed")
+// ErrClosed is returned by operations on a closed Server. Classified
+// Cancel/service_closed.
+var ErrClosed = oerrors.Sentinel(oerrors.Cancel, oerrors.CodeServiceClosed,
+	"jobservice: server closed")
 
 // config collects the tunables behind the Options.
 type config struct {
@@ -54,6 +58,7 @@ type config struct {
 	tenants    []Tenant
 	dispatch   int
 	retryAfter time.Duration
+	spans      *spans.Exporter
 }
 
 // Option configures New.
@@ -114,6 +119,20 @@ func WithRetryAfter(d time.Duration) Option {
 			return fmt.Errorf("%w: jobservice: WithRetryAfter(%v): want > 0", core.ErrInvalidOption, d)
 		}
 		c.retryAfter = d
+		return nil
+	}
+}
+
+// WithSpans serves a span exporter's folded task/chunk/region lifetimes
+// at GET /v1/spans. The exporter should be the one wired into the
+// fabric (and offloader) as their event sink; the service only reads
+// it. Without this option /v1/spans answers 404.
+func WithSpans(x *spans.Exporter) Option {
+	return func(c *config) error {
+		if x == nil {
+			return fmt.Errorf("%w: jobservice: WithSpans(nil)", core.ErrInvalidOption)
+		}
+		c.spans = x
 		return nil
 	}
 }
@@ -314,6 +333,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1", s.apiIndex)
 	s.mux.HandleFunc("GET /v1/{$}", s.apiIndex)
 	s.mux.HandleFunc("GET /v1/ready", s.apiReady)
+	s.mux.HandleFunc("GET /v1/health", s.apiHealth)
 	s.mux.HandleFunc("POST /v1/jobs", s.auth(s.apiJobSubmit))
 	s.mux.HandleFunc("GET /v1/jobs", s.auth(s.apiJobList))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.auth(s.apiJobGet))
@@ -325,6 +345,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/domains/{id}/drain", s.auth(s.admin(s.apiDomainDrain)))
 	s.mux.HandleFunc("POST /v1/domains/{id}/readmit", s.auth(s.admin(s.apiDomainReadmit)))
 	s.mux.HandleFunc("GET /v1/stats", s.auth(s.apiStats))
+	s.mux.HandleFunc("GET /v1/spans", s.auth(s.apiSpans))
 }
 
 type authedHandler func(w http.ResponseWriter, r *http.Request, t *tenantState)
@@ -376,8 +397,10 @@ func (s *Server) apiIndex(w http.ResponseWriter, _ *http.Request) {
 	writeSync(w, http.StatusOK, []string{
 		"/v1/domains",
 		"/v1/groups",
+		"/v1/health",
 		"/v1/jobs",
 		"/v1/ready",
+		"/v1/spans",
 		"/v1/stats",
 	})
 }
@@ -452,6 +475,10 @@ func (s *Server) apiJobSubmit(w http.ResponseWriter, r *http.Request, t *tenantS
 		t.rejected.Add(1)
 		s.st.rejected.Add(1)
 		s.mu.Unlock()
+		// Counted in the taxonomy even though the refusal surfaces as
+		// HTTP 429, not a Go error: New records one Admission/quota.
+		_ = oerrors.New(oerrors.Admission, oerrors.CodeQuota,
+			"jobservice: tenant over quota")
 		secs := int((s.cfg.retryAfter + time.Second - 1) / time.Second)
 		w.Header().Set("Retry-After", strconv.Itoa(secs))
 		writeError(w, http.StatusTooManyRequests, "tenant %q over quota (%d jobs in flight)", t.Name, t.Quota)
@@ -713,6 +740,8 @@ func (s *Server) Snapshot() Snapshot {
 		offStats := s.cfg.off.Stats()
 		snap.Offload = &offStats
 	}
+	errCounts := oerrors.Counts()
+	snap.Errors = &errCounts
 	return snap
 }
 

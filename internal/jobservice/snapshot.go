@@ -2,6 +2,7 @@ package jobservice
 
 import (
 	"openmpmca/internal/core"
+	"openmpmca/internal/oerrors"
 	"openmpmca/internal/offload"
 	"openmpmca/internal/taskfabric"
 )
@@ -13,10 +14,11 @@ import (
 // fill are omitted from the JSON rather than zeroed, so a consumer can
 // tell "no offloader wired" from "offloader idle".
 type Snapshot struct {
-	Core    *core.StatsSnapshot    `json:"core,omitempty"`    // host runtime scheduler counters
-	Offload *offload.StatsSnapshot `json:"offload,omitempty"` // parallel-for offload counters
-	Fabric  *taskfabric.Stats      `json:"fabric,omitempty"`  // task-fabric counters
-	Service *ServiceStats          `json:"service,omitempty"` // job-service admission/dispatch counters
+	Core    *core.StatsSnapshot     `json:"core,omitempty"`    // host runtime scheduler counters
+	Offload *offload.StatsSnapshot  `json:"offload,omitempty"` // parallel-for offload counters
+	Fabric  *taskfabric.Stats       `json:"fabric,omitempty"`  // task-fabric counters
+	Service *ServiceStats           `json:"service,omitempty"` // job-service admission/dispatch counters
+	Errors  *oerrors.CountsSnapshot `json:"errors,omitempty"`  // error-taxonomy counters (by category and code)
 }
 
 // ServiceStats is the job service's own section of Snapshot: admission,

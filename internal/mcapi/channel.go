@@ -112,6 +112,19 @@ func (h *PktSendHandle) Send(data []byte, timeout Timeout) error {
 	if peer == nil {
 		return ErrChanNotConnect
 	}
+	switch d := injectFault(FaultPkt, h.ep, peer, len(data)); d.Action {
+	case FaultDrop:
+		// The wire ate the frame; the sender sees success.
+		return nil
+	case FaultDup:
+		buf := append([]byte(nil), data...)
+		if err := peer.enqueue(message{data: buf}, timeout); err != nil {
+			return err
+		}
+		dup := append([]byte(nil), data...)
+		_ = peer.enqueue(message{data: dup}, TimeoutImmediate) // best-effort copy
+		return nil
+	}
 	buf := append([]byte(nil), data...)
 	return peer.enqueue(message{data: buf}, timeout)
 }

@@ -226,6 +226,18 @@ func MsgSend(to *Endpoint, data []byte, priority int, timeout Timeout) error {
 		// Connected endpoints carry channel traffic only.
 		return ErrChanConnected
 	}
+	switch d := injectFault(FaultMsg, nil, to, len(data)); d.Action {
+	case FaultDrop:
+		return nil
+	case FaultDup:
+		buf := append([]byte(nil), data...)
+		if err := to.enqueue(message{data: buf, priority: priority}, timeout); err != nil {
+			return err
+		}
+		dup := append([]byte(nil), data...)
+		_ = to.enqueue(message{data: dup, priority: priority}, TimeoutImmediate)
+		return nil
+	}
 	buf := append([]byte(nil), data...)
 	return to.enqueue(message{data: buf, priority: priority}, timeout)
 }

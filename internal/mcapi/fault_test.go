@@ -1,0 +1,121 @@
+package mcapi
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// pktPair builds a connected, opened packet channel between two nodes.
+func pktPair(t *testing.T) (*PktSendHandle, *PktRecvHandle) {
+	t.Helper()
+	_, e1, e2 := twoEndpoints(t)
+	if err := PktConnect(e1, e2); err != nil {
+		t.Fatal(err)
+	}
+	tx, err := PktOpenSend(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := PktOpenRecv(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx, rx
+}
+
+func TestFaultInjectorDropEatsFrame(t *testing.T) {
+	tx, rx := pktPair(t)
+	SetFaultInjector(func(class FaultClass, from, to FaultTarget, size int) FaultDecision {
+		if class != FaultPkt {
+			t.Errorf("class = %v, want FaultPkt", class)
+		}
+		if from.Domain != 1 || to.Domain != 1 || size != 3 {
+			t.Errorf("targets/size = %+v -> %+v / %d", from, to, size)
+		}
+		return FaultDecision{Action: FaultDrop}
+	})
+	defer SetFaultInjector(nil)
+
+	// The sender sees success — the wire ate the frame.
+	if err := tx.Send([]byte("abc"), TimeoutImmediate); err != nil {
+		t.Fatalf("dropped send errored: %v", err)
+	}
+	if n := rx.Available(); n != 0 {
+		t.Errorf("%d frames delivered, want 0", n)
+	}
+}
+
+func TestFaultInjectorDupDeliversTwice(t *testing.T) {
+	tx, rx := pktPair(t)
+	SetFaultInjector(func(_ FaultClass, _, _ FaultTarget, _ int) FaultDecision {
+		return FaultDecision{Action: FaultDup}
+	})
+	defer SetFaultInjector(nil)
+
+	if err := tx.Send([]byte("dup"), TimeoutImmediate); err != nil {
+		t.Fatal(err)
+	}
+	if n := rx.Available(); n != 2 {
+		t.Fatalf("%d frames queued, want 2", n)
+	}
+	for i := 0; i < 2; i++ {
+		got, err := rx.Recv(TimeoutImmediate)
+		if err != nil || !bytes.Equal(got, []byte("dup")) {
+			t.Errorf("copy %d = %q/%v", i, got, err)
+		}
+	}
+}
+
+func TestFaultInjectorDelayHoldsSender(t *testing.T) {
+	tx, rx := pktPair(t)
+	const hold = 20 * time.Millisecond
+	SetFaultInjector(func(_ FaultClass, _, _ FaultTarget, _ int) FaultDecision {
+		return FaultDecision{Action: FaultDelay, Delay: hold}
+	})
+	defer SetFaultInjector(nil)
+
+	start := time.Now()
+	if err := tx.Send([]byte("slow"), TimeoutImmediate); err != nil {
+		t.Fatal(err)
+	}
+	if took := time.Since(start); took < hold {
+		t.Errorf("delayed send returned after %v, want >= %v", took, hold)
+	}
+	// The frame is delayed, not lost: FIFO delivery still happens.
+	got, err := rx.Recv(TimeoutImmediate)
+	if err != nil || !bytes.Equal(got, []byte("slow")) {
+		t.Errorf("recv = %q/%v", got, err)
+	}
+}
+
+func TestFaultInjectorMsgPathAndClear(t *testing.T) {
+	_, e1, e2 := twoEndpoints(t)
+	_ = e1
+	calls := 0
+	SetFaultInjector(func(class FaultClass, from, _ FaultTarget, _ int) FaultDecision {
+		calls++
+		if class != FaultMsg {
+			t.Errorf("class = %v, want FaultMsg", class)
+		}
+		if from.Domain != -1 {
+			t.Errorf("connectionless send carries no source, got %+v", from)
+		}
+		return FaultDecision{Action: FaultDrop}
+	})
+	if err := MsgSend(e2, []byte("m"), 0, TimeoutImmediate); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Available() != 0 {
+		t.Error("dropped message was delivered")
+	}
+
+	// Clearing the injector restores normal delivery.
+	SetFaultInjector(nil)
+	if err := MsgSend(e2, []byte("m"), 0, TimeoutImmediate); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || e2.Available() != 1 {
+		t.Errorf("calls=%d queued=%d after clear, want 1/1", calls, e2.Available())
+	}
+}

@@ -1,0 +1,114 @@
+package oerrors
+
+import "sync"
+
+// Counters aggregates classified-error occurrences by category and by
+// code. The zero value is not usable; create one with NewCounters. The
+// package-level Default set is fed automatically by New/Wrap/Errorf and
+// by explicit Record calls at subsystem boundaries, and is what the
+// stats surfaces snapshot.
+type Counters struct {
+	mu     sync.Mutex
+	total  uint64
+	byCat  map[Category]uint64
+	byCode map[string]uint64
+}
+
+// NewCounters creates an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{
+		byCat:  make(map[Category]uint64),
+		byCode: make(map[string]uint64),
+	}
+}
+
+// Default is the process-wide counter set every constructor records
+// into. Counters are monotonic, so concurrent subsystems sharing it is
+// the intended production shape (one process, one error surface).
+var Default = NewCounters()
+
+func (c *Counters) record(cat Category, code string) {
+	c.mu.Lock()
+	c.total++
+	c.byCat[cat]++
+	c.byCode[code]++
+	c.mu.Unlock()
+}
+
+// Record classifies err and counts one occurrence — for errors observed
+// at a boundary (an HTTP settlement, a chaos verdict) rather than
+// constructed here. Unclassified and nil errors count under
+// Internal/CodeInternal and nothing, respectively.
+func (c *Counters) Record(err error) {
+	if err == nil {
+		return
+	}
+	cat, ok := CategoryOf(err)
+	if !ok {
+		cat = Internal
+	}
+	code, ok := CodeOf(err)
+	if !ok {
+		code = CodeInternal
+	}
+	c.record(cat, code)
+}
+
+// Record counts err in the Default set.
+func Record(err error) { Default.Record(err) }
+
+// CountsSnapshot is a point-in-time copy of a counter set, JSON-shaped
+// for the unified Snapshot ("errors" section), /v1/stats and
+// /v1/health.
+type CountsSnapshot struct {
+	Total      uint64            `json:"total"`
+	ByCategory map[string]uint64 `json:"by_category,omitempty"`
+	ByCode     map[string]uint64 `json:"by_code,omitempty"`
+}
+
+// Snapshot copies the counters.
+func (c *Counters) Snapshot() CountsSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := CountsSnapshot{Total: c.total}
+	if len(c.byCat) > 0 {
+		s.ByCategory = make(map[string]uint64, len(c.byCat))
+		for k, v := range c.byCat {
+			s.ByCategory[string(k)] = v
+		}
+	}
+	if len(c.byCode) > 0 {
+		s.ByCode = make(map[string]uint64, len(c.byCode))
+		for k, v := range c.byCode {
+			s.ByCode[k] = v
+		}
+	}
+	return s
+}
+
+// Counts snapshots the Default set.
+func Counts() CountsSnapshot { return Default.Snapshot() }
+
+// Delta returns the per-code growth from an earlier snapshot to this
+// one — what a bounded experiment (one chaos campaign, one load phase)
+// contributed. Codes that did not grow are omitted.
+func (s CountsSnapshot) Delta(earlier CountsSnapshot) CountsSnapshot {
+	d := CountsSnapshot{Total: s.Total - earlier.Total}
+	for code, v := range s.ByCode {
+		if g := v - earlier.ByCode[code]; g > 0 {
+			if d.ByCode == nil {
+				d.ByCode = make(map[string]uint64)
+			}
+			d.ByCode[code] = g
+		}
+	}
+	for cat, v := range s.ByCategory {
+		if g := v - earlier.ByCategory[cat]; g > 0 {
+			if d.ByCategory == nil {
+				d.ByCategory = make(map[string]uint64)
+			}
+			d.ByCategory[cat] = g
+		}
+	}
+	return d
+}

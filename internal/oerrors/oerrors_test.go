@@ -1,0 +1,154 @@
+package oerrors
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSentinelIdentityAndMessage(t *testing.T) {
+	s := Sentinel(Domain, CodeDomainLost, "x: domain lost")
+	if s.Error() != "x: domain lost" {
+		t.Errorf("message = %q", s.Error())
+	}
+	if !errors.Is(s, s) {
+		t.Error("sentinel does not match itself")
+	}
+	if cat, ok := CategoryOf(s); !ok || cat != Domain {
+		t.Errorf("CategoryOf = %v/%v", cat, ok)
+	}
+	if code, ok := CodeOf(s); !ok || code != CodeDomainLost {
+		t.Errorf("CodeOf = %v/%v", code, ok)
+	}
+}
+
+func TestSentinelsAreNotCounted(t *testing.T) {
+	c := NewCounters()
+	old := Default
+	Default = c
+	defer func() { Default = old }()
+
+	_ = Sentinel(Cancel, CodeCanceled, "s")
+	if got := c.Snapshot().Total; got != 0 {
+		t.Errorf("Sentinel recorded %d occurrences, want 0 (sentinels are definitions, not events)", got)
+	}
+	_ = New(Admission, CodeQuota, "over quota")
+	_ = Wrap(Transport, CodeTimeout, errors.New("deadline"))
+	_ = Errorf(Internal, CodeInternal, "boom %d", 7)
+	snap := c.Snapshot()
+	if snap.Total != 3 {
+		t.Errorf("total = %d, want 3", snap.Total)
+	}
+	if snap.ByCategory[string(Admission)] != 1 || snap.ByCode[CodeQuota] != 1 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestWrapNilIsNil(t *testing.T) {
+	if Wrap(Internal, CodeInternal, nil) != nil {
+		t.Error("Wrap(nil) != nil")
+	}
+}
+
+func TestErrorfPreservesWrappedSentinel(t *testing.T) {
+	sent := Sentinel(Cancel, CodeFabricClosed, "fabric closed")
+	err := Errorf(Domain, CodeDomainLost, "group %d: %w", 3, sent)
+	if !errors.Is(err, sent) {
+		t.Error("errors.Is lost the %w operand")
+	}
+	// The outermost classification wins.
+	if code, _ := CodeOf(err); code != CodeDomainLost {
+		t.Errorf("CodeOf = %q, want outermost %q", code, CodeDomainLost)
+	}
+	var e *E
+	if !errors.As(err, &e) || e.Code != CodeDomainLost {
+		t.Errorf("errors.As = %+v", e)
+	}
+}
+
+func TestDomainLostMessageShape(t *testing.T) {
+	sent := Sentinel(Domain, CodeDomainLost, "offload: domain lost")
+	err := DomainLost(sent, "offload", 2, "worker-2", 40_000_000, "chunks re-executed elsewhere")
+	want := "offload: domain 2 (worker-2) lost after 40ms without a pong: chunks re-executed elsewhere: offload: domain lost"
+	if err.Error() != want {
+		t.Errorf("message:\n got %q\nwant %q", err.Error(), want)
+	}
+	if !errors.Is(err, sent) {
+		t.Error("DomainLost does not unwrap to its sentinel")
+	}
+	if code, _ := CodeOf(err); code != CodeDomainLost {
+		t.Errorf("code = %q", code)
+	}
+}
+
+func TestRecordClassifiesUnknownAsInternal(t *testing.T) {
+	c := NewCounters()
+	c.Record(errors.New("mystery"))
+	c.Record(nil) // no-op
+	snap := c.Snapshot()
+	if snap.Total != 1 || snap.ByCode[CodeInternal] != 1 {
+		t.Errorf("snapshot = %+v, want one internal", snap)
+	}
+}
+
+func TestDeltaReportsGrowthOnly(t *testing.T) {
+	c := NewCounters()
+	old := Default
+	Default = c
+	defer func() { Default = old }()
+
+	_ = New(Transport, CodeTimeout, "a")
+	before := c.Snapshot()
+	_ = New(Transport, CodeTimeout, "b")
+	_ = New(Admission, CodeQuota, "c")
+	d := c.Snapshot().Delta(before)
+	if d.Total != 2 {
+		t.Errorf("delta total = %d, want 2", d.Total)
+	}
+	if d.ByCode[CodeTimeout] != 1 || d.ByCode[CodeQuota] != 1 {
+		t.Errorf("delta = %+v", d)
+	}
+	if _, ok := d.ByCode[CodeDomainLost]; ok {
+		t.Error("zero-growth code present in delta")
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	c := NewCounters()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.record(Transport, CodeFrameFault)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Snapshot().ByCode[CodeFrameFault]; got != 4000 {
+		t.Errorf("count = %d, want 4000", got)
+	}
+}
+
+func TestCategoriesStable(t *testing.T) {
+	want := []Category{Transport, Domain, Admission, Cancel, Internal}
+	got := Categories()
+	if len(got) != len(want) {
+		t.Fatalf("Categories() = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Categories()[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWrapThroughFmtChain(t *testing.T) {
+	inner := New(Cancel, CodeCanceled, "canceled")
+	outer := fmt.Errorf("layer2: %w", fmt.Errorf("layer1: %w", inner))
+	if cat, ok := CategoryOf(outer); !ok || cat != Cancel {
+		t.Errorf("CategoryOf through fmt chain = %v/%v", cat, ok)
+	}
+}

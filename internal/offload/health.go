@@ -48,6 +48,13 @@ func (h *HealthState) Expired(now int64, lostAfter time.Duration) bool {
 	return now-h.lastPong.Load() > int64(lostAfter)
 }
 
+// Silence reports how long the domain has been quiet: the age of the
+// last pong as of now. For a lost domain the clock froze at the final
+// pong, so this is the "last-pong age" loss errors report.
+func (h *HealthState) Silence() time.Duration {
+	return time.Duration(time.Now().UnixNano() - h.lastPong.Load())
+}
+
 // Readmit transitions lost -> live for a domain that restarted: the pong
 // clock is reset before the flag flips so the health monitor sees a
 // fresh domain. It reports whether the domain was actually lost (a live

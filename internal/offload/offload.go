@@ -19,7 +19,6 @@
 package offload
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -27,6 +26,7 @@ import (
 
 	"openmpmca/internal/core"
 	"openmpmca/internal/mcapi"
+	"openmpmca/internal/oerrors"
 	"openmpmca/internal/perfmodel"
 	"openmpmca/internal/platform"
 )
@@ -34,11 +34,15 @@ import (
 // ErrDomainLost marks a region during which a worker domain died. The
 // region's result is still complete and correct — the lost domain's
 // chunks were re-executed elsewhere — so callers that can tolerate
-// degraded capacity may treat it as a warning.
-var ErrDomainLost = errors.New("offload: worker domain lost")
+// degraded capacity may treat it as a warning. Classified
+// Domain/domain_lost; taskfabric shares this sentinel.
+var ErrDomainLost = oerrors.Sentinel(oerrors.Domain, oerrors.CodeDomainLost,
+	"offload: worker domain lost")
 
-// ErrClosed is returned by operations on a closed Offloader.
-var ErrClosed = errors.New("offload: offloader closed")
+// ErrClosed is returned by operations on a closed Offloader. Classified
+// Cancel/offload_closed.
+var ErrClosed = oerrors.Sentinel(oerrors.Cancel, oerrors.CodeOffloadClosed,
+	"offload: offloader closed")
 
 // EventSink receives offload trace events. Domain -1 is the host's local
 // executor. trace.Recorder implements it.
@@ -366,7 +370,7 @@ func (o *Offloader) HostStats() core.StatsSnapshot {
 // it would for real hardware.
 func (o *Offloader) KillDomain(i int) error {
 	if i < 0 || i >= len(o.cl.links) {
-		return fmt.Errorf("offload: no domain %d", i)
+		return oerrors.Errorf(oerrors.Admission, oerrors.CodeInvalidOption, "offload: no domain %d", i)
 	}
 	o.cl.links[i].d.Kill()
 	return nil
@@ -383,15 +387,15 @@ func (o *Offloader) ReadmitDomain(i int) error {
 		return ErrClosed
 	}
 	if i < 0 || i >= len(o.cl.links) {
-		return fmt.Errorf("offload: no domain %d", i)
+		return oerrors.Errorf(oerrors.Admission, oerrors.CodeInvalidOption, "offload: no domain %d", i)
 	}
 	l := o.cl.links[i]
 	if !l.health.Lost() {
-		return fmt.Errorf("offload: domain %s is not lost", l.d.name)
+		return oerrors.Errorf(oerrors.Domain, oerrors.CodeReadmit, "offload: domain %s is not lost", l.d.name)
 	}
 	l.d.restart()
 	if !l.health.Readmit(time.Now().UnixNano()) {
-		return fmt.Errorf("offload: domain %s readmitted concurrently", l.d.name)
+		return oerrors.Errorf(oerrors.Domain, oerrors.CodeReadmit, "offload: domain %s readmitted concurrently", l.d.name)
 	}
 	o.st.readmissions.Add(1)
 	return nil
@@ -478,7 +482,7 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 	}
 	k, ok := o.reg.Lookup(kernel)
 	if !ok {
-		return nil, fmt.Errorf("offload: unknown kernel %q", kernel)
+		return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeUnknownJob, "offload: unknown kernel %q", kernel)
 	}
 	if n <= 0 {
 		return nil, nil
@@ -745,15 +749,18 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 					o.cfg.sink.OffloadRecv(l.d.id, ci)
 				}
 			case statusUnknownKernel:
-				return nil, fmt.Errorf("offload: domain %s does not know kernel %q", l.d.name, kernel)
+				return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeUnknownJob,
+					"offload: domain %s does not know kernel %q", l.d.name, kernel)
 			default:
-				return nil, fmt.Errorf("offload: kernel %q failed on %s: %s", kernel, l.d.name, a.msg.Payload)
+				return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeJobFailed,
+					"offload: kernel %q failed on %s: %s", kernel, l.d.name, a.msg.Payload)
 			}
 
 		case lr := <-localDone:
 			localBusy = false
 			if lr.err != nil {
-				return nil, fmt.Errorf("offload: kernel %q failed locally: %w", kernel, lr.err)
+				return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeJobFailed,
+					"offload: kernel %q failed locally: %w", kernel, lr.err)
 			}
 			if !done[lr.idx] {
 				done[lr.idx] = true
@@ -777,8 +784,10 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 				}
 			}
 			if regionErr == nil {
-				regionErr = fmt.Errorf("%w: %s (chunks re-executed elsewhere)",
-					ErrDomainLost, o.cl.links[li].d.name)
+				l := o.cl.links[li]
+				regionErr = oerrors.DomainLost(ErrDomainLost, "offload",
+					l.d.id, l.d.name, l.health.Silence(),
+					"chunks re-executed elsewhere")
 			}
 
 		case <-tick.C:
@@ -796,7 +805,8 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 	for ci := 0; ci < nc; ci++ {
 		var err error
 		if acc, err = k.Fold(acc, parts[ci]); err != nil {
-			return nil, fmt.Errorf("offload: fold chunk %d: %w", ci, err)
+			return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeJobFailed,
+				"offload: fold chunk %d: %w", ci, err)
 		}
 	}
 	return acc, regionErr

@@ -22,7 +22,6 @@
 package taskfabric
 
 import (
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -30,6 +29,7 @@ import (
 
 	"openmpmca/internal/core"
 	"openmpmca/internal/mcapi"
+	"openmpmca/internal/oerrors"
 	"openmpmca/internal/offload"
 	"openmpmca/internal/perfmodel"
 	"openmpmca/internal/platform"
@@ -43,14 +43,22 @@ var ErrDomainLost = offload.ErrDomainLost
 
 var (
 	// ErrClosed is returned by operations on a closed Fabric.
-	ErrClosed = errors.New("taskfabric: fabric closed")
-	// ErrCanceled marks tasks canceled via Group.Cancel.
-	ErrCanceled = errors.New("taskfabric: task canceled")
-	// ErrTimeout is returned by bounded waits that expire.
-	ErrTimeout = errors.New("taskfabric: timeout")
+	// Classified Cancel/fabric_closed.
+	ErrClosed = oerrors.Sentinel(oerrors.Cancel, oerrors.CodeFabricClosed,
+		"taskfabric: fabric closed")
+	// ErrCanceled marks tasks canceled via Group.Cancel. Classified
+	// Cancel/task_canceled.
+	ErrCanceled = oerrors.Sentinel(oerrors.Cancel, oerrors.CodeTaskCanceled,
+		"taskfabric: task canceled")
+	// ErrTimeout is returned by bounded waits that expire. Classified
+	// Transport/timeout.
+	ErrTimeout = oerrors.Sentinel(oerrors.Transport, oerrors.CodeTimeout,
+		"taskfabric: timeout")
 	// ErrGroupDrained is returned by WaitAny when the group has no
-	// outstanding and no undelivered completed tasks.
-	ErrGroupDrained = errors.New("taskfabric: group has no outstanding tasks")
+	// outstanding and no undelivered completed tasks. Classified
+	// Internal/group_drained.
+	ErrGroupDrained = oerrors.Sentinel(oerrors.Internal, oerrors.CodeGroupDrained,
+		"taskfabric: group has no outstanding tasks")
 )
 
 // TimeoutInfinite waits forever. The wait contract matches
@@ -306,6 +314,12 @@ type task struct {
 	attempt     uint32
 	forcedLocal bool // exhausted retries or recovered: host executes it
 	recovered   bool // reclaimed from a lost domain
+
+	// Loss provenance, captured when the task is reclaimed from a dead
+	// domain so the surfaced error names the domain and its silence.
+	lostDom     int
+	lostName    string
+	lostSilence time.Duration
 }
 
 // flight tracks one dispatched task: which executor has it, when it was
@@ -538,7 +552,7 @@ func (f *Fabric) HostStats() core.StatsSnapshot {
 // die and the host must recover via missed heartbeats.
 func (f *Fabric) KillDomain(i int) error {
 	if i < 0 || i >= len(f.workers) {
-		return fmt.Errorf("taskfabric: no domain %d", i)
+		return oerrors.Errorf(oerrors.Admission, oerrors.CodeInvalidOption, "taskfabric: no domain %d", i)
 	}
 	f.workers[i].Kill()
 	return nil
@@ -553,15 +567,15 @@ func (f *Fabric) ReadmitDomain(i int) error {
 		return ErrClosed
 	}
 	if i < 0 || i >= len(f.links) {
-		return fmt.Errorf("taskfabric: no domain %d", i)
+		return oerrors.Errorf(oerrors.Admission, oerrors.CodeInvalidOption, "taskfabric: no domain %d", i)
 	}
 	l := f.links[i]
 	if !l.health.Lost() {
-		return fmt.Errorf("taskfabric: domain %s is not lost", l.w.name)
+		return oerrors.Errorf(oerrors.Domain, oerrors.CodeReadmit, "taskfabric: domain %s is not lost", l.w.name)
 	}
 	l.w.restart()
 	if !l.health.Readmit(time.Now().UnixNano()) {
-		return fmt.Errorf("taskfabric: domain %s readmitted concurrently", l.w.name)
+		return oerrors.Errorf(oerrors.Domain, oerrors.CodeReadmit, "taskfabric: domain %s readmitted concurrently", l.w.name)
 	}
 	f.st.readmissions.Add(1)
 	return nil
@@ -578,7 +592,7 @@ func (f *Fabric) submit(job string, arg []byte, g *Group) (*TaskHandle, error) {
 		return nil, ErrClosed
 	}
 	if _, ok := f.reg.Lookup(job); !ok {
-		return nil, fmt.Errorf("taskfabric: unknown job %q", job)
+		return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeUnknownJob, "taskfabric: unknown job %q", job)
 	}
 	id := f.idSeq.Add(1)
 	h := &TaskHandle{id: id, job: job, done: make(chan struct{})}
@@ -627,7 +641,7 @@ func (f *Fabric) localExec() {
 			var payload []byte
 			var err error
 			if job, ok := f.reg.Lookup(t.job); !ok {
-				err = fmt.Errorf("taskfabric: unknown job %q", t.job)
+				err = oerrors.Errorf(oerrors.Internal, oerrors.CodeUnknownJob, "taskfabric: unknown job %q", t.job)
 			} else {
 				payload, err = job.Execute(f.net.Host, t.arg)
 			}
@@ -703,7 +717,9 @@ func (f *Fabric) scheduler() {
 			}
 		}
 		if err == nil && t.recovered {
-			err = fmt.Errorf("task %d re-executed after domain loss: %w", t.id, ErrDomainLost)
+			err = oerrors.DomainLost(ErrDomainLost, "taskfabric",
+				t.lostDom, t.lostName, t.lostSilence,
+				fmt.Sprintf("task %d re-executed elsewhere", t.id))
 		}
 		t.h.finish(payload, err)
 		if t.g != nil {
@@ -899,9 +915,9 @@ func (f *Fabric) scheduler() {
 					var terr error
 					switch m.Status {
 					case offload.StatusUnknownJob:
-						terr = fmt.Errorf("taskfabric: domain %d: unknown job %q", a.dom, string(m.Payload))
+						terr = oerrors.Errorf(oerrors.Internal, oerrors.CodeUnknownJob, "taskfabric: domain %d: unknown job %q", a.dom, string(m.Payload))
 					case offload.StatusJobError:
-						terr = fmt.Errorf("taskfabric: job %q: %s", t.job, string(m.Payload))
+						terr = oerrors.Errorf(oerrors.Internal, oerrors.CodeJobFailed, "taskfabric: job %q: %s", t.job, string(m.Payload))
 					}
 					f.st.remoteTasks.Add(1)
 					if f.cfg.sink != nil {
@@ -999,6 +1015,8 @@ func (f *Fabric) scheduler() {
 			pump()
 
 		case li := <-f.lostCh:
+			ll := f.links[li]
+			silence := ll.health.Silence()
 			for id, fl := range infl {
 				if fl.dom != li {
 					continue
@@ -1009,6 +1027,9 @@ func (f *Fabric) scheduler() {
 					continue
 				}
 				t.recovered = true
+				t.lostDom = ll.w.id
+				t.lostName = ll.name
+				t.lostSilence = silence
 				reclaim(t, true)
 			}
 			f.links[li].occ.Store(0)
@@ -1093,7 +1114,7 @@ func (f *Fabric) Close() error {
 // irregular graphs; the scheduler itself balances by occupancy.
 func (f *Fabric) EstimateDomainNs(li int, prof perfmodel.KernelProfile, units float64) (float64, error) {
 	if li < 0 || li >= len(f.net.Links) {
-		return 0, fmt.Errorf("taskfabric: no domain %d", li)
+		return 0, oerrors.Errorf(oerrors.Admission, oerrors.CodeInvalidOption, "taskfabric: no domain %d", li)
 	}
 	return perfmodel.EstimateRegionNs(f.cfg.board, prof, f.net.Links[li].CPUs, units), nil
 }

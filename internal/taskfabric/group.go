@@ -2,9 +2,10 @@ package taskfabric
 
 import (
 	"errors"
-	"fmt"
 	"sync"
 	"time"
+
+	"openmpmca/internal/oerrors"
 )
 
 // Group collects related tasks for collective completion — the host-side
@@ -149,7 +150,8 @@ func (g *Group) WaitAll(timeout time.Duration) error {
 				}
 			}
 			if recovered {
-				return fmt.Errorf("taskfabric: group %d: %w", g.id, ErrDomainLost)
+				return oerrors.Errorf(oerrors.Domain, oerrors.CodeDomainLost,
+					"taskfabric: group %d: %w", g.id, ErrDomainLost)
 			}
 			return nil
 		}

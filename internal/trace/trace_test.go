@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"openmpmca/internal/core"
@@ -263,4 +264,96 @@ func TestTeeWithModelTracesAndTimes(t *testing.T) {
 	if got := rec.Summary().UnitsCharged; got != 6000 {
 		t.Errorf("recorder units = %v, want 6000", got)
 	}
+}
+
+func TestRecorderConcurrentEmitOverflowingRing(t *testing.T) {
+	// Many emitters racing into a ring far smaller than the event volume:
+	// the retained window must stay exactly at capacity with strictly
+	// increasing sequence numbers, and the aggregate counters must span
+	// every emission — overflow drops events, never counts.
+	const (
+		capacity   = 64
+		emitters   = 8
+		perEmitter = 500
+	)
+	rec := NewRecorder(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < emitters; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for i := 0; i < perEmitter; i++ {
+				switch i % 4 {
+				case 0:
+					rec.Charge(tid, 1)
+				case 1:
+					rec.Task(tid)
+				case 2:
+					rec.Steal(tid, (tid+1)%emitters)
+				default:
+					rec.Barrier()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = emitters * perEmitter
+	events := rec.Events()
+	if len(events) != capacity {
+		t.Fatalf("retained %d events, want %d", len(events), capacity)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq <= events[i-1].Seq {
+			t.Fatalf("sequence not increasing at %d: %d then %d", i, events[i-1].Seq, events[i].Seq)
+		}
+	}
+	if events[len(events)-1].Seq != total-1 {
+		t.Errorf("newest seq = %d, want %d", events[len(events)-1].Seq, total-1)
+	}
+	s := rec.Summary()
+	if s.Dropped != total-capacity {
+		t.Errorf("dropped = %d, want %d", s.Dropped, total-capacity)
+	}
+	perKind := total / 4
+	if s.ChargeEvents != uint64(perKind) || s.Tasks != uint64(perKind) ||
+		s.Steals != uint64(perKind) || s.Barriers != uint64(perKind) {
+		t.Errorf("aggregates lost events under concurrency: %+v", s)
+	}
+	if s.UnitsCharged != float64(perKind) {
+		t.Errorf("units = %v, want %d", s.UnitsCharged, perKind)
+	}
+}
+
+func TestRecorderConcurrentReadersAndWriters(t *testing.T) {
+	// Events/Summary/Render must be safe to call while emitters run; the
+	// assertions are weak on purpose — the property under test is freedom
+	// from races and from torn ring state, enforced by -race and the
+	// ring-size invariant.
+	rec := NewRecorder(32)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(tid int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					rec.Charge(tid, 1)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		if n := len(rec.Events()); n > 32 {
+			t.Errorf("ring exceeded capacity: %d", n)
+		}
+		_ = rec.Summary()
+		_ = rec.Render()
+	}
+	close(stop)
+	wg.Wait()
 }
