@@ -53,6 +53,12 @@ type FabricDomainInfo = taskfabric.DomainInfo
 // trace.Recorder satisfies it.
 type FabricEventSink = taskfabric.EventSink
 
+// FabricPeerStealSink is the optional extension a FabricEventSink may
+// implement to additionally observe direct domain-to-domain mesh steals
+// (WithFabricPeerStealing); trace.Recorder and spans.Exporter both
+// satisfy it.
+type FabricPeerStealSink = taskfabric.PeerStealSink
+
 var (
 	// ErrFabricClosed is returned by operations on a closed TaskFabric.
 	ErrFabricClosed = taskfabric.ErrClosed

@@ -216,6 +216,8 @@ func suite(batch bool) []entry {
 		{"syncq_wait_timeout", benchWaitTimeout},
 		{"taskcodec_frames", benchTaskCodec},
 		{"offload_chunk_roundtrip", func() (benchjson.Result, error) { return benchOffloadChunk(batch) }},
+		{"fabric_steal_roundtrip", func() (benchjson.Result, error) { return benchStealRoundTrip(true) }},
+		{"fabric_steal_brokered", func() (benchjson.Result, error) { return benchStealRoundTrip(false) }},
 	}
 }
 
@@ -402,6 +404,84 @@ func benchTaskCodec() (benchjson.Result, error) {
 		m["frames_per_sec"] = 1e9 / ns
 	}
 	return resultOf("taskcodec_frames", r, m), benchErr
+}
+
+// benchStealRoundTrip measures how long an imbalanced task burst takes
+// to settle when idle domains must pull queued work from loaded peers:
+// serial domains, two short blockers pinning the first domains
+// scheduled, and a tail of trivial tasks queued behind them, so the
+// burst's latency is dominated by steal round-trips. peer toggles the
+// direct mesh against host brokerage — the ablation pair the
+// trajectory tracks (fabric_steal_roundtrip vs fabric_steal_brokered).
+func benchStealRoundTrip(peer bool) (benchjson.Result, error) {
+	name := "fabric_steal_roundtrip"
+	if !peer {
+		name = "fabric_steal_brokered"
+	}
+	reg := taskfabric.NewRegistry()
+	err := reg.Register(taskfabric.FuncJob{
+		JobName: "spin",
+		Fn: func(rt *core.Runtime, arg []byte) ([]byte, error) {
+			if len(arg) == 8 {
+				if d := time.Duration(binary.LittleEndian.Uint64(arg)); d > 0 {
+					time.Sleep(d)
+				}
+			}
+			return arg, nil
+		},
+	})
+	if err != nil {
+		return benchjson.Result{}, err
+	}
+	f, err := taskfabric.NewFabric(reg,
+		taskfabric.WithDomains(3),
+		taskfabric.WithDomainWorkers(1),
+		taskfabric.WithHeartbeat(time.Millisecond),
+		taskfabric.WithTaskDeadline(10*time.Second), // keep re-dispatch out of the measurement
+		taskfabric.WithInflight(16),
+		taskfabric.WithPeerStealing(peer),
+	)
+	if err != nil {
+		return benchjson.Result{}, err
+	}
+	defer f.Close()
+	blockArg := binary.LittleEndian.AppendUint64(nil, uint64(time.Millisecond))
+	quickArg := binary.LittleEndian.AppendUint64(nil, 0)
+	var benchErr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g := f.NewGroup()
+			for j := 0; j < 2; j++ {
+				if _, err := g.SubmitJob("spin", blockArg); err != nil {
+					benchErr = err
+					return
+				}
+			}
+			for j := 0; j < 12; j++ {
+				if _, err := g.SubmitJob("spin", quickArg); err != nil {
+					benchErr = err
+					return
+				}
+			}
+			if err := g.WaitAll(taskfabric.TimeoutInfinite); err != nil {
+				benchErr = err
+				return
+			}
+		}
+	})
+	st := f.Stats()
+	if benchErr == nil && st.Steals == 0 {
+		benchErr = fmt.Errorf("%s: Steals = 0, the burst never forced a migration", name)
+	}
+	if benchErr == nil && peer && st.PeerSteals == 0 {
+		benchErr = fmt.Errorf("%s: PeerSteals = 0 with the mesh on", name)
+	}
+	if benchErr == nil && !peer && st.PeerSteals != 0 {
+		benchErr = fmt.Errorf("%s: PeerSteals = %d with the mesh off", name, st.PeerSteals)
+	}
+	m := map[string]float64{"steals": float64(st.Steals), "peer_steals": float64(st.PeerSteals)}
+	return resultOf(name, r, m), benchErr
 }
 
 // benchOffloadChunk measures one offloaded parallel-for region: chunks

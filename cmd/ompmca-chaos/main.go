@@ -6,6 +6,7 @@
 //	ompmca-chaos -seed 42 -campaigns 6 -duration 2s   # a full sweep
 //	ompmca-chaos -seed 42 -campaigns 1                # replay one schedule
 //	ompmca-chaos -kill-mid-graph                      # the promoted CI scenario
+//	ompmca-chaos -mesh                                # the 8-domain peer-steal scenarios
 //	ompmca-chaos -json > results.json                 # machine-readable verdicts
 //
 // The entire fault schedule — which domains die when, which frame-fault
@@ -30,14 +31,18 @@ func main() {
 	campaigns := flag.Int("campaigns", 6, "number of campaigns to derive and run")
 	duration := flag.Duration("duration", 2*time.Second, "per-campaign fault-schedule budget")
 	killMidGraph := flag.Bool("kill-mid-graph", false, "run only the fixed kill-mid-graph scenario")
+	mesh := flag.Bool("mesh", false, "run only the fixed peer-steal mesh scenarios (kill-victim-mid-yield, dead-peer-channel)")
 	verbose := flag.Bool("v", false, "print each campaign's schedule before running it")
 	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
 
 	var plan []chaos.Campaign
-	if *killMidGraph {
+	switch {
+	case *killMidGraph:
 		plan = []chaos.Campaign{chaos.KillMidGraphCampaign()}
-	} else {
+	case *mesh:
+		plan = chaos.MeshCampaigns()
+	default:
 		plan = chaos.Plan(*seed, *campaigns, *duration)
 	}
 

@@ -6,6 +6,13 @@
 // scheduler, with all coordination riding MCAPI packet channels. A
 // fault-injection pass kills one domain mid-graph and shows the graph
 // still completing with the exact sequential result.
+//
+// The demo scales to the board's full width (-domains 8 on the default
+// T4240RDB) and exercises the peer-to-peer steal mesh: with -peer-steal
+// (default) idle domains steal queued tasks directly from loaded peers,
+// and -require-peer-steals pins each domain to one MTAPI worker, blocks
+// most of them, and fails unless at least one direct mesh steal
+// happened — the configuration CI's mesh-smoke job asserts.
 package main
 
 import (
@@ -136,23 +143,69 @@ func expand(g *openmpmca.FabricGroup, root, cutoff uint32) (uint64, bool, error)
 	}
 }
 
+// blockJob sleeps the duration encoded in its argument — the steal
+// setup: long blockers pin serial domains so queues back up behind them
+// and idle peers must steal.
+var blockJob = openmpmca.FabricFuncJob{
+	JobName: "block",
+	Fn: func(rt *openmpmca.Runtime, arg []byte) ([]byte, error) {
+		if len(arg) != 8 {
+			return nil, fmt.Errorf("bad arg (%d bytes)", len(arg))
+		}
+		time.Sleep(time.Duration(binary.LittleEndian.Uint64(arg)))
+		return arg, nil
+	},
+}
+
 // run executes the demo: one clean graph, then one with domain 0 killed
-// mid-expansion. It returns an error on any mismatch.
-func run(n, cutoff uint32, domains int, leafDelay time.Duration, out *log.Logger) error {
+// mid-expansion. It returns an error on any mismatch. With requirePeer,
+// domains are serialized and blocked so the mesh must carry steals, and
+// a run without any direct peer steal fails.
+func run(n, cutoff uint32, domains int, leafDelay time.Duration,
+	peerSteal, requirePeer bool, out *log.Logger) error {
 	reg := openmpmca.NewJobRegistry()
 	if err := reg.Register(fibJob(leafDelay)); err != nil {
 		return err
 	}
+	if err := reg.Register(blockJob); err != nil {
+		return err
+	}
 	rec := trace.NewRecorder(16384)
-	fab, err := openmpmca.NewTaskFabric(reg,
+	opts := []openmpmca.TaskFabricOption{
 		openmpmca.WithFabricDomains(domains),
-		openmpmca.WithFabricHeartbeat(10*time.Millisecond),
+		openmpmca.WithFabricHeartbeat(10 * time.Millisecond),
 		openmpmca.WithFabricEventSink(rec),
-	)
+		openmpmca.WithFabricPeerStealing(peerSteal),
+	}
+	if requirePeer {
+		// One MTAPI worker per domain and a generous deadline: queues
+		// back up behind blockers instead of draining in parallel, and
+		// re-dispatch cannot masquerade as stealing.
+		opts = append(opts,
+			openmpmca.WithFabricDomainWorkers(1),
+			openmpmca.WithFabricTaskDeadline(10*time.Second),
+			openmpmca.WithFabricInflight(16),
+		)
+	}
+	fab, err := openmpmca.NewTaskFabric(reg, opts...)
 	if err != nil {
 		return err
 	}
 	defer fab.Close()
+
+	// The imbalance for requirePeer: most domains busy with one long
+	// blocker each, so the rest must steal the graph's tasks over the
+	// mesh. The blockers settle in the background.
+	var blockers *openmpmca.FabricGroup
+	if requirePeer {
+		blockers = fab.NewGroup()
+		arg := binary.LittleEndian.AppendUint64(nil, uint64(300*time.Millisecond))
+		for i := 0; i < domains-1; i++ {
+			if _, err := blockers.SubmitJob("block", arg); err != nil {
+				return err
+			}
+		}
+	}
 
 	out.Printf("%s", fab.Render())
 	want := fibIter(n)
@@ -164,9 +217,9 @@ func run(n, cutoff uint32, domains int, leafDelay time.Duration, out *log.Logger
 		return fmt.Errorf("clean graph: %w", err)
 	}
 	st := fab.Stats()
-	out.Printf("clean graph:     fib(%d)=%d (%v)  tasks=%d remote=%d local=%d steals=%d",
+	out.Printf("clean graph:     fib(%d)=%d (%v)  tasks=%d remote=%d local=%d steals=%d peer=%d",
 		n, got, time.Since(start).Round(time.Millisecond),
-		st.Submitted, st.RemoteTasks, st.LocalTasks, st.Steals)
+		st.Submitted, st.RemoteTasks, st.LocalTasks, st.Steals, st.PeerSteals)
 	if got != want {
 		return fmt.Errorf("clean graph fib(%d) = %d, want %d", n, got, want)
 	}
@@ -190,9 +243,9 @@ func run(n, cutoff uint32, domains int, leafDelay time.Duration, out *log.Logger
 		return fmt.Errorf("faulted graph: %w", err)
 	}
 	st = fab.Stats()
-	out.Printf("faulted graph:   fib(%d)=%d (%v)  remote=%d local=%d resends=%d lost=%d steals=%d",
+	out.Printf("faulted graph:   fib(%d)=%d (%v)  remote=%d local=%d resends=%d lost=%d steals=%d peer=%d",
 		n, got, time.Since(start).Round(time.Millisecond),
-		st.RemoteTasks, st.LocalTasks, st.Resends, st.DomainsLost, st.Steals)
+		st.RemoteTasks, st.LocalTasks, st.Resends, st.DomainsLost, st.Steals, st.PeerSteals)
 	if got != want {
 		return fmt.Errorf("faulted graph fib(%d) = %d, want %d", n, got, want)
 	}
@@ -202,9 +255,23 @@ func run(n, cutoff uint32, domains int, leafDelay time.Duration, out *log.Logger
 	if !recovered {
 		return fmt.Errorf("no task was recovered despite the domain loss")
 	}
+	if blockers != nil {
+		if err := blockers.WaitAll(30 * time.Second); err != nil && !errors.Is(err, openmpmca.ErrDomainLost) {
+			return fmt.Errorf("blockers: %w", err)
+		}
+	}
+	st = fab.Stats()
 	sum := rec.Summary()
-	out.Printf("trace:           %d task sends, %d task recvs, %d steals, %d heartbeats",
-		sum.TaskSends, sum.TaskRecvs, sum.TaskSteals, st.Heartbeats)
+	out.Printf("trace:           %d task sends, %d task recvs, %d steals (%d peer), %d heartbeats",
+		sum.TaskSends, sum.TaskRecvs, sum.TaskSteals, sum.PeerSteals, st.Heartbeats)
+	out.Printf("mesh:            peer-steals=%d brokered-fallbacks=%d rmem-bytes=%d",
+		st.PeerSteals, st.BrokeredFallbacks, st.RmemBytesMoved)
+	if requirePeer && st.PeerSteals == 0 {
+		return fmt.Errorf("PeerSteals = 0 under -require-peer-steals: the mesh never carried a direct steal (Steals = %d)", st.Steals)
+	}
+	if !peerSteal && st.PeerSteals != 0 {
+		return fmt.Errorf("PeerSteals = %d with -peer-steal=false, want 0", st.PeerSteals)
+	}
 	return nil
 }
 
@@ -213,14 +280,24 @@ func main() {
 	cutoff := flag.Uint("cutoff", 22, "sequential leaf cutoff")
 	domains := flag.Int("domains", 3, "worker domains")
 	leafDelay := flag.Duration("leaf-delay", 2*time.Millisecond, "artificial per-leaf latency")
+	peerSteal := flag.Bool("peer-steal", true, "steal directly over the peer mesh (false: host-brokered only)")
+	requirePeer := flag.Bool("require-peer-steals", false, "serialize domains, add blockers, and fail unless a direct peer steal happened")
 	flag.Parse()
 	if *cutoff >= *n {
 		fmt.Fprintln(os.Stderr, "FAIL: cutoff must be below n")
 		os.Exit(1)
 	}
+	if *requirePeer && !*peerSteal {
+		fmt.Fprintln(os.Stderr, "FAIL: -require-peer-steals needs -peer-steal")
+		os.Exit(1)
+	}
+	if *requirePeer && *domains < 2 {
+		fmt.Fprintln(os.Stderr, "FAIL: -require-peer-steals needs at least 2 domains")
+		os.Exit(1)
+	}
 
 	out := log.New(os.Stdout, "", 0)
-	if err := run(uint32(*n), uint32(*cutoff), *domains, *leafDelay, out); err != nil {
+	if err := run(uint32(*n), uint32(*cutoff), *domains, *leafDelay, *peerSteal, *requirePeer, out); err != nil {
 		fmt.Fprintln(os.Stderr, "FAIL:", err)
 		os.Exit(1)
 	}

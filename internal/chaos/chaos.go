@@ -129,6 +129,35 @@ type Campaign struct {
 	Actions  []Action      `json:"actions"`
 }
 
+// Validate rejects a campaign whose schedule cannot be applied to its
+// own topology — chiefly a kill or readmit naming a domain id that was
+// never built. Run calls it before constructing any workload, so a
+// hand-edited or version-skewed schedule fails fast with a classified
+// error instead of silently no-opping its way to a hollow PASS.
+func (c Campaign) Validate() error {
+	if c.Domains < 1 {
+		return oerrors.Errorf(oerrors.Admission, oerrors.CodeInvalidOption,
+			"chaos: campaign %s: %d domains, need at least 1", c.Name, c.Domains)
+	}
+	for i, a := range c.Actions {
+		switch a.Kind {
+		case ActKillDomain, ActReadmitDomain:
+			if a.Domain < 0 || a.Domain >= c.Domains {
+				return oerrors.Errorf(oerrors.Admission, oerrors.CodeInvalidOption,
+					"chaos: campaign %s: action %d (%s) targets domain %d, topology has domains 0..%d",
+					c.Name, i, a.Kind, a.Domain, c.Domains-1)
+			}
+		case ActDropFrames, ActDelayFrames, ActDupFrames:
+			if a.Rate < 0 || a.Rate > 1 {
+				return oerrors.Errorf(oerrors.Admission, oerrors.CodeInvalidOption,
+					"chaos: campaign %s: action %d (%s) rate %v outside [0,1]",
+					c.Name, i, a.Kind, a.Rate)
+			}
+		}
+	}
+	return nil
+}
+
 // Schedule renders the campaign header and every action, one per line —
 // byte-identical across replays of the same seed.
 func (c Campaign) Schedule() string {
@@ -164,7 +193,11 @@ type Result struct {
 	Readmissions   int    `json:"readmissions"`
 	FaultsInjected uint64 `json:"faults_injected"` // frames dropped/dup'd/delayed
 	Steals         uint64 `json:"steals,omitempty"`
-	Recovered      uint64 `json:"recovered,omitempty"` // units that survived a domain loss
+	// PeerSteals counts the subset of Steals that moved directly
+	// domain-to-domain over the mesh (fabric workloads with peer
+	// stealing on).
+	PeerSteals uint64 `json:"peer_steals,omitempty"`
+	Recovered  uint64 `json:"recovered,omitempty"` // units that survived a domain loss
 
 	// Unclassified counts surfaced errors that carried no taxonomy
 	// code: MUST be zero — every error crossing the public surface is

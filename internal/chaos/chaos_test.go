@@ -60,6 +60,65 @@ func TestKillMidGraphCampaign(t *testing.T) {
 	}
 }
 
+// TestValidateRejectsPhantomDomain is the fail-fast contract: a
+// schedule naming a domain id outside the campaign's own topology must
+// fail the campaign immediately with a classified error — not silently
+// no-op its way to a hollow PASS — and Run must never build a workload
+// for it.
+func TestValidateRejectsPhantomDomain(t *testing.T) {
+	c := KillMidGraphCampaign()
+	c.Actions = append(c.Actions, Action{Kind: ActReadmitDomain, At: time.Second, Domain: c.Domains + 3})
+	if err := c.Validate(); err == nil {
+		t.Fatal("Validate accepted a phantom domain id")
+	} else if _, ok := oerrors.CodeOf(err); !ok {
+		t.Fatalf("Validate error unclassified: %v", err)
+	}
+	start := time.Now()
+	r := Run(c)
+	if r.OK() {
+		t.Fatal("Run passed a campaign with a phantom domain id")
+	}
+	if r.Unclassified != 0 {
+		t.Errorf("Unclassified = %d, want 0", r.Unclassified)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("Run took %v for an invalid campaign, want fail-fast", elapsed)
+	}
+	if r.Submitted != 0 {
+		t.Errorf("Submitted = %d: workload built for an invalid campaign", r.Submitted)
+	}
+}
+
+// TestMeshCampaigns replays the fixed 8-domain peer-steal scenarios:
+// kill-victim-mid-yield must settle byte-exact having actually exercised
+// direct mesh steals, and dead-peer-channel must settle despite its
+// drop window starving mesh links.
+func TestMeshCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second fault campaigns")
+	}
+	for _, c := range MeshCampaigns() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			r := Run(c)
+			if !r.OK() {
+				t.Fatalf("campaign %s failed: %v", c.Name, r.Failures)
+			}
+			if r.Lost != 0 || r.Inexact != 0 {
+				t.Errorf("lost=%d inexact=%d, want 0/0", r.Lost, r.Inexact)
+			}
+			if c.Name == "kill-victim-mid-yield" {
+				if r.PeerSteals == 0 {
+					t.Errorf("PeerSteals = 0 (Steals = %d), want direct mesh migrations", r.Steals)
+				}
+				if r.DomainKills != 1 {
+					t.Errorf("DomainKills = %d, want 1", r.DomainKills)
+				}
+			}
+		})
+	}
+}
+
 // TestMixedCampaignsSettle runs one short planned campaign per workload
 // — each composing frame faults, a kill/readmit pair and (where the
 // workload has admission) saturation and cancellation — and asserts the

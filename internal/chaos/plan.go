@@ -122,3 +122,61 @@ func KillMidGraphCampaign() Campaign {
 		},
 	}
 }
+
+// KillVictimMidYieldCampaign exercises the peer-steal mesh's nastiest
+// interleaving at full board width: eight serial worker domains, six
+// blockers backing most of them up so idle domains steal directly over
+// the mesh, then a loaded domain killed the moment the first steal
+// lands — with peer stealing on that steal is a direct mesh migration,
+// so the victim can die holding tasks it canceled but never finished
+// yielding. Those tasks die with it; the host's flights still point at
+// the corpse, heartbeat loss reclaims them, and the graph must settle
+// byte-exact with zero lost jobs. Seed 42, fixed forever; chaos CI
+// replays it every run.
+func KillVictimMidYieldCampaign() Campaign {
+	return Campaign{
+		Name:     "kill-victim-mid-yield",
+		Seed:     42,
+		Workload: WorkloadFabric,
+		Domains:  8,
+		Tasks:    32,
+		Blockers: 6,
+		TaskSpin: 15 * time.Millisecond,
+		Duration: 4 * time.Second,
+		Actions: []Action{
+			{Kind: ActKillDomain, At: 30 * time.Millisecond, Domain: 0, AfterSteal: true},
+			{Kind: ActReadmitDomain, At: 2 * time.Second, Domain: 0},
+		},
+	}
+}
+
+// DeadPeerChannelCampaign starves the mesh instead of killing domains:
+// a long high-rate drop window eats peer-steal requests and yields
+// mid-flight, so thieves time out on unanswered peers and walk the
+// fallback ladder down to host brokerage — while a mid-window kill (of
+// a domain whose mesh links are equally lossy) exercises loss recovery
+// under the same damage. Zero lost jobs, byte-exact, at eight domains.
+// Seed 42, fixed forever.
+func DeadPeerChannelCampaign() Campaign {
+	return Campaign{
+		Name:     "dead-peer-channel",
+		Seed:     42,
+		Workload: WorkloadFabric,
+		Domains:  8,
+		Tasks:    32,
+		Blockers: 5,
+		TaskSpin: 10 * time.Millisecond,
+		Duration: 4 * time.Second,
+		Actions: []Action{
+			{Kind: ActDropFrames, At: 10 * time.Millisecond, Rate: 0.6, Window: 1500 * time.Millisecond},
+			{Kind: ActKillDomain, At: 400 * time.Millisecond, Domain: 3},
+			{Kind: ActReadmitDomain, At: 2 * time.Second, Domain: 3},
+		},
+	}
+}
+
+// MeshCampaigns bundles the fixed peer-steal scenarios chaos CI replays
+// alongside KillMidGraphCampaign.
+func MeshCampaigns() []Campaign {
+	return []Campaign{KillVictimMidYieldCampaign(), DeadPeerChannelCampaign()}
+}

@@ -28,6 +28,11 @@ const drainBudget = 30 * time.Second
 // process-global fault state, so campaigns must run one at a time.
 func Run(c Campaign) Result {
 	res := Result{Campaign: c.Name, Seed: c.Seed, Workload: c.Workload}
+	if err := c.Validate(); err != nil {
+		res.checkClassified("validate", err)
+		res.fail("invalid campaign: %v", err)
+		return res
+	}
 	before := oerrors.Counts()
 	ff := newFrameFaults(c.Seed)
 	mcapi.SetFaultInjector(ff.injector)
@@ -238,6 +243,7 @@ func runFabric(c Campaign, ff *frameFaults, res *Result) {
 	}
 	st := f.Stats()
 	res.Steals = st.Steals
+	res.PeerSteals = st.PeerSteals
 	res.Recovered = sp.Stats().Recovered
 	if st.DomainsLost < uint64(res.DomainKills) {
 		res.fail("DomainsLost = %d < kills applied %d", st.DomainsLost, res.DomainKills)
@@ -572,6 +578,7 @@ func runService(c Campaign, ff *frameFaults, res *Result) {
 	}
 
 	res.Steals = fab.Stats().Steals
+	res.PeerSteals = fab.Stats().PeerSteals
 	verifyObservability(hc, ff, res)
 }
 

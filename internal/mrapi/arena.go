@@ -1,0 +1,180 @@
+package mrapi
+
+import (
+	"sync"
+	"time"
+)
+
+// WindowArena carves one remote-memory segment into recyclable leases,
+// so a domain can stage bulk payloads for its peers without allocating
+// a fresh segment per transfer. The arena only manages offsets: the
+// actual data moves through the segment's ReadI/WriteI DMA requests
+// (see RmemWritePadded/RmemReadPadded for the burst-alignment helpers).
+//
+// Leases are expected to be released explicitly by the consumer's ack;
+// because acks ride lossy channels, every lease also carries a birth
+// time, and an allocation that finds the arena full sweeps leases older
+// than maxAge before giving up. A failed Lease is therefore a signal to
+// fall back to inline payloads, never an error.
+type WindowArena struct {
+	rm     *Rmem
+	maxAge time.Duration
+
+	mu     sync.Mutex
+	free   []arenaSpan        // sorted by offset, coalesced
+	leases map[int]arenaLease // offset -> live lease
+}
+
+type arenaSpan struct{ off, size int }
+
+type arenaLease struct {
+	size int
+	born time.Time
+}
+
+// PadToBurst rounds n up to the DMA engine's burst granularity; DMA
+// segments reject transfers that are not a burst multiple, so arena
+// slots and transfer buffers are always padded.
+func PadToBurst(n int) int {
+	return (n + DMABurstSize - 1) / DMABurstSize * DMABurstSize
+}
+
+// NewWindowArena wraps rm, treating the whole segment as free. maxAge
+// bounds how long an unreleased lease can block the space: leases older
+// than maxAge are reclaimed when an allocation would otherwise fail.
+// maxAge <= 0 disables the sweep (leases then live until Release).
+func NewWindowArena(rm *Rmem, maxAge time.Duration) *WindowArena {
+	return &WindowArena{
+		rm:     rm,
+		maxAge: maxAge,
+		free:   []arenaSpan{{off: 0, size: rm.Size()}},
+		leases: make(map[int]arenaLease),
+	}
+}
+
+// Rmem returns the segment the arena manages.
+func (a *WindowArena) Rmem() *Rmem { return a.rm }
+
+// Lease reserves space for n payload bytes (padded to the DMA burst
+// size) and returns its window offset. ok is false when the arena —
+// even after sweeping expired leases — has no span large enough; the
+// caller then ships the payload inline.
+func (a *WindowArena) Lease(n int) (offset int, ok bool) {
+	if n <= 0 {
+		return 0, false
+	}
+	size := PadToBurst(n)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if off, ok := a.takeLocked(size); ok {
+		return off, true
+	}
+	if !a.sweepLocked(time.Now()) {
+		return 0, false
+	}
+	return a.takeLocked(size)
+}
+
+// takeLocked carves size bytes out of the first span that fits.
+func (a *WindowArena) takeLocked(size int) (int, bool) {
+	for i, s := range a.free {
+		if s.size < size {
+			continue
+		}
+		off := s.off
+		if s.size == size {
+			a.free = append(a.free[:i], a.free[i+1:]...)
+		} else {
+			a.free[i] = arenaSpan{off: s.off + size, size: s.size - size}
+		}
+		a.leases[off] = arenaLease{size: size, born: time.Now()}
+		return off, true
+	}
+	return 0, false
+}
+
+// sweepLocked releases leases older than maxAge, reporting whether any
+// space was reclaimed.
+func (a *WindowArena) sweepLocked(now time.Time) bool {
+	if a.maxAge <= 0 {
+		return false
+	}
+	swept := false
+	for off, l := range a.leases {
+		if now.Sub(l.born) > a.maxAge {
+			a.releaseLocked(off, l)
+			swept = true
+		}
+	}
+	return swept
+}
+
+// Release returns a lease's space to the arena. Releasing an offset
+// that holds no live lease (already released, already swept, or a
+// duplicate ack) is a no-op and reports false.
+func (a *WindowArena) Release(offset int) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	l, ok := a.leases[offset]
+	if !ok {
+		return false
+	}
+	a.releaseLocked(offset, l)
+	return true
+}
+
+// releaseLocked merges the lease's span back into the sorted free list.
+func (a *WindowArena) releaseLocked(offset int, l arenaLease) {
+	delete(a.leases, offset)
+	i := 0
+	for i < len(a.free) && a.free[i].off < offset {
+		i++
+	}
+	a.free = append(a.free, arenaSpan{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = arenaSpan{off: offset, size: l.size}
+	// Coalesce with the right neighbor, then the left.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].size == a.free[i+1].off {
+		a.free[i].size += a.free[i+1].size
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	if i > 0 && a.free[i-1].off+a.free[i-1].size == a.free[i].off {
+		a.free[i-1].size += a.free[i].size
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+// InUse reports the live lease count and leased byte total.
+func (a *WindowArena) InUse() (leases, bytes int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, l := range a.leases {
+		bytes += l.size
+	}
+	return len(a.leases), bytes
+}
+
+// RmemWritePadded stages src into the segment at offset through the
+// asynchronous DMA engine, padding the transfer up to the burst size
+// the segment requires. The destination slot must have been leased with
+// at least len(src) bytes.
+func RmemWritePadded(r *Rmem, n *Node, offset int, src []byte) error {
+	size := PadToBurst(len(src))
+	if size != len(src) {
+		buf := make([]byte, size)
+		copy(buf, src)
+		src = buf
+	}
+	return r.WriteI(n, offset, src).Wait(TimeoutInfinite)
+}
+
+// RmemReadPadded pulls length payload bytes from the segment at offset
+// through the asynchronous DMA engine, reading the padded slot and
+// returning the unpadded payload.
+func RmemReadPadded(r *Rmem, n *Node, offset, length int) ([]byte, error) {
+	buf := make([]byte, PadToBurst(length))
+	if err := r.ReadI(n, offset, buf).Wait(TimeoutInfinite); err != nil {
+		return nil, err
+	}
+	return buf[:length], nil
+}

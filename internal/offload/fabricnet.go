@@ -22,6 +22,11 @@ const (
 	portCmd mcapi.Port = 1 // host -> worker packet channel, commands
 	portRes mcapi.Port = 2 // worker -> host packet channel, results
 	portHB  mcapi.Port = 3 // connectionless heartbeat pings
+
+	// portPeerBase starts the steal-mesh port range: worker j receives
+	// peer traffic from worker i on port portPeerBase+i. Packet channels
+	// are strictly 1:1, so each ordered worker pair gets its own port.
+	portPeerBase mcapi.Port = 8
 )
 
 // hostDomainID is the host runtime's MCAPI domain; worker i lives in
@@ -35,6 +40,8 @@ type NetConfig struct {
 	NamePrefix string          // partition names: <prefix>-host, <prefix>-dom<i>
 	CmdDepth   int             // host->worker command queue depth
 	ResDepth   int             // worker->host result queue depth
+	Mesh       bool            // also wire N×(N−1) direct worker-to-worker channels
+	PeerDepth  int             // per-direction peer queue depth (default 8)
 }
 
 // NetLink is one worker domain of a built net, both sides of its wiring:
@@ -56,6 +63,11 @@ type NetLink struct {
 	// Host side.
 	CmdSend *mcapi.PktSendHandle // commands out
 	ResRecv *mcapi.PktRecvHandle // results back
+
+	// Steal mesh (nil maps unless NetConfig.Mesh): direct packet
+	// channels to and from every other worker domain, keyed by peer id.
+	PeerSend map[int]*mcapi.PktSendHandle // this worker -> peer
+	PeerRecv map[int]*mcapi.PktRecvHandle // peer -> this worker
 }
 
 // Net is a built fabric: the hypervisor, the host runtime and MCAPI
@@ -244,5 +256,56 @@ func BuildNet(cfg NetConfig) (*Net, error) {
 			ResRecv: resRecv,
 		})
 	}
+	if cfg.Mesh && cfg.Domains >= 2 {
+		if err := buildMesh(net, cfg); err != nil {
+			return fail(err)
+		}
+	}
 	return net, nil
+}
+
+// buildMesh wires the N×(N−1) unidirectional steal-mesh channels: for
+// every ordered worker pair (src, dst) a packet channel from src's node
+// to a fixed per-source port on dst's node, so any worker can push a
+// steal request or a yielded task straight to any peer without the host
+// relaying frames.
+func buildMesh(net *Net, cfg NetConfig) error {
+	depth := cfg.PeerDepth
+	if depth <= 0 {
+		depth = 8
+	}
+	attrs := &mcapi.EndpointAttributes{QueueDepth: depth}
+	for _, l := range net.Links {
+		l.PeerSend = make(map[int]*mcapi.PktSendHandle, len(net.Links)-1)
+		l.PeerRecv = make(map[int]*mcapi.PktRecvHandle, len(net.Links)-1)
+	}
+	for _, src := range net.Links {
+		for _, dst := range net.Links {
+			if src.ID == dst.ID {
+				continue
+			}
+			recvEp, err := dst.Node.CreateEndpoint(portPeerBase+mcapi.Port(src.ID), attrs)
+			if err != nil {
+				return err
+			}
+			sendEp, err := src.Node.CreateEndpoint(mcapi.PortAny, nil)
+			if err != nil {
+				return err
+			}
+			if err := mcapi.PktConnect(sendEp, recvEp); err != nil {
+				return err
+			}
+			send, err := mcapi.PktOpenSend(sendEp)
+			if err != nil {
+				return err
+			}
+			recv, err := mcapi.PktOpenRecv(recvEp)
+			if err != nil {
+				return err
+			}
+			src.PeerSend[dst.ID] = send
+			dst.PeerRecv[src.ID] = recv
+		}
+	}
+	return nil
 }

@@ -1,0 +1,288 @@
+package offload
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire codec for the peer-to-peer steal mesh and the MRAPI zero-copy
+// data plane (internal/taskfabric). These kinds continue the shared
+// kind space after KindBatch (13), so every channel in the fabric —
+// host cmd/res and the worker-to-worker mesh — stays classifiable by
+// its first byte.
+//
+//	peersteal:  kind | thief u32 | want u32
+//	peeryield:  kind | victim u32 | task-frame body (see taskcodec.go)
+//	stealmoved: kind | task u64 | thief u32 | victim u32
+//	rmemdesc:   kind | inner u8 | owner u32 | offset u64 | len u32 |
+//	            hdrLen u32 | inner frame with empty payload
+//	rmemack:    kind | owner u32 | offset u64
+//	loadmap:    kind | n u32 | n x occ u32
+
+// Mesh and zero-copy frame kinds, continuing the shared kind space
+// after KindBatch (13).
+const (
+	KindPeerSteal  = msgKind(14 + iota) // thief -> victim (direct) or thief -> host (brokered fallback)
+	KindPeerYield                       // victim -> thief (direct): one queued task changes hands
+	KindStealMoved                      // thief -> host: re-point accounting after a direct steal
+	KindRmemDesc                        // any: payload staged in an MRAPI window, frame carries a descriptor
+	KindRmemAck                         // payload consumed: owner may recycle the window slot
+	KindLoadMap                         // host -> workers: per-domain occupancy snapshot
+)
+
+// PeerStealFrame asks a victim domain to yield up to Want queued tasks
+// directly to the thief. Sent host-ward on the result channel it is a
+// brokered-fallback request: the host runs the classic grant path on
+// the thief's behalf.
+type PeerStealFrame struct {
+	Thief uint32 // requesting domain id
+	Want  uint32 // max tasks to yield
+}
+
+// PeerYieldFrame hands one queued task directly from victim to thief;
+// the embedded TaskFrame is the same body a host dispatch carries.
+type PeerYieldFrame struct {
+	Victim uint32
+	Task   TaskFrame
+}
+
+// StealMovedFrame tells the host a task migrated victim -> thief via a
+// direct peer steal, so flight accounting, occupancy and loss recovery
+// follow the task to its new executor.
+type StealMovedFrame struct {
+	Task   uint64
+	Thief  uint32
+	Victim uint32
+}
+
+// RmemDescFrame is the zero-copy envelope: the inner frame travels with
+// an empty payload, and the payload itself sits in the MRAPI window of
+// arena owner Owner at [Offset, Offset+Length). Inner names the wrapped
+// frame kind (KindTask, KindTaskResult or KindPeerYield); Header is the
+// inner frame encoded with a nil payload.
+type RmemDescFrame struct {
+	Inner  WireKind
+	Owner  uint32 // arena owner: 0 = host, i = worker domain i
+	Offset uint64 // byte offset into the owner's window
+	Length uint32 // unpadded payload length
+	Header []byte // inner frame, payload field empty
+}
+
+// RmemAckFrame tells an arena owner the payload at Offset was consumed
+// and the window slot may be recycled.
+type RmemAckFrame struct {
+	Owner  uint32
+	Offset uint64
+}
+
+// LoadMapFrame is the host's occupancy broadcast: Occ[i] is the
+// in-flight count of worker domain i+1. Idle workers pick their steal
+// victim from the most recent map.
+type LoadMapFrame struct {
+	Occ []uint32
+}
+
+// EncodePeerSteal encodes a KindPeerSteal packet.
+func EncodePeerSteal(m PeerStealFrame) []byte {
+	buf := frameBuf(1 + 4 + 4)
+	buf = append(buf, byte(KindPeerSteal))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Thief)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Want)
+	return buf
+}
+
+// DecodePeerSteal decodes a KindPeerSteal packet.
+func DecodePeerSteal(pkt []byte) (PeerStealFrame, error) {
+	var m PeerStealFrame
+	if len(pkt) != 1+4+4 || msgKind(pkt[0]) != KindPeerSteal {
+		return m, fmt.Errorf("offload: malformed peer-steal frame (%d bytes)", len(pkt))
+	}
+	m.Thief = binary.LittleEndian.Uint32(pkt[1:])
+	m.Want = binary.LittleEndian.Uint32(pkt[5:])
+	return m, nil
+}
+
+// EncodePeerYield encodes a KindPeerYield packet: the victim id followed
+// by the task-frame body.
+func EncodePeerYield(m PeerYieldFrame) []byte {
+	t := m.Task
+	buf := frameBuf(1 + 4 + 8 + 4 + 8 + 2 + len(t.Job) + 4 + len(t.Arg))
+	buf = append(buf, byte(KindPeerYield))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Victim)
+	buf = binary.LittleEndian.AppendUint64(buf, t.Task)
+	buf = binary.LittleEndian.AppendUint32(buf, t.Attempt)
+	buf = binary.LittleEndian.AppendUint64(buf, t.Group)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(t.Job)))
+	buf = append(buf, t.Job...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Arg)))
+	buf = append(buf, t.Arg...)
+	return buf
+}
+
+// DecodePeerYield decodes a KindPeerYield packet, copying the argument
+// out of pkt; use DecodePeerYieldShared when the caller owns pkt
+// exclusively.
+func DecodePeerYield(pkt []byte) (PeerYieldFrame, error) {
+	return decodePeerYieldBuf(pkt, false)
+}
+
+// DecodePeerYieldShared decodes with Task.Arg aliasing pkt — no copy.
+// Only for receivers that own the delivered packet exclusively.
+func DecodePeerYieldShared(pkt []byte) (PeerYieldFrame, error) {
+	return decodePeerYieldBuf(pkt, true)
+}
+
+func decodePeerYieldBuf(pkt []byte, share bool) (PeerYieldFrame, error) {
+	var m PeerYieldFrame
+	if len(pkt) < 1+4 || msgKind(pkt[0]) != KindPeerYield {
+		return m, fmt.Errorf("offload: malformed peer-yield frame (%d bytes)", len(pkt))
+	}
+	m.Victim = binary.LittleEndian.Uint32(pkt[1:])
+	p := pkt[5:]
+	if len(p) < 8+4+8+2 {
+		return m, fmt.Errorf("offload: peer-yield frame truncated (%d bytes)", len(pkt))
+	}
+	m.Task.Task = binary.LittleEndian.Uint64(p)
+	m.Task.Attempt = binary.LittleEndian.Uint32(p[8:])
+	m.Task.Group = binary.LittleEndian.Uint64(p[12:])
+	jlen := int(binary.LittleEndian.Uint16(p[20:]))
+	p = p[22:]
+	if len(p) < jlen+4 {
+		return m, fmt.Errorf("offload: peer-yield frame truncated in job name")
+	}
+	m.Task.Job = string(p[:jlen])
+	p = p[jlen:]
+	alen := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	if len(p) != alen {
+		return m, fmt.Errorf("offload: peer-yield arg length %d, have %d bytes", alen, len(p))
+	}
+	if alen > 0 {
+		if share {
+			m.Task.Arg = p
+		} else {
+			m.Task.Arg = append([]byte(nil), p...)
+		}
+	}
+	return m, nil
+}
+
+// EncodeStealMoved encodes a KindStealMoved packet.
+func EncodeStealMoved(m StealMovedFrame) []byte {
+	buf := frameBuf(1 + 8 + 4 + 4)
+	buf = append(buf, byte(KindStealMoved))
+	buf = binary.LittleEndian.AppendUint64(buf, m.Task)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Thief)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Victim)
+	return buf
+}
+
+// DecodeStealMoved decodes a KindStealMoved packet.
+func DecodeStealMoved(pkt []byte) (StealMovedFrame, error) {
+	var m StealMovedFrame
+	if len(pkt) != 1+8+4+4 || msgKind(pkt[0]) != KindStealMoved {
+		return m, fmt.Errorf("offload: malformed steal-moved frame (%d bytes)", len(pkt))
+	}
+	m.Task = binary.LittleEndian.Uint64(pkt[1:])
+	m.Thief = binary.LittleEndian.Uint32(pkt[9:])
+	m.Victim = binary.LittleEndian.Uint32(pkt[13:])
+	return m, nil
+}
+
+// EncodeRmemDesc encodes a KindRmemDesc packet.
+func EncodeRmemDesc(m RmemDescFrame) []byte {
+	buf := frameBuf(1 + 1 + 4 + 8 + 4 + 4 + len(m.Header))
+	buf = append(buf, byte(KindRmemDesc), byte(m.Inner))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Owner)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Offset)
+	buf = binary.LittleEndian.AppendUint32(buf, m.Length)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Header)))
+	buf = append(buf, m.Header...)
+	return buf
+}
+
+// DecodeRmemDesc decodes a KindRmemDesc packet, copying the header out
+// of pkt; use DecodeRmemDescShared when the caller owns pkt exclusively.
+func DecodeRmemDesc(pkt []byte) (RmemDescFrame, error) {
+	return decodeRmemDescBuf(pkt, false)
+}
+
+// DecodeRmemDescShared decodes with Header aliasing pkt — no copy. Only
+// for receivers that own the delivered packet exclusively.
+func DecodeRmemDescShared(pkt []byte) (RmemDescFrame, error) {
+	return decodeRmemDescBuf(pkt, true)
+}
+
+func decodeRmemDescBuf(pkt []byte, share bool) (RmemDescFrame, error) {
+	var m RmemDescFrame
+	if len(pkt) < 1+1+4+8+4+4 || msgKind(pkt[0]) != KindRmemDesc {
+		return m, fmt.Errorf("offload: malformed rmem-desc frame (%d bytes)", len(pkt))
+	}
+	m.Inner = msgKind(pkt[1])
+	m.Owner = binary.LittleEndian.Uint32(pkt[2:])
+	m.Offset = binary.LittleEndian.Uint64(pkt[6:])
+	m.Length = binary.LittleEndian.Uint32(pkt[14:])
+	hlen := int(binary.LittleEndian.Uint32(pkt[18:]))
+	p := pkt[22:]
+	if len(p) != hlen {
+		return m, fmt.Errorf("offload: rmem-desc header length %d, have %d bytes", hlen, len(p))
+	}
+	if hlen > 0 {
+		if share {
+			m.Header = p
+		} else {
+			m.Header = append([]byte(nil), p...)
+		}
+	}
+	return m, nil
+}
+
+// EncodeRmemAck encodes a KindRmemAck packet.
+func EncodeRmemAck(m RmemAckFrame) []byte {
+	buf := frameBuf(1 + 4 + 8)
+	buf = append(buf, byte(KindRmemAck))
+	buf = binary.LittleEndian.AppendUint32(buf, m.Owner)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Offset)
+	return buf
+}
+
+// DecodeRmemAck decodes a KindRmemAck packet.
+func DecodeRmemAck(pkt []byte) (RmemAckFrame, error) {
+	var m RmemAckFrame
+	if len(pkt) != 1+4+8 || msgKind(pkt[0]) != KindRmemAck {
+		return m, fmt.Errorf("offload: malformed rmem-ack frame (%d bytes)", len(pkt))
+	}
+	m.Owner = binary.LittleEndian.Uint32(pkt[1:])
+	m.Offset = binary.LittleEndian.Uint64(pkt[5:])
+	return m, nil
+}
+
+// EncodeLoadMap encodes a KindLoadMap packet.
+func EncodeLoadMap(m LoadMapFrame) []byte {
+	buf := frameBuf(1 + 4 + 4*len(m.Occ))
+	buf = append(buf, byte(KindLoadMap))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Occ)))
+	for _, o := range m.Occ {
+		buf = binary.LittleEndian.AppendUint32(buf, o)
+	}
+	return buf
+}
+
+// DecodeLoadMap decodes a KindLoadMap packet.
+func DecodeLoadMap(pkt []byte) (LoadMapFrame, error) {
+	var m LoadMapFrame
+	if len(pkt) < 1+4 || msgKind(pkt[0]) != KindLoadMap {
+		return m, fmt.Errorf("offload: malformed load-map frame (%d bytes)", len(pkt))
+	}
+	n := int(binary.LittleEndian.Uint32(pkt[1:]))
+	if len(pkt) != 1+4+4*n {
+		return m, fmt.Errorf("offload: load-map count %d, have %d bytes", n, len(pkt))
+	}
+	if n > 0 {
+		m.Occ = make([]uint32, n)
+		for i := range m.Occ {
+			m.Occ[i] = binary.LittleEndian.Uint32(pkt[5+4*i:])
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,92 @@
+package offload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMeshCodecRoundTrips(t *testing.T) {
+	ps := PeerStealFrame{Thief: 3, Want: 7}
+	if got, err := DecodePeerSteal(EncodePeerSteal(ps)); err != nil || got != ps {
+		t.Fatalf("peer-steal round trip: %+v, %v", got, err)
+	}
+
+	py := PeerYieldFrame{
+		Victim: 5,
+		Task:   TaskFrame{Task: 42, Attempt: 2, Group: 9, Job: "sum", Arg: []byte{1, 2, 3}},
+	}
+	got, err := DecodePeerYield(EncodePeerYield(py))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Victim != py.Victim || got.Task.Task != py.Task.Task ||
+		got.Task.Attempt != py.Task.Attempt || got.Task.Group != py.Task.Group ||
+		got.Task.Job != py.Task.Job || !bytes.Equal(got.Task.Arg, py.Task.Arg) {
+		t.Fatalf("peer-yield round trip %+v != %+v", got, py)
+	}
+
+	sm := StealMovedFrame{Task: 42, Thief: 3, Victim: 5}
+	if got, err := DecodeStealMoved(EncodeStealMoved(sm)); err != nil || got != sm {
+		t.Fatalf("steal-moved round trip: %+v, %v", got, err)
+	}
+
+	rd := RmemDescFrame{
+		Inner: KindTask, Owner: 2, Offset: 4096, Length: 8192,
+		Header: EncodeTaskFrame(KindTask, TaskFrame{Task: 42, Job: "sum"}),
+	}
+	gotRd, err := DecodeRmemDesc(EncodeRmemDesc(rd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRd.Inner != rd.Inner || gotRd.Owner != rd.Owner || gotRd.Offset != rd.Offset ||
+		gotRd.Length != rd.Length || !bytes.Equal(gotRd.Header, rd.Header) {
+		t.Fatalf("rmem-desc round trip %+v != %+v", gotRd, rd)
+	}
+	// The embedded header must decode back to the inner frame.
+	inner, err := DecodeTaskFrame(KindTask, gotRd.Header)
+	if err != nil || inner.Task != 42 || inner.Job != "sum" {
+		t.Fatalf("rmem-desc header decode: %+v, %v", inner, err)
+	}
+
+	ra := RmemAckFrame{Owner: 2, Offset: 4096}
+	if got, err := DecodeRmemAck(EncodeRmemAck(ra)); err != nil || got != ra {
+		t.Fatalf("rmem-ack round trip: %+v, %v", got, err)
+	}
+
+	lm := LoadMapFrame{Occ: []uint32{0, 5, 2, 9}}
+	gotLm, err := DecodeLoadMap(EncodeLoadMap(lm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotLm.Occ) != len(lm.Occ) {
+		t.Fatalf("load-map round trip %+v != %+v", gotLm, lm)
+	}
+	for i := range lm.Occ {
+		if gotLm.Occ[i] != lm.Occ[i] {
+			t.Fatalf("load-map occ[%d] = %d, want %d", i, gotLm.Occ[i], lm.Occ[i])
+		}
+	}
+}
+
+func TestMeshFrameKindClassifies(t *testing.T) {
+	cases := []struct {
+		pkt  []byte
+		want WireKind
+	}{
+		{EncodePeerSteal(PeerStealFrame{}), KindPeerSteal},
+		{EncodePeerYield(PeerYieldFrame{}), KindPeerYield},
+		{EncodeStealMoved(StealMovedFrame{}), KindStealMoved},
+		{EncodeRmemDesc(RmemDescFrame{}), KindRmemDesc},
+		{EncodeRmemAck(RmemAckFrame{}), KindRmemAck},
+		{EncodeLoadMap(LoadMapFrame{}), KindLoadMap},
+	}
+	for _, c := range cases {
+		if k, ok := FrameKind(c.pkt); !ok || k != c.want {
+			t.Fatalf("FrameKind(% x): kind %d ok=%v, want %d", c.pkt, k, ok, c.want)
+		}
+	}
+	// One past the mesh range must not classify.
+	if _, ok := FrameKind([]byte{byte(KindLoadMap) + 1}); ok {
+		t.Fatal("kind past the mesh range classified as a fabric frame")
+	}
+}

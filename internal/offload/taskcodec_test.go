@@ -77,6 +77,13 @@ func FuzzTaskCodec(f *testing.F) {
 	f.Add(EncodeStealGrant(StealGrantFrame{Want: 2}))
 	f.Add(EncodeGroupDone(GroupDoneFrame{Group: 5}))
 	f.Add(EncodePing(HBFrame{Domain: 1, Seq: 2}))
+	f.Add(EncodePeerSteal(PeerStealFrame{Thief: 1, Want: 2}))
+	f.Add(EncodePeerYield(PeerYieldFrame{Victim: 1, Task: TaskFrame{Task: 4, Job: "j"}}))
+	f.Add(EncodeStealMoved(StealMovedFrame{Task: 4, Thief: 1, Victim: 2}))
+	f.Add(EncodeRmemDesc(RmemDescFrame{Inner: KindTask, Owner: 1, Offset: 64, Length: 9,
+		Header: EncodeTaskFrame(KindTask, TaskFrame{Task: 4, Job: "j"})}))
+	f.Add(EncodeRmemAck(RmemAckFrame{Owner: 1, Offset: 64}))
+	f.Add(EncodeLoadMap(LoadMapFrame{Occ: []uint32{1, 0, 3}}))
 	f.Add([]byte{})
 	f.Add([]byte{byte(KindTask)})
 	f.Fuzz(func(t *testing.T, pkt []byte) {
@@ -118,6 +125,36 @@ func FuzzTaskCodec(f *testing.F) {
 		if m, err := DecodePong(pkt); err == nil {
 			if !bytes.Equal(EncodePong(m), pkt) {
 				t.Fatalf("pong not canonical: % x", pkt)
+			}
+		}
+		if m, err := DecodePeerSteal(pkt); err == nil {
+			if !bytes.Equal(EncodePeerSteal(m), pkt) {
+				t.Fatalf("peer-steal not canonical: % x", pkt)
+			}
+		}
+		if m, err := DecodePeerYield(pkt); err == nil {
+			if !bytes.Equal(EncodePeerYield(m), pkt) {
+				t.Fatalf("peer-yield not canonical: % x", pkt)
+			}
+		}
+		if m, err := DecodeStealMoved(pkt); err == nil {
+			if !bytes.Equal(EncodeStealMoved(m), pkt) {
+				t.Fatalf("steal-moved not canonical: % x", pkt)
+			}
+		}
+		if m, err := DecodeRmemDesc(pkt); err == nil {
+			if !bytes.Equal(EncodeRmemDesc(m), pkt) {
+				t.Fatalf("rmem-desc not canonical: % x", pkt)
+			}
+		}
+		if m, err := DecodeRmemAck(pkt); err == nil {
+			if !bytes.Equal(EncodeRmemAck(m), pkt) {
+				t.Fatalf("rmem-ack not canonical: % x", pkt)
+			}
+		}
+		if m, err := DecodeLoadMap(pkt); err == nil {
+			if !bytes.Equal(EncodeLoadMap(m), pkt) {
+				t.Fatalf("load-map not canonical: % x", pkt)
 			}
 		}
 	})

@@ -71,7 +71,10 @@ type Stats struct {
 	Dropped   uint64 `json:"dropped"`   // completed spans evicted by the ring bound
 	Retries   uint64 `json:"retries"`   // extra dispatch attempts across all spans
 	Recovered uint64 `json:"recovered"` // spans re-executed on the host after a remote send
-	Steals    uint64 `json:"steals"`    // host-brokered task migrations (not attributable to one span)
+	Steals    uint64 `json:"steals"`    // task migrations, brokered and direct (not attributable to one span)
+	// PeerSteals counts the subset of Steals that moved domain-to-domain
+	// over the mesh without the host relaying the task frame.
+	PeerSteals uint64 `json:"peer_steals,omitempty"`
 }
 
 // View is the JSON shape of an exporter snapshot: the retained
@@ -205,6 +208,14 @@ func (x *Exporter) TaskRecv(domain, task int) {
 func (x *Exporter) TaskSteal(_, _ int) {
 	x.mu.Lock()
 	x.st.Steals++
+	x.mu.Unlock()
+}
+
+// PeerSteal implements taskfabric.PeerStealSink: a direct mesh steal,
+// already counted in Steals via the accompanying TaskSteal callback.
+func (x *Exporter) PeerSteal(_, _ int) {
+	x.mu.Lock()
+	x.st.PeerSteals++
 	x.mu.Unlock()
 }
 

@@ -3,9 +3,11 @@ package taskfabric
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"openmpmca/internal/core"
 	"openmpmca/internal/mcapi"
+	"openmpmca/internal/mrapi"
 	"openmpmca/internal/mtapi"
 	"openmpmca/internal/offload"
 )
@@ -15,11 +17,22 @@ import (
 // the wire stays name-based while the local scheduler stays MTAPI.
 const fabricJob mtapi.JobID = 1
 
+// rmemRef locates a task argument staged in an MRAPI window instead of
+// carried inline: the read is deferred until the task actually runs, so
+// a task that is yielded onward (to the host or straight to a peer)
+// forwards the reference untouched and the bytes move exactly once.
+type rmemRef struct {
+	owner  uint32
+	offset uint64
+	length uint32
+}
+
 // queuedTask is one task frame accepted by a worker but not yet running:
 // the unit of currency for steal grants and group-done drops, both of
 // which work by canceling the still-queued MTAPI task.
 type queuedTask struct {
 	frame offload.TaskFrame
+	ref   *rmemRef    // non-nil when the argument lives in a window
 	mt    *mtapi.Task // nil for the instant between map insert and Start
 }
 
@@ -50,24 +63,51 @@ type worker struct {
 	qmu     sync.Mutex
 	queued  map[uint64]*queuedTask // accepted, not yet started
 	running int                    // tasks currently executing
+
+	// Steal mesh (nil maps when peer stealing is off or single-domain).
+	peerSend map[int]*mcapi.PktSendHandle
+	peerRecv map[int]*mcapi.PktRecvHandle
+	loadMap  atomic.Pointer[[]uint32] // latest host occupancy broadcast
+
+	peerReqMu sync.Mutex
+	peerReqs  map[int]*mcapi.Request // outstanding peer receives, by peer
+
+	stealMu     sync.Mutex
+	stealVictim int // domain a steal request is outstanding to; -1 none
+	stealAt     time.Time
+
+	// Zero-copy plane (nil when disabled).
+	rnode       *mrapi.Node
+	rarena      *mrapi.WindowArena
+	rwin        []*mrapi.Rmem
+	zeroCopyMin int
 }
 
-func newWorker(id int, name string, rt *core.Runtime, node *mcapi.Node,
-	reg *Registry, cmdRecv *mcapi.PktRecvHandle, resSend *mcapi.PktSendHandle,
-	hbEp, hbHost *mcapi.Endpoint, mtWorkers int, batch bool) (*worker, error) {
+func newWorker(nl *offload.NetLink, reg *Registry, mtWorkers int,
+	cfg *config, plane *rmemPlane) (*worker, error) {
 	w := &worker{
-		id:      id,
-		name:    name,
-		rt:      rt,
-		node:    node,
-		mt:      mtapi.NewNode(uint32(id), 0, &mtapi.NodeAttributes{Workers: mtWorkers}),
-		reg:     reg,
-		cmdRecv: cmdRecv,
-		resSend: resSend,
-		hbEp:    hbEp,
-		hbHost:  hbHost,
-		batch:   batch,
-		queued:  make(map[uint64]*queuedTask),
+		id:          nl.ID,
+		name:        nl.Name,
+		rt:          nl.RT,
+		node:        nl.Node,
+		mt:          mtapi.NewNode(uint32(nl.ID), 0, &mtapi.NodeAttributes{Workers: mtWorkers}),
+		reg:         reg,
+		cmdRecv:     nl.CmdRecv,
+		resSend:     nl.ResSend,
+		hbEp:        nl.HBEp,
+		hbHost:      nl.HBHost,
+		batch:       cfg.batch,
+		queued:      make(map[uint64]*queuedTask),
+		peerSend:    nl.PeerSend,
+		peerRecv:    nl.PeerRecv,
+		peerReqs:    make(map[int]*mcapi.Request),
+		stealVictim: -1,
+	}
+	if plane != nil {
+		w.rnode = plane.nodes[w.id]
+		w.rarena = plane.arenas[w.id]
+		w.rwin = plane.windows
+		w.zeroCopyMin = cfg.zeroCopyMin
 	}
 	if _, err := w.mt.CreateAction(fabricJob, "taskfabric", w.execute); err != nil {
 		w.mt.Shutdown()
@@ -80,6 +120,10 @@ func (w *worker) start() {
 	w.wg.Add(2)
 	go w.dispatch()
 	go w.heartbeat()
+	for peer, recv := range w.peerRecv {
+		w.wg.Add(1)
+		go w.peerLoop(peer, recv)
+	}
 }
 
 // Kill simulates the domain crashing: the service loops abandon their
@@ -96,6 +140,14 @@ func (w *worker) Kill() {
 	if r := w.hbReq.Load(); r != nil {
 		_ = r.Cancel()
 	}
+	w.peerReqMu.Lock()
+	for _, r := range w.peerReqs {
+		_ = r.Cancel()
+	}
+	w.peerReqMu.Unlock()
+	w.stealMu.Lock()
+	w.stealVictim = -1
+	w.stealMu.Unlock()
 	w.qmu.Lock()
 	for id, qt := range w.queued {
 		if qt.mt != nil {
@@ -180,14 +232,19 @@ func (w *worker) handle(kind offload.WireKind, pkt []byte) bool {
 		w.yield(pkt)
 	case offload.KindGroupDone:
 		w.dropGroup(pkt)
+	case offload.KindRmemDesc:
+		w.acceptDesc(pkt)
+	case offload.KindRmemAck:
+		if m, err := offload.DecodeRmemAck(pkt); err == nil && w.rarena != nil {
+			w.rarena.Release(int(m.Offset))
+		}
+	case offload.KindLoadMap:
+		w.onLoadMap(pkt)
 	}
 	return true
 }
 
-// accept enqueues one task frame on the local MTAPI node. The queued-map
-// insert happens before Start so a steal grant can always find the task;
-// the mt field is backfilled under the lock, and skipped if the MTAPI
-// worker already started (and removed) the task in between.
+// accept enqueues one host-dispatched task frame.
 func (w *worker) accept(pkt []byte) {
 	// The dispatcher owns each delivered packet exclusively and never
 	// recycles it, so the frame's argument may alias it.
@@ -195,8 +252,40 @@ func (w *worker) accept(pkt []byte) {
 	if err != nil {
 		return
 	}
-	qt := &queuedTask{frame: f}
+	w.acceptFrame(f, nil)
+}
+
+// acceptDesc enqueues a task whose argument is staged in the host's
+// MRAPI window: the descriptor rides the frame, the DMA read waits until
+// the task actually runs.
+func (w *worker) acceptDesc(pkt []byte) {
+	d, err := offload.DecodeRmemDescShared(pkt)
+	if err != nil || d.Inner != offload.KindTask || w.rnode == nil {
+		return
+	}
+	if int(d.Owner) >= len(w.rwin) {
+		return
+	}
+	f, err := offload.DecodeTaskFrameShared(offload.KindTask, d.Header)
+	if err != nil {
+		return
+	}
+	w.acceptFrame(f, &rmemRef{owner: d.Owner, offset: d.Offset, length: d.Length})
+}
+
+// acceptFrame enqueues one task frame on the local MTAPI node. The
+// queued-map insert happens before Start so a steal grant can always
+// find the task; the mt field is backfilled under the lock, and skipped
+// if the MTAPI worker already started (and removed) the task in between.
+// Duplicate deliveries — a fault-injected dup, or a peer yield racing a
+// host re-dispatch — are rejected by task id.
+func (w *worker) acceptFrame(f offload.TaskFrame, ref *rmemRef) bool {
+	qt := &queuedTask{frame: f, ref: ref}
 	w.qmu.Lock()
+	if _, dup := w.queued[f.Task]; dup {
+		w.qmu.Unlock()
+		return false
+	}
 	w.queued[f.Task] = qt
 	w.qmu.Unlock()
 	t, err := w.mt.Start(fabricJob, qt, nil)
@@ -204,18 +293,22 @@ func (w *worker) accept(pkt []byte) {
 		w.qmu.Lock()
 		delete(w.queued, f.Task)
 		w.qmu.Unlock()
-		return // node down; the host's deadline re-dispatches the task
+		return false // node down; the host's deadline re-dispatches the task
 	}
 	w.qmu.Lock()
-	if _, still := w.queued[f.Task]; still {
+	if cur, still := w.queued[f.Task]; still && cur == qt {
 		qt.mt = t
 	}
 	w.qmu.Unlock()
+	return true
 }
 
-// execute is the MTAPI action behind every fabric task: resolve the job
-// by name, run it on this domain's OpenMP runtime, send the result and a
-// fresh credit report. A killed worker's results die with it.
+// execute is the MTAPI action behind every fabric task: materialize the
+// argument (inline, or DMA'd out of the owner's window when the frame
+// carried a descriptor), resolve the job by name, run it on this
+// domain's OpenMP runtime, send the result and a fresh credit report. A
+// killed worker's results die with it. Going idle afterwards triggers a
+// direct peer steal.
 func (w *worker) execute(args any) (any, error) {
 	qt := args.(*queuedTask)
 	f := qt.frame
@@ -224,11 +317,26 @@ func (w *worker) execute(args any) (any, error) {
 	w.running++
 	w.qmu.Unlock()
 
+	arg := f.Arg
+	if qt.ref != nil {
+		data, err := mrapi.RmemReadPadded(w.rwin[qt.ref.owner], w.rnode,
+			int(qt.ref.offset), int(qt.ref.length))
+		if err != nil {
+			// Window unreadable (plane torn down): drop the task; the
+			// host's deadline re-dispatches it, inline if need be.
+			w.qmu.Lock()
+			w.running--
+			w.qmu.Unlock()
+			return nil, nil
+		}
+		arg = data
+	}
+
 	res := offload.TaskResultFrame{Task: f.Task, Attempt: f.Attempt}
 	if job, ok := w.reg.Lookup(f.Job); !ok {
 		res.Status = offload.StatusUnknownJob
 		res.Payload = []byte(f.Job)
-	} else if payload, jerr := job.Execute(w.rt, f.Arg); jerr != nil {
+	} else if payload, jerr := job.Execute(w.rt, arg); jerr != nil {
 		res.Status = offload.StatusJobError
 		res.Payload = []byte(jerr.Error())
 	} else {
@@ -247,8 +355,39 @@ func (w *worker) execute(args any) (any, error) {
 		// Crashed mid-task: the computed result dies with the domain.
 		return nil, nil
 	}
-	w.flush(offload.EncodeTaskResult(res), offload.EncodeCredit(credit))
+	w.flush(w.encodeResult(res), offload.EncodeCredit(credit))
+	w.maybeSteal()
 	return nil, nil
+}
+
+// encodeResult encodes a result frame, staging large OK payloads in the
+// worker's own arena so only a descriptor rides the wire. Any plane
+// hiccup — arena full, write failure — falls back to inline; the plane
+// is a pure optimization.
+func (w *worker) encodeResult(res offload.TaskResultFrame) []byte {
+	if w.rarena == nil || res.Status != offload.StatusOK || len(res.Payload) < w.zeroCopyMin {
+		return offload.EncodeTaskResult(res)
+	}
+	off, ok := w.rarena.Lease(len(res.Payload))
+	if !ok {
+		return offload.EncodeTaskResult(res)
+	}
+	if err := mrapi.RmemWritePadded(w.rarena.Rmem(), w.rnode, off, res.Payload); err != nil {
+		w.rarena.Release(off)
+		return offload.EncodeTaskResult(res)
+	}
+	length := uint32(len(res.Payload))
+	res.Payload = nil
+	hdr := offload.EncodeTaskResult(res)
+	desc := offload.EncodeRmemDesc(offload.RmemDescFrame{
+		Inner:  offload.KindTaskResult,
+		Owner:  uint32(w.id),
+		Offset: uint64(off),
+		Length: length,
+		Header: hdr,
+	})
+	offload.RecycleFrame(hdr)
+	return desc
 }
 
 // flush ships encoded frames to the host under sendMu — one batch packet

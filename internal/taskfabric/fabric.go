@@ -29,6 +29,7 @@ import (
 
 	"openmpmca/internal/core"
 	"openmpmca/internal/mcapi"
+	"openmpmca/internal/mrapi"
 	"openmpmca/internal/oerrors"
 	"openmpmca/internal/offload"
 	"openmpmca/internal/perfmodel"
@@ -74,22 +75,32 @@ type EventSink interface {
 	TaskSteal(thief, victim int)
 }
 
+// PeerStealSink is an optional EventSink extension: sinks that also
+// implement it receive an event for every direct (peer-to-peer) steal,
+// distinct from the TaskSteal event both brokered and direct migrations
+// emit. trace.Recorder and spans.Exporter implement it.
+type PeerStealSink interface {
+	PeerSteal(thief, victim int)
+}
+
 // stealMin is the outstanding-task floor below which a domain is not
 // worth stealing from.
 const stealMin = 2
 
 // config collects the tunables behind the Options.
 type config struct {
-	domains   int
-	board     *platform.Board
-	deadline  time.Duration
-	retries   int
-	heartbeat time.Duration
-	lostAfter time.Duration
-	inflight  int
-	mtWorkers int
-	sink      EventSink
-	batch     bool
+	domains     int
+	board       *platform.Board
+	deadline    time.Duration
+	retries     int
+	heartbeat   time.Duration
+	lostAfter   time.Duration
+	inflight    int
+	mtWorkers   int
+	sink        EventSink
+	batch       bool
+	peerSteal   bool
+	zeroCopyMin int
 }
 
 // Option configures NewFabric.
@@ -97,13 +108,15 @@ type Option func(*config) error
 
 func defaultConfig() config {
 	return config{
-		domains:   3,
-		board:     platform.T4240RDB(),
-		deadline:  time.Second,
-		retries:   2,
-		heartbeat: 20 * time.Millisecond,
-		inflight:  8,
-		batch:     true,
+		domains:     3,
+		board:       platform.T4240RDB(),
+		deadline:    time.Second,
+		retries:     2,
+		heartbeat:   20 * time.Millisecond,
+		inflight:    8,
+		batch:       true,
+		peerSteal:   true,
+		zeroCopyMin: 4096,
 	}
 }
 
@@ -201,6 +214,31 @@ func WithBatching(on bool) Option {
 	}
 }
 
+// WithPeerStealing toggles the direct worker-to-worker steal mesh
+// (default on). When on, BuildNet wires N×(N−1) peer packet channels
+// and an idle domain sends its steal request straight to the most
+// loaded victim, falling back to host brokerage only when the peer path
+// is dead. Off restores the host-brokered-only protocol byte-for-byte —
+// the ablation baseline.
+func WithPeerStealing(on bool) Option {
+	return func(c *config) error {
+		c.peerSteal = on
+		return nil
+	}
+}
+
+// WithZeroCopyThreshold sets the payload size (bytes) above which task
+// arguments and results travel through MRAPI remote-memory windows
+// instead of inline in frames, with the frame carrying only an
+// (owner, offset, len) descriptor. n <= 0 disables the zero-copy plane
+// entirely. Default 4096.
+func WithZeroCopyThreshold(n int) Option {
+	return func(c *config) error {
+		c.zeroCopyMin = n
+		return nil
+	}
+}
+
 // WithEventSink installs a sink for EvTaskSend/EvTaskRecv/EvTaskSteal
 // events.
 func WithEventSink(s EventSink) Option {
@@ -212,32 +250,38 @@ func WithEventSink(s EventSink) Option {
 
 // counters are the Fabric's monotonically increasing stats.
 type counters struct {
-	submitted    atomic.Uint64
-	remoteTasks  atomic.Uint64
-	localTasks   atomic.Uint64
-	resends      atomic.Uint64
-	steals       atomic.Uint64
-	canceled     atomic.Uint64
-	domainsLost  atomic.Uint64
-	readmissions atomic.Uint64
-	heartbeats   atomic.Uint64
-	pingDrops    atomic.Uint64
+	submitted         atomic.Uint64
+	remoteTasks       atomic.Uint64
+	localTasks        atomic.Uint64
+	resends           atomic.Uint64
+	steals            atomic.Uint64
+	peerSteals        atomic.Uint64
+	brokeredFallbacks atomic.Uint64
+	rmemBytesMoved    atomic.Uint64
+	canceled          atomic.Uint64
+	domainsLost       atomic.Uint64
+	readmissions      atomic.Uint64
+	heartbeats        atomic.Uint64
+	pingDrops         atomic.Uint64
 }
 
 // Stats is a point-in-time copy of the fabric counters. It is
 // JSON-taggable: it serializes as the "fabric" section of the unified
 // openmpmca.Snapshot.
 type Stats struct {
-	Submitted    uint64 `json:"submitted"`    // tasks accepted by SubmitJob
-	RemoteTasks  uint64 `json:"remote_tasks"` // tasks completed by worker domains
-	LocalTasks   uint64 `json:"local_tasks"`  // tasks completed by the host's local executor
-	Resends      uint64 `json:"resends"`      // task re-dispatches (deadline or domain loss)
-	Steals       uint64 `json:"steals"`       // queued tasks migrated between domains
-	Canceled     uint64 `json:"canceled"`     // tasks canceled via Group.Cancel
-	DomainsLost  uint64 `json:"domains_lost"` // worker domains declared dead
-	Readmissions uint64 `json:"readmissions"` // lost domains readmitted after restart
-	Heartbeats   uint64 `json:"heartbeats"`   // pongs received
-	PingDrops    uint64 `json:"ping_drops"`   // pings dropped by a full send queue
+	Submitted         uint64 `json:"submitted"`          // tasks accepted by SubmitJob
+	RemoteTasks       uint64 `json:"remote_tasks"`       // tasks completed by worker domains
+	LocalTasks        uint64 `json:"local_tasks"`        // tasks completed by the host's local executor
+	Resends           uint64 `json:"resends"`            // task re-dispatches (deadline or domain loss)
+	Steals            uint64 `json:"steals"`             // queued tasks migrated between domains (any path)
+	PeerSteals        uint64 `json:"peer_steals"`        // steals completed over direct peer channels
+	BrokeredFallbacks uint64 `json:"brokered_fallbacks"` // peer-steal attempts that fell back to host brokerage
+	RmemBytesMoved    uint64 `json:"rmem_bytes_moved"`   // payload bytes staged through MRAPI windows
+	Canceled          uint64 `json:"canceled"`           // tasks canceled via Group.Cancel
+	DomainsLost       uint64 `json:"domains_lost"`       // worker domains declared dead
+	Readmissions      uint64 `json:"readmissions"`       // lost domains readmitted after restart
+	Heartbeats        uint64 `json:"heartbeats"`         // pongs received
+	PingDrops         uint64 `json:"ping_drops"`         // pings dropped by a full send queue
 }
 
 // TaskHandle tracks one submitted task. Waiters may call Wait from any
@@ -320,6 +364,13 @@ type task struct {
 	lostDom     int
 	lostName    string
 	lostSilence time.Duration
+
+	// Zero-copy staging: when the argument was written into the host's
+	// MRAPI window at submit, frames carry only a descriptor and the
+	// lease is held (the window is the wire's copy; t.arg stays the
+	// host's local copy for retries and loss recovery) until settle.
+	staged  bool
+	rmemOff int
 }
 
 // flight tracks one dispatched task: which executor has it, when it was
@@ -344,6 +395,16 @@ type localDone struct {
 	err     error
 }
 
+// rmemResult is one remote task result whose payload was staged in a
+// worker's MRAPI window: a reader goroutine pulled the payload off the
+// window (keeping the multi-millisecond DMA wait out of the scheduler
+// loop) and hands the completed frame back in.
+type rmemResult struct {
+	dom int
+	m   offload.TaskResultFrame
+	ok  bool // read succeeded; false just clears the in-flight mark
+}
+
 // hostLink is the host's view of one worker domain. occ mirrors the
 // scheduler's outstanding-task count for this domain (the scheduler
 // goroutine is the only writer; introspection surfaces such as
@@ -366,9 +427,10 @@ type hostLink struct {
 // domains, joined only by MCAPI, executing MTAPI-style jobs. It is safe
 // for concurrent use.
 type Fabric struct {
-	cfg config
-	reg *Registry
-	net *offload.Net
+	cfg   config
+	reg   *Registry
+	net   *offload.Net
+	plane *rmemPlane // zero-copy interconnect; nil when disabled
 
 	workers []*worker
 	links   []*hostLink
@@ -377,6 +439,7 @@ type Fabric struct {
 	arrCh       chan arrival
 	localQ      chan *task
 	localDoneCh chan localDone
+	rmemResCh   chan rmemResult
 	lostCh      chan int
 	cancelCh    chan *Group
 	stopCh      chan struct{}
@@ -409,6 +472,8 @@ func NewFabric(reg *Registry, opts ...Option) (*Fabric, error) {
 		NamePrefix: "fabric",
 		CmdDepth:   cfg.inflight + 4,
 		ResDepth:   cfg.inflight + 4,
+		Mesh:       cfg.peerSteal && cfg.domains >= 2,
+		PeerDepth:  cfg.inflight + 4,
 	})
 	if err != nil {
 		return nil, err
@@ -422,9 +487,18 @@ func NewFabric(reg *Registry, opts ...Option) (*Fabric, error) {
 		arrCh:       make(chan arrival, 64),
 		localQ:      make(chan *task, 4),
 		localDoneCh: make(chan localDone),
+		rmemResCh:   make(chan rmemResult, 16),
 		lostCh:      make(chan int, cfg.domains),
 		cancelCh:    make(chan *Group),
 		stopCh:      make(chan struct{}),
+	}
+	if cfg.zeroCopyMin > 0 {
+		plane, perr := newRmemPlane(cfg.domains)
+		if perr != nil {
+			_ = f.teardownNet()
+			return nil, perr
+		}
+		f.plane = plane
 	}
 	now := time.Now().UnixNano()
 	for _, nl := range net.Links {
@@ -435,8 +509,7 @@ func NewFabric(reg *Registry, opts ...Option) (*Fabric, error) {
 				mtWorkers = 4
 			}
 		}
-		w, werr := newWorker(nl.ID, nl.Name, nl.RT, nl.Node, reg,
-			nl.CmdRecv, nl.ResSend, nl.HBEp, nl.HBHost, mtWorkers, cfg.batch)
+		w, werr := newWorker(nl, reg, mtWorkers, &cfg, f.plane)
 		if werr != nil {
 			_ = f.teardownNet()
 			return nil, werr
@@ -497,16 +570,19 @@ func (f *Fabric) Render() string { return f.net.HV.Render() }
 // Stats snapshots the fabric counters.
 func (f *Fabric) Stats() Stats {
 	return Stats{
-		Submitted:    f.st.submitted.Load(),
-		RemoteTasks:  f.st.remoteTasks.Load(),
-		LocalTasks:   f.st.localTasks.Load(),
-		Resends:      f.st.resends.Load(),
-		Steals:       f.st.steals.Load(),
-		Canceled:     f.st.canceled.Load(),
-		DomainsLost:  f.st.domainsLost.Load(),
-		Readmissions: f.st.readmissions.Load(),
-		Heartbeats:   f.st.heartbeats.Load(),
-		PingDrops:    f.st.pingDrops.Load(),
+		Submitted:         f.st.submitted.Load(),
+		RemoteTasks:       f.st.remoteTasks.Load(),
+		LocalTasks:        f.st.localTasks.Load(),
+		Resends:           f.st.resends.Load(),
+		Steals:            f.st.steals.Load(),
+		PeerSteals:        f.st.peerSteals.Load(),
+		BrokeredFallbacks: f.st.brokeredFallbacks.Load(),
+		RmemBytesMoved:    f.st.rmemBytesMoved.Load(),
+		Canceled:          f.st.canceled.Load(),
+		DomainsLost:       f.st.domainsLost.Load(),
+		Readmissions:      f.st.readmissions.Load(),
+		Heartbeats:        f.st.heartbeats.Load(),
+		PingDrops:         f.st.pingDrops.Load(),
 	}
 }
 
@@ -597,6 +673,19 @@ func (f *Fabric) submit(job string, arg []byte, g *Group) (*TaskHandle, error) {
 	id := f.idSeq.Add(1)
 	h := &TaskHandle{id: id, job: job, done: make(chan struct{})}
 	t := &task{id: id, job: job, arg: append([]byte(nil), arg...), h: h, g: g}
+	if f.plane != nil && len(t.arg) >= f.cfg.zeroCopyMin {
+		// Stage the bulk argument into the host's MRAPI window on the
+		// submitter's goroutine, keeping the DMA wait off the scheduler.
+		// A full arena just means this task ships inline.
+		if off, ok := f.plane.arenas[0].Lease(len(t.arg)); ok {
+			if mrapi.RmemWritePadded(f.plane.windows[0], f.plane.host, off, t.arg) == nil {
+				t.staged, t.rmemOff = true, off
+				f.st.rmemBytesMoved.Add(uint64(len(t.arg)))
+			} else {
+				f.plane.arenas[0].Release(off)
+			}
+		}
+	}
 	if g != nil {
 		g.addMember(h)
 	}
@@ -687,6 +776,7 @@ func (f *Fabric) scheduler() {
 		infl        = make(map[uint64]flight)
 		grantVictim = -1
 		grantThief  = -1
+		rmemReads   = make(map[uint64]struct{}) // window reads in flight, by task
 	)
 	// Per-domain outstanding counts live on the links as atomics so
 	// DomainInfos can snapshot them; the scheduler is the only writer.
@@ -702,9 +792,9 @@ func (f *Fabric) scheduler() {
 		return false
 	}
 
-	// finish completes a task: release its flight slot, settle the
-	// handle (a recovered task's success carries ErrDomainLost), notify
-	// its group.
+	// finish completes a task: release its flight slot and any staged
+	// window lease, settle the handle (a recovered task's success
+	// carries ErrDomainLost), notify its group.
 	finish := func(t *task, payload []byte, err error) {
 		delete(tasks, t.id)
 		if fl, ok := infl[t.id]; ok {
@@ -715,6 +805,10 @@ func (f *Fabric) scheduler() {
 					f.links[fl.dom].ewma.Observe(float64(time.Since(fl.sent)))
 				}
 			}
+		}
+		if t.staged {
+			f.plane.arenas[0].Release(t.rmemOff)
+			t.staged = false
 		}
 		if err == nil && t.recovered {
 			err = oerrors.DomainLost(ErrDomainLost, "taskfabric",
@@ -727,15 +821,32 @@ func (f *Fabric) scheduler() {
 		}
 	}
 
-	// encodeTask builds one task descriptor frame.
+	// encodeTask builds one task descriptor frame. A staged task ships
+	// as an rmem descriptor wrapping an argument-less header: the bytes
+	// stay in the host's window and the worker DMAs them out at
+	// execution time.
 	encodeTask := func(t *task) []byte {
 		var gid uint64
 		if t.g != nil {
 			gid = t.g.id
 		}
-		return offload.EncodeTaskFrame(offload.KindTask, offload.TaskFrame{
+		fr := offload.TaskFrame{
 			Task: t.id, Attempt: t.attempt, Group: gid, Job: t.job, Arg: t.arg,
-		})
+		}
+		if t.staged {
+			fr.Arg = nil
+			hdr := offload.EncodeTaskFrame(offload.KindTask, fr)
+			pkt := offload.EncodeRmemDesc(offload.RmemDescFrame{
+				Inner:  offload.KindTask,
+				Owner:  0,
+				Offset: uint64(t.rmemOff),
+				Length: uint32(len(t.arg)),
+				Header: hdr,
+			})
+			offload.RecycleFrame(hdr)
+			return pkt
+		}
+		return offload.EncodeTaskFrame(offload.KindTask, fr)
 	}
 
 	// commitRemote records a successful dispatch of t to domain li.
@@ -872,6 +983,58 @@ func (f *Fabric) scheduler() {
 		pending = append(pending, t)
 	}
 
+	// tryGrant runs the host-brokered steal protocol on behalf of an
+	// idle thief domain: grant the most loaded live victim permission to
+	// yield half its queue. Shared by the classic credit trigger (peer
+	// stealing off) and the peer-mesh fallback path.
+	tryGrant := func(thief int) {
+		if occ(thief) != 0 || len(pending) != 0 || grantVictim >= 0 || !live(thief) {
+			return
+		}
+		victim := -1
+		for li := range f.links {
+			if li == thief || !live(li) || occ(li) < stealMin {
+				continue
+			}
+			if victim < 0 || occ(li) > occ(victim) {
+				victim = li
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		grant := offload.EncodeStealGrant(offload.StealGrantFrame{
+			Want: uint32(occ(victim) / 2),
+		})
+		err := f.links[victim].cmd.Send(grant, mcapi.TimeoutImmediate)
+		offload.RecycleFrame(grant)
+		if err == nil {
+			grantVictim, grantThief = victim, thief
+		}
+	}
+
+	// finishResult settles one decoded remote result, shared by the
+	// inline path and the window-staged path.
+	finishResult := func(dom int, m offload.TaskResultFrame) bool {
+		t, known := tasks[m.Task]
+		if !known {
+			return false // duplicate or stale: already settled
+		}
+		var terr error
+		switch m.Status {
+		case offload.StatusUnknownJob:
+			terr = oerrors.Errorf(oerrors.Internal, oerrors.CodeUnknownJob, "taskfabric: domain %d: unknown job %q", dom, string(m.Payload))
+		case offload.StatusJobError:
+			terr = oerrors.Errorf(oerrors.Internal, oerrors.CodeJobFailed, "taskfabric: job %q: %s", t.job, string(m.Payload))
+		}
+		f.st.remoteTasks.Add(1)
+		if f.cfg.sink != nil {
+			f.cfg.sink.TaskRecv(dom, int(t.id))
+		}
+		finish(t, m.Payload, terr)
+		return true
+	}
+
 	tick := time.NewTicker(10 * time.Millisecond)
 	defer tick.Stop()
 
@@ -879,6 +1042,10 @@ func (f *Fabric) scheduler() {
 		select {
 		case <-f.stopCh:
 			for _, t := range tasks {
+				if t.staged {
+					f.plane.arenas[0].Release(t.rmemOff)
+					t.staged = false
+				}
 				t.h.finish(nil, ErrClosed)
 				if t.g != nil {
 					t.g.taskDone(t.h)
@@ -908,23 +1075,7 @@ func (f *Fabric) scheduler() {
 					if err != nil {
 						return false
 					}
-					t, known := tasks[m.Task]
-					if !known {
-						return false // duplicate or stale: already settled
-					}
-					var terr error
-					switch m.Status {
-					case offload.StatusUnknownJob:
-						terr = oerrors.Errorf(oerrors.Internal, oerrors.CodeUnknownJob, "taskfabric: domain %d: unknown job %q", a.dom, string(m.Payload))
-					case offload.StatusJobError:
-						terr = oerrors.Errorf(oerrors.Internal, oerrors.CodeJobFailed, "taskfabric: job %q: %s", t.job, string(m.Payload))
-					}
-					f.st.remoteTasks.Add(1)
-					if f.cfg.sink != nil {
-						f.cfg.sink.TaskRecv(a.dom, int(t.id))
-					}
-					finish(t, m.Payload, terr)
-					return true
+					return finishResult(a.dom, m)
 				case offload.KindTaskYield:
 					m, err := offload.DecodeTaskFrameShared(offload.KindTaskYield, pkt)
 					if err != nil {
@@ -962,28 +1113,75 @@ func (f *Fabric) scheduler() {
 					if grantVictim == a.dom {
 						clearGrant() // grant settled: victim reported back
 					}
-					if m.Queued == 0 && m.Running == 0 && occ(a.dom) == 0 &&
-						len(pending) == 0 && grantVictim < 0 && live(a.dom) {
-						victim := -1
-						for li := range f.links {
-							if li == a.dom || !live(li) || occ(li) < stealMin {
-								continue
-							}
-							if victim < 0 || occ(li) > occ(victim) {
-								victim = li
-							}
-						}
-						if victim >= 0 {
-							grant := offload.EncodeStealGrant(offload.StealGrantFrame{
-								Want: uint32(occ(victim) / 2),
-							})
-							err := f.links[victim].cmd.Send(grant, mcapi.TimeoutImmediate)
-							offload.RecycleFrame(grant)
-							if err == nil {
-								grantVictim, grantThief = victim, a.dom
-							}
+					// With peer stealing on, idle domains drive their own
+					// steals over the mesh; the host only brokers when a
+					// worker explicitly falls back (KindPeerSteal below).
+					if !f.cfg.peerSteal && m.Queued == 0 && m.Running == 0 {
+						tryGrant(a.dom)
+					}
+				case offload.KindPeerSteal:
+					// A thief's peer path is dead or went unanswered: it
+					// asks the host to broker the steal the classic way.
+					if _, err := offload.DecodePeerSteal(pkt); err != nil {
+						return false
+					}
+					f.st.brokeredFallbacks.Add(1)
+					tryGrant(a.dom)
+				case offload.KindStealMoved:
+					m, err := offload.DecodeStealMoved(pkt)
+					if err != nil {
+						return false
+					}
+					// Re-point the flight from victim to thief so deadlines,
+					// occupancy and loss recovery follow the task to its new
+					// executor. Stale moves (task settled, reclaimed, or
+					// already re-dispatched) are ignored: the eventual
+					// duplicate result is dropped by the settle check.
+					victimLi := int(m.Victim) - 1
+					thiefLi := a.dom
+					if victimLi < 0 || victimLi >= len(f.links) {
+						return false
+					}
+					fl, ok := infl[m.Task]
+					if !ok || fl.dom != victimLi {
+						return false
+					}
+					if _, known := tasks[m.Task]; !known {
+						return false
+					}
+					now := time.Now()
+					infl[m.Task] = flight{dom: thiefLi, sent: now, expiry: now.Add(f.cfg.deadline)}
+					f.links[victimLi].occ.Add(-1)
+					f.links[thiefLi].occ.Add(1)
+					f.st.steals.Add(1)
+					f.st.peerSteals.Add(1)
+					if f.cfg.sink != nil {
+						f.cfg.sink.TaskSteal(thiefLi, victimLi)
+						if ps, ok := f.cfg.sink.(PeerStealSink); ok {
+							ps.PeerSteal(thiefLi, victimLi)
 						}
 					}
+					return true
+				case offload.KindRmemDesc:
+					d, err := offload.DecodeRmemDescShared(pkt)
+					if err != nil || d.Inner != offload.KindTaskResult || f.plane == nil {
+						return false
+					}
+					m, err := offload.DecodeTaskResult(d.Header)
+					if err != nil || int(d.Owner) >= len(f.plane.windows) {
+						return false
+					}
+					if _, known := tasks[m.Task]; !known {
+						// Already settled: no read, but still ack so the
+						// worker's arena slot recycles promptly.
+						f.ackRmem(d)
+						return false
+					}
+					if _, busy := rmemReads[m.Task]; busy {
+						return false // duplicate descriptor; first read wins
+					}
+					rmemReads[m.Task] = struct{}{}
+					go f.readRmemResult(a.dom, m, d.Owner, d.Offset, d.Length)
 				}
 				return false
 			}
@@ -1013,6 +1211,12 @@ func (f *Fabric) scheduler() {
 			}
 			finish(d.t, d.payload, d.err)
 			pump()
+
+		case r := <-f.rmemResCh:
+			delete(rmemReads, r.m.Task)
+			if r.ok && finishResult(r.dom, r.m) {
+				pump()
+			}
 
 		case li := <-f.lostCh:
 			ll := f.links[li]
@@ -1050,6 +1254,10 @@ func (f *Fabric) scheduler() {
 						f.links[fl.dom].occ.Add(-1)
 					}
 				}
+				if t.staged {
+					f.plane.arenas[0].Release(t.rmemOff)
+					t.staged = false
+				}
 				f.st.canceled.Add(1)
 				t.h.finish(nil, ErrCanceled)
 				g.taskDone(t.h)
@@ -1077,6 +1285,20 @@ func (f *Fabric) scheduler() {
 				reclaim(t, false)
 			}
 			pump()
+			if f.cfg.peerSteal && len(f.links) >= 2 {
+				// Broadcast the occupancy snapshot the mesh steals from.
+				lm := offload.LoadMapFrame{Occ: make([]uint32, len(f.links))}
+				for li := range f.links {
+					lm.Occ[li] = uint32(occ(li))
+				}
+				pkt := offload.EncodeLoadMap(lm)
+				for li := range f.links {
+					if live(li) {
+						_ = f.links[li].cmd.Send(pkt, mcapi.TimeoutImmediate)
+					}
+				}
+				offload.RecycleFrame(pkt)
+			}
 		}
 	}
 }

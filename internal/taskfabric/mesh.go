@@ -1,0 +1,105 @@
+package taskfabric
+
+import (
+	"time"
+
+	"openmpmca/internal/mcapi"
+	"openmpmca/internal/mrapi"
+	"openmpmca/internal/offload"
+)
+
+// The zero-copy data plane: one standalone MRAPI system modeling the
+// board's interconnect-visible shared memory. Every participant — the
+// host (index 0) and each worker domain (index i) — owns one DMA-kind
+// remote-memory window carved into recyclable leases by a WindowArena,
+// and every participant is attached to every window so any side can DMA
+// a peer's staged payload out. Frames then carry only (owner, offset,
+// len) descriptors above the WithZeroCopyThreshold size.
+//
+// Lease lifecycle: the WRITER owns its lease. The host releases a
+// staged task argument when the task settles (so deadline re-dispatches
+// and peer-yield forwards reuse the same bytes); a worker releases a
+// staged result when the host's KindRmemAck arrives. Acks ride lossy
+// channels, so arenas also sweep leases older than planeLeaseMaxAge
+// when an allocation would otherwise fail — and a failed lease simply
+// ships the payload inline, keeping the plane a pure optimization.
+const (
+	// planeWindowBytes sizes each participant's window.
+	planeWindowBytes = 1 << 20
+	// planeLeaseMaxAge bounds how long a lease dropped on the floor (a
+	// lost ack, a killed reader) can occupy its window.
+	planeLeaseMaxAge = 30 * time.Second
+)
+
+// rmemPlane is the host's handle on the plane. Index 0 everywhere is
+// the host; index i (1-based) is worker domain i.
+type rmemPlane struct {
+	sys     *mrapi.System
+	host    *mrapi.Node
+	nodes   []*mrapi.Node
+	windows []*mrapi.Rmem
+	arenas  []*mrapi.WindowArena
+}
+
+// newRmemPlane builds the shared interconnect memory for one host plus
+// n worker domains.
+func newRmemPlane(n int) (*rmemPlane, error) {
+	p := &rmemPlane{sys: mrapi.NewSystem(nil)}
+	for i := 0; i <= n; i++ {
+		node, err := p.sys.Initialize(0, mrapi.NodeID(i), nil)
+		if err != nil {
+			return nil, err
+		}
+		p.nodes = append(p.nodes, node)
+	}
+	p.host = p.nodes[0]
+	attrs := &mrapi.RmemAttributes{Access: mrapi.RmemDMA}
+	for i, node := range p.nodes {
+		rm, err := node.RmemCreate(mrapi.Key(i), planeWindowBytes, attrs)
+		if err != nil {
+			return nil, err
+		}
+		p.windows = append(p.windows, rm)
+		p.arenas = append(p.arenas, mrapi.NewWindowArena(rm, planeLeaseMaxAge))
+	}
+	for _, rm := range p.windows {
+		for _, node := range p.nodes {
+			if err := rm.Attach(node); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return p, nil
+}
+
+// ackRmem tells a worker-owned arena its slot was consumed (or will
+// never be read because the task already settled). Best-effort: a full
+// or dead command channel just means the lease waits for the sweep.
+func (f *Fabric) ackRmem(d offload.RmemDescFrame) {
+	li := int(d.Owner) - 1
+	if li < 0 || li >= len(f.links) {
+		return // host-owned leases are released at settle, never acked
+	}
+	pkt := offload.EncodeRmemAck(offload.RmemAckFrame{Owner: d.Owner, Offset: d.Offset})
+	_ = f.links[li].cmd.Send(pkt, mcapi.TimeoutImmediate)
+	offload.RecycleFrame(pkt)
+}
+
+// readRmemResult runs off the scheduler goroutine: DMA the staged
+// result payload out of the owner's window, ack the slot, and hand the
+// completed result frame back to the scheduler. On a read failure the
+// result is dropped — the task's deadline re-dispatches it, so
+// correctness never depends on the plane.
+func (f *Fabric) readRmemResult(dom int, m offload.TaskResultFrame, owner uint32, offset uint64, length uint32) {
+	data, err := mrapi.RmemReadPadded(f.plane.windows[owner], f.plane.host, int(offset), int(length))
+	f.ackRmem(offload.RmemDescFrame{Owner: owner, Offset: offset})
+	ok := err == nil
+	if ok {
+		m.Payload = data
+		f.st.rmemBytesMoved.Add(uint64(length))
+	}
+	select {
+	case f.rmemResCh <- rmemResult{dom: dom, m: m, ok: ok}:
+	case <-f.stopCh:
+	}
+}

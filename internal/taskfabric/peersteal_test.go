@@ -1,0 +1,234 @@
+package taskfabric
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"openmpmca/internal/trace"
+)
+
+// trace.Recorder and the fabric's own sink contract must both see peer
+// steals.
+var _ PeerStealSink = (*trace.Recorder)(nil)
+
+// stealFixture builds the canonical imbalance: serial domains, two long
+// blockers pinning the first domains scheduled, and a tail of quick
+// tasks queued behind them — so whichever domain drains its queue first
+// goes idle while loaded peers still hold stealable work.
+func stealFixture(t *testing.T, f *Fabric) (*Group, []*TaskHandle, []uint64) {
+	t.Helper()
+	g := f.NewGroup()
+	for i := 0; i < 2; i++ {
+		if _, err := g.SubmitJob("sleepsum", sleepSumArg(250, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var handles []*TaskHandle
+	var want []uint64
+	for i := 0; i < 18; i++ {
+		v := uint64(i)*13 + 1
+		h, err := g.SubmitJob("sleepsum", sleepSumArg(2, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+		want = append(want, v)
+	}
+	return g, handles, want
+}
+
+func verifyExact(t *testing.T, handles []*TaskHandle, want []uint64) {
+	t.Helper()
+	for i, h := range handles {
+		res, err := h.Wait(0)
+		if err != nil && !errors.Is(err, ErrDomainLost) {
+			t.Fatalf("task %d: %v", h.ID(), err)
+		}
+		if got := decodeU64(t, res); got != want[i] {
+			t.Fatalf("task %d = %d, want %d", h.ID(), got, want[i])
+		}
+	}
+}
+
+func TestPeerStealDirect(t *testing.T) {
+	rec := trace.NewRecorder(4096)
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(3),
+		WithDomainWorkers(1),
+		WithTaskDeadline(10*time.Second), // keep re-dispatch from masking steals
+		WithInflight(16),
+		WithEventSink(rec),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g, handles, want := stealFixture(t, f)
+	if err := g.WaitAll(30 * time.Second); err != nil {
+		t.Fatalf("WaitAll: %v", err)
+	}
+	verifyExact(t, handles, want)
+
+	st := f.Stats()
+	if st.PeerSteals == 0 {
+		t.Fatalf("PeerSteals = 0 (Steals = %d): no direct mesh migration happened", st.Steals)
+	}
+	if st.Steals < st.PeerSteals {
+		t.Errorf("Steals %d < PeerSteals %d: peer steals must count as steals", st.Steals, st.PeerSteals)
+	}
+	if sum := rec.Summary(); sum.PeerSteals != st.PeerSteals {
+		t.Errorf("trace PeerSteals %d != stats %d", sum.PeerSteals, st.PeerSteals)
+	}
+}
+
+func TestPeerStealingOffAblation(t *testing.T) {
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(3),
+		WithDomainWorkers(1),
+		WithPeerStealing(false),
+		WithTaskDeadline(10*time.Second),
+		WithInflight(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g, handles, want := stealFixture(t, f)
+	if err := g.WaitAll(30 * time.Second); err != nil {
+		t.Fatalf("WaitAll: %v", err)
+	}
+	verifyExact(t, handles, want)
+
+	st := f.Stats()
+	if st.PeerSteals != 0 {
+		t.Errorf("PeerSteals = %d with peer stealing off, want 0", st.PeerSteals)
+	}
+	if st.BrokeredFallbacks != 0 {
+		t.Errorf("BrokeredFallbacks = %d with peer stealing off, want 0", st.BrokeredFallbacks)
+	}
+	if st.Steals == 0 {
+		t.Error("Steals = 0: host-brokered stealing must still work in the ablation config")
+	}
+}
+
+// TestKillVictimMidYield races a domain kill against in-flight peer
+// steals (run under -race in CI): once the first steal lands, the
+// most-loaded live domain — the likeliest victim of the next one — is
+// killed. Tasks it canceled-but-never-sent die with it; the host's
+// heartbeat loss reclaims them, idle thieves fall back to host
+// brokerage, and every task must still settle byte-exact.
+func TestKillVictimMidYield(t *testing.T) {
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(4),
+		WithDomainWorkers(1),
+		WithHeartbeat(5*time.Millisecond), // lost after 40ms
+		WithTaskDeadline(10*time.Second),
+		WithInflight(16),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	g, handles, want := stealFixture(t, f)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for f.Stats().Steals == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	victim, load := 0, -1
+	for _, d := range f.DomainInfos() {
+		if d.Live && d.Outstanding > load {
+			victim, load = d.ID, d.Outstanding
+		}
+	}
+	if err := f.KillDomain(victim); err != nil {
+		t.Fatalf("KillDomain(%d): %v", victim, err)
+	}
+
+	if err := g.WaitAll(30 * time.Second); err != nil && !errors.Is(err, ErrDomainLost) {
+		t.Fatalf("WaitAll: %v", err)
+	}
+	verifyExact(t, handles, want)
+	if st := f.Stats(); st.DomainsLost != 1 {
+		t.Errorf("DomainsLost = %d, want 1", st.DomainsLost)
+	}
+}
+
+func TestZeroCopyPayloads(t *testing.T) {
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(2),
+		WithZeroCopyThreshold(1024),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Big echo payloads cross the threshold in both directions: the
+	// argument is staged by the host, the equal-sized result by the
+	// worker.
+	arg := make([]byte, 32<<10)
+	for i := range arg {
+		arg[i] = byte(i * 31)
+	}
+	g := f.NewGroup()
+	var handles []*TaskHandle
+	for i := 0; i < 8; i++ {
+		h, err := g.SubmitJob("echo", arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	if err := g.WaitAll(30 * time.Second); err != nil {
+		t.Fatalf("WaitAll: %v", err)
+	}
+	for _, h := range handles {
+		res, err := h.Wait(0)
+		if err != nil {
+			t.Fatalf("task %d: %v", h.ID(), err)
+		}
+		if !bytes.Equal(res, arg) {
+			t.Fatalf("task %d: payload corrupted across the window", h.ID())
+		}
+	}
+	st := f.Stats()
+	if st.RemoteTasks == 0 {
+		t.Fatal("no tasks ran remotely")
+	}
+	if st.RmemBytesMoved == 0 {
+		t.Error("RmemBytesMoved = 0: big payloads never used the zero-copy plane")
+	}
+}
+
+func TestZeroCopyDisabled(t *testing.T) {
+	f, err := NewFabric(testRegistry(t),
+		WithDomains(2),
+		WithZeroCopyThreshold(0), // plane off: everything inline
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	arg := make([]byte, 32<<10)
+	h, err := f.SubmitJob("echo", arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.Wait(TimeoutInfinite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(res, arg) {
+		t.Fatal("payload corrupted inline")
+	}
+	if st := f.Stats(); st.RmemBytesMoved != 0 {
+		t.Errorf("RmemBytesMoved = %d with the plane disabled, want 0", st.RmemBytesMoved)
+	}
+}

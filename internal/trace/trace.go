@@ -49,6 +49,12 @@ const (
 	EvTaskSend
 	EvTaskRecv
 	EvTaskSteal
+	// EvPeerSteal records a direct domain-to-domain steal over the mesh
+	// (internal/taskfabric with peer stealing on): the task never passed
+	// through the host, which only re-pointed its accounting. Emitted
+	// through the Recorder's PeerSteal method — the fabric's
+	// PeerStealSink. Every peer steal is also counted as an EvTaskSteal.
+	EvPeerSteal
 )
 
 var kindNames = [...]string{
@@ -70,6 +76,7 @@ var kindNames = [...]string{
 	EvTaskSend:      "task-send",
 	EvTaskRecv:      "task-recv",
 	EvTaskSteal:     "task-steal",
+	EvPeerSteal:     "peer-steal",
 }
 
 func (k EventKind) String() string {
@@ -108,6 +115,7 @@ type Summary struct {
 	Cancels                                     uint64
 	OffloadSends, OffloadRecvs                  uint64
 	TaskSends, TaskRecvs, TaskSteals            uint64
+	PeerSteals                                  uint64
 	ChargeEvents                                uint64
 	UnitsCharged                                float64
 	UnitsByThread                               map[int]float64
@@ -188,6 +196,8 @@ func (r *Recorder) record(kind EventKind, tid int, units float64) {
 		r.sum.TaskRecvs++
 	case EvTaskSteal:
 		r.sum.TaskSteals++
+	case EvPeerSteal:
+		r.sum.PeerSteals++
 	case EvCharge:
 		r.sum.ChargeEvents++
 		r.sum.UnitsCharged += units
@@ -257,6 +267,11 @@ func (r *Recorder) TaskRecv(domain, task int) { r.record(EvTaskRecv, domain, flo
 // host-brokered steal: the thief is the event's thread, the victim
 // travels in Units.
 func (r *Recorder) TaskSteal(thief, victim int) { r.record(EvTaskSteal, thief, float64(victim)) }
+
+// PeerSteal records a direct domain-to-domain steal over the mesh
+// (taskfabric.PeerStealSink): the thief is the event's thread, the
+// victim travels in Units.
+func (r *Recorder) PeerSteal(thief, victim int) { r.record(EvPeerSteal, thief, float64(victim)) }
 
 var _ core.Monitor = (*Recorder)(nil)
 
