@@ -4,7 +4,7 @@ GO ?= go
 
 .PHONY: all build vet test race bench bench-json bench-compare bench-compare-fresh \
 	experiments taskgraph mesh-smoke api api-check serve loadgen service-smoke \
-	chaos chaos-smoke clean
+	chaos chaos-smoke crash-smoke clean
 
 all: build vet test
 
@@ -101,6 +101,15 @@ chaos:
 chaos-smoke:
 	$(GO) run -race ./cmd/ompmca-chaos -seed 42 -campaigns 3 -duration 1s
 	$(GO) run -race ./cmd/ompmca-chaos -kill-mid-graph
+
+# Durable-store crash smoke: SIGKILL a loaded ompmca-serve (no graceful
+# shutdown) with jobs queued and mid-flight, restart it over the same
+# state dir, and require zero lost jobs with byte-exact results — the
+# write-ahead journal's recovery contract under genuine process death.
+# CI runs this on every push.
+crash-smoke:
+	$(GO) build -o /tmp/ompmca-serve ./cmd/ompmca-serve
+	$(GO) run ./cmd/ompmca-chaos -crash -serve-bin /tmp/ompmca-serve
 
 # Multi-tenant job service: boot the HTTP front end / drive it.
 serve:

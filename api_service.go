@@ -3,6 +3,7 @@ package openmpmca
 import (
 	"time"
 
+	"openmpmca/internal/durable"
 	"openmpmca/internal/jobservice"
 )
 
@@ -45,6 +46,35 @@ type ServiceStats = jobservice.ServiceStats
 // TenantStats is one tenant's slice of ServiceStats.
 type TenantStats = jobservice.TenantStats
 
+// DurableStats is the durable job store's section of Snapshot: journal
+// generation and size, fsync/snapshot counters, and what the last
+// recovery replayed. Present only when the service runs with a state
+// dir (WithServiceStateDir).
+type DurableStats = durable.Stats
+
+// JobEvent is one line of a job's progress stream
+// (GET /v1/jobs/{id}/events): lifecycle transitions, per-chunk
+// completions of parallel-for regions, and fabric task send/done
+// events, each stamped with a per-job sequence number.
+type JobEvent = jobservice.JobEvent
+
+// ServiceProgressHub attributes fabric task events to the jobs that
+// launched them, feeding the per-job progress streams. Install it as
+// the fabric's event sink; it tees every event to the next sink (a span
+// exporter, typically) so observability keeps working:
+//
+//	sp := openmpmca.NewSpanExporter(0)
+//	hub := openmpmca.NewServiceProgressHub(sp)
+//	fab, _ := openmpmca.NewTaskFabric(jobs, openmpmca.WithFabricEventSink(hub))
+//	svc, _ := openmpmca.NewJobService(fab, jobs, ..., openmpmca.WithServiceProgress(hub))
+type ServiceProgressHub = jobservice.ProgressHub
+
+// NewServiceProgressHub builds a progress hub teeing into next (which
+// may be nil).
+func NewServiceProgressHub(next FabricEventSink) *ServiceProgressHub {
+	return jobservice.NewProgressHub(next)
+}
+
 // ErrServiceClosed is returned by operations on a closed JobService.
 var ErrServiceClosed = jobservice.ErrClosed
 
@@ -79,3 +109,23 @@ func WithServiceDispatchWindow(n int) JobServiceOption { return jobservice.WithD
 // WithServiceRetryAfter sets the Retry-After hint on HTTP 429 responses
 // (default 1s).
 func WithServiceRetryAfter(d time.Duration) JobServiceOption { return jobservice.WithRetryAfter(d) }
+
+// WithServiceStateDir makes the service durable: every job-state
+// transition is journaled to an append-only, CRC-framed write-ahead log
+// under dir (fsynced before the submit 202), periodically compacted
+// into snapshots, and replayed at the next startup — settled jobs come
+// back with their byte-exact results, unsettled jobs are re-enqueued
+// and re-executed. Without this option the service is in-memory only.
+func WithServiceStateDir(dir string) JobServiceOption { return jobservice.WithStateDir(dir) }
+
+// WithServiceProgress wires a progress hub into the service so
+// GET /v1/jobs/{id}/events can attribute fabric task events to jobs.
+// The same hub must be installed as the fabric's event sink
+// (WithFabricEventSink).
+func WithServiceProgress(h *ServiceProgressHub) JobServiceOption { return jobservice.WithProgress(h) }
+
+// LoadTenantsFile reads tenants from a keys file: one
+// "name:key:quota:priority[:admin][:rate=R/B]" spec per line, blank
+// lines and #-comments ignored. The file holds API keys, so any mode
+// looser than 0600 is refused.
+func LoadTenantsFile(path string) ([]Tenant, error) { return jobservice.LoadTenantsFile(path) }

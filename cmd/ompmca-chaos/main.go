@@ -7,7 +7,14 @@
 //	ompmca-chaos -seed 42 -campaigns 1                # replay one schedule
 //	ompmca-chaos -kill-mid-graph                      # the promoted CI scenario
 //	ompmca-chaos -mesh                                # the 8-domain peer-steal scenarios
+//	ompmca-chaos -crash -serve-bin ./ompmca-serve     # SIGKILL a durable server mid-load
 //	ompmca-chaos -json > results.json                 # machine-readable verdicts
+//
+// -crash runs the durability campaign: it boots the given server binary
+// with a -state-dir, loads it over HTTP, SIGKILLs it with spin jobs
+// still in flight, restarts it over the same state dir and requires
+// every accepted job to settle byte-exact — the write-ahead journal's
+// zero-loss contract under genuine process death.
 //
 // The entire fault schedule — which domains die when, which frame-fault
 // windows open at what rates, where the saturation bursts land — derives
@@ -21,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"openmpmca/internal/chaos"
@@ -32,9 +41,19 @@ func main() {
 	duration := flag.Duration("duration", 2*time.Second, "per-campaign fault-schedule budget")
 	killMidGraph := flag.Bool("kill-mid-graph", false, "run only the fixed kill-mid-graph scenario")
 	mesh := flag.Bool("mesh", false, "run only the fixed peer-steal mesh scenarios (kill-victim-mid-yield, dead-peer-channel)")
+	crash := flag.Bool("crash", false, "run the crash-restart durability campaign against a server binary (-serve-bin)")
+	serveBin := flag.String("serve-bin", "", "path to an ompmca-serve binary for -crash")
+	stateDir := flag.String("state-dir", "", "state dir for -crash (default: a fresh temp dir)")
+	crashJobs := flag.Int("crash-jobs", 16, "closed-form jobs submitted per life for -crash")
+	crashKills := flag.Int("crash-kills", 2, "SIGKILL/restart cycles for -crash")
 	verbose := flag.Bool("v", false, "print each campaign's schedule before running it")
 	jsonOut := flag.Bool("json", false, "emit results as JSON on stdout")
 	flag.Parse()
+
+	if *crash {
+		runCrash(*seed, *serveBin, *stateDir, *crashJobs, *crashKills, *jsonOut)
+		return
+	}
 
 	var plan []chaos.Campaign
 	switch {
@@ -77,6 +96,58 @@ func main() {
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "ompmca-chaos: %d campaign(s) failed; replay with -seed %d\n", failed, *seed)
+		os.Exit(1)
+	}
+}
+
+// runCrash executes the crash-restart durability campaign and exits
+// with the verdict.
+func runCrash(seed int64, serveBin, stateDir string, jobs, kills int, jsonOut bool) {
+	if serveBin == "" {
+		fmt.Fprintln(os.Stderr, "ompmca-chaos: -crash requires -serve-bin")
+		os.Exit(2)
+	}
+	if stateDir == "" {
+		dir, err := os.MkdirTemp("", "ompmca-crash-*")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ompmca-chaos:", err)
+			os.Exit(1)
+		}
+		// os.Exit skips defers; clean the scratch dir explicitly before
+		// every exit below.
+		stateDir = dir
+	}
+	cleanup := func() {
+		if !strings.HasPrefix(filepath.Base(stateDir), "ompmca-crash-") {
+			return // only remove dirs this run created
+		}
+		os.RemoveAll(stateDir)
+	}
+	r := chaos.RunCrash(chaos.CrashCampaign{
+		Name:     "crash-restart",
+		Seed:     seed,
+		ServeBin: serveBin,
+		StateDir: stateDir,
+		Jobs:     jobs,
+		Kills:    kills,
+	})
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(r); err != nil {
+			fmt.Fprintln(os.Stderr, "ompmca-chaos:", err)
+			os.Exit(1)
+		}
+	} else {
+		fmt.Println(r.Summary())
+		for _, f := range r.Failures {
+			fmt.Printf("    FAIL %s\n", f)
+		}
+		fmt.Printf("recovered %d job(s) across %d SIGKILL(s)\n", r.Recovered, kills)
+	}
+	cleanup()
+	if !r.OK() {
+		fmt.Fprintf(os.Stderr, "ompmca-chaos: crash campaign failed; replay with -seed %d\n", seed)
 		os.Exit(1)
 	}
 }

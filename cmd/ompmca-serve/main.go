@@ -5,11 +5,19 @@
 // binaries into a persistent daemon tenants share.
 //
 //	ompmca-serve -addr :8080 -domains 3 -offload-domains 2
+//	ompmca-serve -state-dir /var/lib/ompmca        # survive restarts
+//	ompmca-serve -tls-cert c.pem -tls-key k.pem    # serve HTTPS
+//	ompmca-serve -tenants-file /etc/ompmca/tenants # keys from a 0600 file
 //
-// With no -tenant flags the demo tenants are installed (alice: admin,
-// high priority; bob: normal; carol: low) and printed at startup. The
-// built-in demo jobs (sum, fib, echo, spin) and the vecsum parallel-for
-// kernel are always registered:
+// With -state-dir the service journals every job-state transition to a
+// write-ahead log and replays it at startup: a crash or restart loses
+// nothing — settled jobs keep their byte-exact results, unsettled jobs
+// re-execute.
+//
+// With no -tenant flags (and no -tenants-file) the demo tenants are
+// installed (alice: admin, high priority; bob: normal; carol: low) and
+// printed at startup. The built-in demo jobs (sum, fib, echo, spin) and
+// the vecsum parallel-for kernel are always registered:
 //
 //	curl -s -H 'X-API-Key: key-bob' -d '{"job":"fib","arg":"AAAAAAAAACg="}' \
 //	    localhost:8080/v1/jobs
@@ -63,11 +71,26 @@ func run() error {
 		dispatch   = flag.Int("dispatch", 64, "dispatch window: jobs inside the fabric/offloader at once")
 		retryAfter = flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 		spanCap    = flag.Int("spans", 0, "span ring capacity for GET /v1/spans (0: default bound)")
+		stateDir   = flag.String("state-dir", "", "durable job store directory: journal + snapshots, replayed at startup (empty: in-memory only)")
+		tlsCert    = flag.String("tls-cert", "", "TLS certificate file (serve HTTPS; requires -tls-key)")
+		tlsKey     = flag.String("tls-key", "", "TLS private key file (requires -tls-cert)")
+		tenantsF   = flag.String("tenants-file", "", "tenants file, one name:key:quota:priority[:admin][:rate=R/B] per line (mode 0600)")
 		tenants    tenantFlags
 	)
-	flag.Var(&tenants, "tenant", "tenant spec name:key:quota:priority[:admin] (repeatable; default: demo tenants)")
+	flag.Var(&tenants, "tenant", "tenant spec name:key:quota:priority[:admin][:rate=R/B] (repeatable; default: demo tenants)")
 	flag.Parse()
 
+	if (*tlsCert == "") != (*tlsKey == "") {
+		return fmt.Errorf("-tls-cert and -tls-key must be given together")
+	}
+	if *tenantsF != "" {
+		fromFile, err := openmpmca.LoadTenantsFile(*tenantsF)
+		if err != nil {
+			return err
+		}
+		log.Printf("loaded %d tenant(s) from %s", len(fromFile), *tenantsF)
+		tenants = append(tenants, fromFile...)
+	}
 	if len(tenants) == 0 {
 		tenants = jobservice.DemoTenants()
 		log.Print("no -tenant flags: installing demo tenants")
@@ -85,10 +108,14 @@ func run() error {
 		return err
 	}
 	sp := openmpmca.NewSpanExporter(*spanCap)
+	// The progress hub sits between the fabric and the span exporter:
+	// it attributes task events to jobs for the per-job event streams
+	// and tees everything through to the exporter.
+	hub := openmpmca.NewServiceProgressHub(sp)
 	fab, err := openmpmca.NewTaskFabric(jobs,
 		openmpmca.WithFabricDomains(*domains),
 		openmpmca.WithFabricHeartbeat(*heartbeat),
-		openmpmca.WithFabricEventSink(sp),
+		openmpmca.WithFabricEventSink(hub),
 	)
 	if err != nil {
 		return err
@@ -100,6 +127,11 @@ func run() error {
 		openmpmca.WithServiceDispatchWindow(*dispatch),
 		openmpmca.WithServiceRetryAfter(*retryAfter),
 		openmpmca.WithServiceSpans(sp),
+		openmpmca.WithServiceProgress(hub),
+	}
+	if *stateDir != "" {
+		log.Printf("durable job store in %s", *stateDir)
+		opts = append(opts, openmpmca.WithServiceStateDir(*stateDir))
 	}
 	if *offDomains > 0 {
 		kernels := openmpmca.NewOffloadRegistry()
@@ -130,11 +162,17 @@ func run() error {
 	}
 	hs := &http.Server{Handler: svc}
 	errCh := make(chan error, 1)
-	go func() { errCh <- hs.Serve(ln) }()
+	scheme := "http"
+	if *tlsCert != "" {
+		scheme = "https"
+		go func() { errCh <- hs.ServeTLS(ln, *tlsCert, *tlsKey) }()
+	} else {
+		go func() { errCh <- hs.Serve(ln) }()
+	}
 
 	// The readiness line CI and scripts wait for; keep its shape stable.
-	fmt.Printf("ompmca-serve: listening on http://%s (%d fabric domains, %d offload domains)\n",
-		ln.Addr(), *domains, *offDomains)
+	fmt.Printf("ompmca-serve: listening on %s://%s (%d fabric domains, %d offload domains)\n",
+		scheme, ln.Addr(), *domains, *offDomains)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -1,0 +1,155 @@
+package durable
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"openmpmca/internal/oerrors"
+)
+
+// The journal is a flat sequence of CRC-framed records:
+//
+//	+----------+----------+------------------+
+//	| len u32  | crc u32  | payload (len B)  |
+//	+----------+----------+------------------+
+//
+// both integers big-endian, crc = CRC-32 (IEEE) of the payload bytes.
+// A reader accepts the longest prefix of intact frames and stops at the
+// first frame whose header is short, whose declared length is absurd,
+// whose payload is truncated, or whose CRC does not match — the torn
+// tail a crash mid-append leaves behind. Everything before that point
+// is trusted; everything after is dropped and reported, never guessed
+// at.
+
+// frameHeaderLen is the fixed framing overhead per record.
+const frameHeaderLen = 8
+
+// maxRecordLen bounds a single record so a corrupt length field cannot
+// ask the reader to allocate gigabytes: results are capped far below
+// this by the service.
+const maxRecordLen = 16 << 20
+
+// appendFrame frames payload into buf and returns the extended slice.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// readFrame decodes one record starting at data[off]. It returns the
+// payload and the offset just past the record, or ok=false when the
+// bytes from off on do not form an intact record.
+func readFrame(data []byte, off int) (payload []byte, next int, ok bool) {
+	if off+frameHeaderLen > len(data) {
+		return nil, off, false
+	}
+	n := int(binary.BigEndian.Uint32(data[off : off+4]))
+	crc := binary.BigEndian.Uint32(data[off+4 : off+8])
+	if n < 0 || n > maxRecordLen || off+frameHeaderLen+n > len(data) {
+		return nil, off, false
+	}
+	payload = data[off+frameHeaderLen : off+frameHeaderLen+n]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, off, false
+	}
+	return payload, off + frameHeaderLen + n, true
+}
+
+// Journal entry operations, in job-lifecycle order.
+const (
+	// OpGroup records a completion-group creation.
+	OpGroup = "group"
+	// OpAccept records an admitted job, with its full payload: the
+	// record alone is enough to re-execute the job from scratch.
+	OpAccept = "accept"
+	// OpDispatch records the hand-off of a job to the fabric or
+	// offloader. A job whose last record is a dispatch was mid-flight
+	// when the process died.
+	OpDispatch = "dispatch"
+	// OpSettle records a terminal state: succeeded (with result bytes),
+	// failed (with the classified error text) or canceled.
+	OpSettle = "settle"
+)
+
+// Entry is one journal record. Fields beyond Op/ID are populated per
+// operation; every entry is self-contained, so replay is a pure
+// left-fold and re-applying any suffix is idempotent.
+type Entry struct {
+	Op string `json:"op"`
+	ID string `json:"id"`           // job id (group id for OpGroup)
+	At int64  `json:"at,omitempty"` // unix nanos of the transition
+
+	// OpAccept / OpGroup.
+	Tenant string `json:"tenant,omitempty"`
+	Kind   string `json:"kind,omitempty"`
+	Name   string `json:"name,omitempty"`
+	Arg    []byte `json:"arg,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Group  string `json:"group,omitempty"`
+
+	// OpSettle.
+	Status    string `json:"status,omitempty"`
+	Result    []byte `json:"result,omitempty"`
+	Error     string `json:"error,omitempty"`
+	Recovered bool   `json:"recovered,omitempty"`
+}
+
+// encodeEntry frames one entry for appending.
+func encodeEntry(e Entry) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeStoreIO,
+			"durable: encode %s %s: %w", e.Op, e.ID, err)
+	}
+	return appendFrame(nil, payload), nil
+}
+
+// replayResult is what scanning one journal image yields: the intact
+// prefix's entries, how many bytes of that prefix were good, and how
+// many trailing bytes were dropped as torn or corrupt.
+type replayResult struct {
+	entries   []Entry
+	goodBytes int64
+	lostBytes int64
+}
+
+// replayJournal scans a journal image and accepts its longest intact
+// prefix. A frame that decodes but whose payload is not a valid entry
+// also ends the prefix: a CRC collision over garbage must not
+// fabricate state.
+func replayJournal(data []byte) replayResult {
+	var res replayResult
+	off := 0
+	for {
+		payload, next, ok := readFrame(data, off)
+		if !ok {
+			break
+		}
+		var e Entry
+		if err := json.Unmarshal(payload, &e); err != nil || e.Op == "" || e.ID == "" {
+			break
+		}
+		res.entries = append(res.entries, e)
+		off = next
+	}
+	res.goodBytes = int64(off)
+	res.lostBytes = int64(len(data) - off)
+	return res
+}
+
+// readAll reads r fully, classifying failures.
+func readAll(r io.Reader, what string) ([]byte, error) {
+	b, err := io.ReadAll(r)
+	if err != nil {
+		return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeStoreIO,
+			"durable: read %s: %w", what, err)
+	}
+	return b, nil
+}
+
+var errShortWrite = fmt.Errorf("short write")

@@ -1,0 +1,275 @@
+package jobservice
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+
+	"openmpmca/internal/taskfabric"
+)
+
+// Per-job progress streaming: every job carries a bounded event log
+// recording its lifecycle transitions plus fine-grained execution
+// progress — chunk completions for parallel_for jobs (fed by the
+// offloader's RegionObserver) and task send/receive for fabric jobs
+// (fed by a ProgressHub wired as the fabric's event sink). Clients
+// follow a single job at GET /v1/jobs/{id}/events (NDJSON), and group
+// streams interleave members' progress lines with the existing
+// settled-member events.
+
+// Job event types, in rough lifecycle order.
+const (
+	EventAccepted   = "accepted"   // admitted (and journaled, when durable)
+	EventDispatched = "dispatched" // handed to the fabric or offloader
+	EventTaskSent   = "task_sent"  // fabric task dispatched to a domain
+	EventTaskDone   = "task_done"  // fabric task result accepted
+	EventChunk      = "chunk"      // one parallel_for chunk completed
+	EventSettled    = "settled"    // terminal: succeeded, failed or canceled
+)
+
+// JobEvent is one line of a job's progress stream. Chunk and Domain are
+// -1 when the event type carries no such coordinate; Domain -1 on a
+// chunk/task event means host-local execution (matching the span and
+// trace conventions), so task/chunk events carry HostDomain instead.
+type JobEvent struct {
+	Seq    int    `json:"seq"`
+	AtNs   int64  `json:"at_ns"`
+	Type   string `json:"type"`
+	Chunk  int    `json:"chunk,omitempty"`
+	Total  int    `json:"total,omitempty"`  // region chunk count, on chunk events
+	Domain *int   `json:"domain,omitempty"` // executor; -1 = host
+	Status string `json:"status,omitempty"` // terminal status, on settled events
+}
+
+// eventLogCap bounds one job's retained events: a drop-oldest window,
+// like the trace and span rings. Seq numbers stay global, so a follower
+// can detect the gap.
+const eventLogCap = 256
+
+// eventLog is one job's append-only progress log with follower support:
+// pulse is closed and replaced on every append, waking all waiters.
+type eventLog struct {
+	mu     sync.Mutex
+	events []JobEvent
+	seq    int
+	done   bool
+	pulse  chan struct{}
+}
+
+func newEventLog() *eventLog { return &eventLog{pulse: make(chan struct{})} }
+
+// add stamps and appends one event, returning the stamped copy.
+func (l *eventLog) add(e JobEvent) JobEvent {
+	l.mu.Lock()
+	e.Seq = l.seq
+	l.seq++
+	if e.AtNs == 0 {
+		e.AtNs = time.Now().UnixNano()
+	}
+	l.events = append(l.events, e)
+	if len(l.events) > eventLogCap {
+		l.events = l.events[len(l.events)-eventLogCap:]
+	}
+	if e.Type == EventSettled {
+		l.done = true
+	}
+	close(l.pulse)
+	l.pulse = make(chan struct{})
+	l.mu.Unlock()
+	return e
+}
+
+// since returns the retained events with Seq >= seq, whether the log is
+// terminal, and a channel that pulses on the next append.
+func (l *eventLog) since(seq int) (evs []JobEvent, done bool, pulse <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, e := range l.events {
+		if e.Seq >= seq {
+			evs = append(evs, e)
+		}
+	}
+	return evs, l.done, l.pulse
+}
+
+// domainOf boxes a domain id for the JSON shape.
+func domainOf(d int) *int { return &d }
+
+// progress appends one event to the job's log and, when the job belongs
+// to a group, mirrors it onto the group's progress queue. Never called
+// with Server.mu held: group delivery takes the group lock.
+func (j *jobRec) progress(e JobEvent) {
+	stamped := j.events.add(e)
+	if j.group != nil && e.Type != EventSettled {
+		j.group.deliverProgress(j.id, stamped)
+	}
+}
+
+// groupProgress is one member progress line queued for the group
+// stream.
+type groupProgress struct {
+	jobID string
+	event JobEvent
+}
+
+// groupProgressCap bounds a group's undrained progress queue; a slow or
+// absent streamer loses the oldest lines, never completions.
+const groupProgressCap = 1024
+
+// deliverProgress queues one member progress event for the stream.
+func (g *groupRec) deliverProgress(jobID string, e JobEvent) {
+	g.mu.Lock()
+	g.progress = append(g.progress, groupProgress{jobID: jobID, event: e})
+	if len(g.progress) > groupProgressCap {
+		g.progress = g.progress[len(g.progress)-groupProgressCap:]
+	}
+	g.mu.Unlock()
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
+}
+
+// ---------------------------------------------------------------------------
+// ProgressHub: fabric event sink with per-job attribution.
+
+// ProgressHub adapts the fabric's global event stream into per-job
+// progress: the server binds each submitted task id to its job record,
+// and the hub routes TaskSend/TaskRecv events into that job's event
+// log. Every event is also forwarded to the wrapped sink (typically the
+// spans exporter), so one fabric sink slot serves both consumers.
+//
+// Create the hub first, build the fabric with
+// taskfabric.WithEventSink(hub), then hand it to the server via
+// WithProgress.
+type ProgressHub struct {
+	next taskfabric.EventSink // optional tee target; may be nil
+
+	mu     sync.Mutex
+	byTask map[uint64]*jobRec
+}
+
+// NewProgressHub builds a hub teeing into next (nil for none).
+func NewProgressHub(next taskfabric.EventSink) *ProgressHub {
+	return &ProgressHub{next: next, byTask: make(map[uint64]*jobRec)}
+}
+
+func (h *ProgressHub) bind(task uint64, j *jobRec) {
+	h.mu.Lock()
+	h.byTask[task] = j
+	h.mu.Unlock()
+}
+
+func (h *ProgressHub) unbind(task uint64) {
+	h.mu.Lock()
+	delete(h.byTask, task)
+	h.mu.Unlock()
+}
+
+func (h *ProgressHub) jobOf(task int) *jobRec {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.byTask[uint64(task)]
+}
+
+// TaskSend implements taskfabric.EventSink.
+func (h *ProgressHub) TaskSend(domain, task int) {
+	if j := h.jobOf(task); j != nil {
+		j.progress(JobEvent{Type: EventTaskSent, Chunk: -1, Domain: domainOf(domain)})
+	}
+	if h.next != nil {
+		h.next.TaskSend(domain, task)
+	}
+}
+
+// TaskRecv implements taskfabric.EventSink.
+func (h *ProgressHub) TaskRecv(domain, task int) {
+	if j := h.jobOf(task); j != nil {
+		j.progress(JobEvent{Type: EventTaskDone, Chunk: -1, Domain: domainOf(domain)})
+	}
+	if h.next != nil {
+		h.next.TaskRecv(domain, task)
+	}
+}
+
+// TaskSteal implements taskfabric.EventSink. Steal grants carry domain
+// ids, not task ids, so they are forwarded but not attributed.
+func (h *ProgressHub) TaskSteal(thief, victim int) {
+	if h.next != nil {
+		h.next.TaskSteal(thief, victim)
+	}
+}
+
+// PeerSteal implements taskfabric.PeerStealSink, forwarding when the
+// wrapped sink also does.
+func (h *ProgressHub) PeerSteal(thief, victim int) {
+	if ps, ok := h.next.(taskfabric.PeerStealSink); ok {
+		ps.PeerSteal(thief, victim)
+	}
+}
+
+var (
+	_ taskfabric.EventSink     = (*ProgressHub)(nil)
+	_ taskfabric.PeerStealSink = (*ProgressHub)(nil)
+)
+
+// jobObserver feeds one parallel_for region's chunk completions into
+// its job's event log.
+type jobObserver struct {
+	j     *jobRec
+	total int
+}
+
+// RegionStart implements offload.RegionObserver.
+func (o *jobObserver) RegionStart(chunks int) { o.total = chunks }
+
+// ChunkDone implements offload.RegionObserver.
+func (o *jobObserver) ChunkDone(chunk, domain int) {
+	o.j.progress(JobEvent{Type: EventChunk, Chunk: chunk, Total: o.total, Domain: domainOf(domain)})
+}
+
+// ---------------------------------------------------------------------------
+// GET /v1/jobs/{id}/events
+
+// apiJobEvents streams one job's progress log as NDJSON from the
+// beginning, following live until the job settles (the settled event is
+// the last line), the client disconnects, or the server stops. For an
+// already-settled job the retained log is dumped and the stream ends.
+func (s *Server) apiJobEvents(w http.ResponseWriter, r *http.Request, t *tenantState) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j := s.jobs[id]
+	s.mu.Unlock()
+	if j == nil || j.tenant != t {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := 0
+	for {
+		evs, done, pulse := j.events.since(next)
+		for _, e := range evs {
+			if enc.Encode(e) != nil {
+				return
+			}
+			next = e.Seq + 1
+		}
+		if len(evs) > 0 && flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return
+		}
+		select {
+		case <-pulse:
+		case <-r.Context().Done():
+			return
+		case <-s.stopCh:
+			return
+		}
+	}
+}

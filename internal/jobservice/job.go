@@ -31,7 +31,14 @@ type jobRec struct {
 	n      int // parallel_for iteration count
 	group  *groupRec
 
-	done chan struct{} // closed exactly once when the job settles
+	events *eventLog     // per-job progress log (see events.go)
+	done   chan struct{} // closed exactly once when the job settles
+
+	// replayed marks a job re-enqueued by durable-store recovery after a
+	// restart: it was accepted (or mid-flight) in a previous process
+	// life and is being re-executed deterministically. Set before the
+	// dispatcher starts, read-only after.
+	replayed bool
 
 	mu        sync.Mutex
 	status    string
@@ -67,6 +74,7 @@ func (j *jobRec) cancelQueued() bool {
 	j.status = StatusCanceled
 	j.finished = time.Now()
 	close(j.done)
+	j.events.add(JobEvent{Type: EventSettled, Chunk: -1, Status: StatusCanceled})
 	return true
 }
 
@@ -87,6 +95,7 @@ func (j *jobRec) settle(result []byte, errMsg string, recovered bool) {
 	j.recovered = recovered
 	j.finished = time.Now()
 	close(j.done)
+	j.events.add(JobEvent{Type: EventSettled, Chunk: -1, Status: j.status})
 }
 
 // JobView is the wire representation of a job; result bytes travel
@@ -143,8 +152,9 @@ type groupRec struct {
 	mu       sync.Mutex
 	members  int
 	pending  int
-	ready    []*jobRec     // settled, not yet streamed
-	notify   chan struct{} // cap 1: completion signal
+	ready    []*jobRec       // settled, not yet streamed
+	progress []groupProgress // member progress lines, not yet streamed (bounded)
+	notify   chan struct{}   // cap 1: completion signal
 	canceled bool
 }
 

@@ -1,0 +1,154 @@
+package jobservice
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRateLimit429 drives a tenant with a 2-token bucket: the burst is
+// admitted, the next submission bounces with 429 and a computed
+// Retry-After, and the refusals land in the rate-limited counters
+// (distinct from the quota's rejected counter).
+func TestRateLimit429(t *testing.T) {
+	env := newTestEnv(t, WithTenants(Tenant{
+		Name: "dave", Key: "key-dave", Quota: 64,
+		Priority: PriorityNormal, Rate: 0.5, Burst: 2,
+	}))
+	for i := 0; i < 2; i++ {
+		env.submit(t, "key-dave", submitRequest{Job: JobEcho, Arg: []byte{byte(i)}})
+	}
+	body, _ := json.Marshal(submitRequest{Job: JobEcho, Arg: []byte("over")})
+	req, err := http.NewRequest(http.MethodPost, env.ts.URL+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("X-API-Key", "key-dave")
+	resp, err := env.ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-rate submit: status %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" || ra == "0" {
+		t.Fatalf("Retry-After = %q, want a positive deficit hint", ra)
+	}
+	st := env.srv.ServiceStats()
+	if st.RateLimited != 1 {
+		t.Fatalf("service rate_limited = %d, want 1", st.RateLimited)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("rate refusal leaked into the quota counter: rejected = %d", st.Rejected)
+	}
+	var dave *TenantStats
+	for i := range st.Tenants {
+		if st.Tenants[i].Name == "dave" {
+			dave = &st.Tenants[i]
+		}
+	}
+	if dave == nil || dave.RateLimited != 1 || dave.Rate != 0.5 || dave.Burst != 2 {
+		t.Fatalf("tenant stats = %+v", dave)
+	}
+}
+
+// TestRateLimitRefills waits out the deficit and checks a token
+// accrues: the bucket limits rate, not count.
+func TestRateLimitRefills(t *testing.T) {
+	env := newTestEnv(t, WithTenants(Tenant{
+		Name: "erin", Key: "key-erin", Quota: 64,
+		Priority: PriorityNormal, Rate: 50, Burst: 1,
+	}))
+	env.submit(t, "key-erin", submitRequest{Job: JobEcho, Arg: []byte("a")})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		code, _ := env.do(t, http.MethodPost, "/v1/jobs", "key-erin",
+			submitRequest{Job: JobEcho, Arg: []byte("b")})
+		if code == http.StatusAccepted {
+			return
+		}
+		if code != http.StatusTooManyRequests {
+			t.Fatalf("unexpected status %d", code)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("bucket never refilled at 50 tokens/sec")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// TestParseTenantRate covers the spec grammar's optional fields.
+func TestParseTenantRate(t *testing.T) {
+	tn, err := ParseTenant("x:k:8:high:admin:rate=2.5/10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tn.Admin || tn.Rate != 2.5 || tn.Burst != 10 {
+		t.Fatalf("parsed %+v", tn)
+	}
+	tn, err = ParseTenant("y:k:8:low:rate=1/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tn.Admin || tn.Rate != 1 || tn.Burst != 1 {
+		t.Fatalf("parsed %+v", tn)
+	}
+	for _, bad := range []string{
+		"x:k:8:high:rate=",        // malformed rate
+		"x:k:8:high:rate=2",       // missing burst
+		"x:k:8:high:rate=2/0",     // zero burst with rate
+		"x:k:8:high:turbo",        // unknown field
+		"x:k:8:high:rate=-1/4",    // negative rate
+		"x:k:8:high:admin:admin:", // too many fields
+	} {
+		if _, err := ParseTenant(bad); err == nil {
+			t.Fatalf("ParseTenant(%q) accepted", bad)
+		}
+	}
+}
+
+// TestLoadTenantsFile covers the keys-file loader: happy path,
+// permissive-mode refusal, and parse-error attribution.
+func TestLoadTenantsFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "tenants")
+	content := "# demo tenants\nalice:key-a:64:high:admin\n\nbob:key-b:8:normal:rate=5/10\n"
+	if err := os.WriteFile(good, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	ts, err := LoadTenantsFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || !ts[0].Admin || ts[1].Rate != 5 || ts[1].Burst != 10 {
+		t.Fatalf("loaded %+v", ts)
+	}
+
+	loose := filepath.Join(dir, "loose")
+	if err := os.WriteFile(loose, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTenantsFile(loose); err == nil {
+		t.Fatal("world-readable tenants file accepted")
+	}
+
+	bad := filepath.Join(dir, "bad")
+	if err := os.WriteFile(bad, []byte("not-a-spec\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTenantsFile(bad); err == nil {
+		t.Fatal("malformed tenants file accepted")
+	}
+	empty := filepath.Join(dir, "empty")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTenantsFile(empty); err == nil {
+		t.Fatal("empty tenants file accepted")
+	}
+}

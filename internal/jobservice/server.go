@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"openmpmca/internal/core"
+	"openmpmca/internal/durable"
 	"openmpmca/internal/oerrors"
 	"openmpmca/internal/offload"
 	"openmpmca/internal/spans"
@@ -59,6 +60,9 @@ type config struct {
 	dispatch   int
 	retryAfter time.Duration
 	spans      *spans.Exporter
+	store      *durable.Store
+	ownStore   bool // store opened by WithStateDir: Close closes it
+	hub        *ProgressHub
 }
 
 // Option configures New.
@@ -139,13 +143,15 @@ func WithSpans(x *spans.Exporter) Option {
 
 // serviceCounters are the server's monotonic counters.
 type serviceCounters struct {
-	accepted   atomic.Uint64
-	rejected   atomic.Uint64
-	dispatched atomic.Uint64
-	completed  atomic.Uint64
-	failed     atomic.Uint64
-	canceled   atomic.Uint64
-	recovered  atomic.Uint64
+	accepted    atomic.Uint64
+	rejected    atomic.Uint64
+	rateLimited atomic.Uint64
+	dispatched  atomic.Uint64
+	completed   atomic.Uint64
+	failed      atomic.Uint64
+	canceled    atomic.Uint64
+	recovered   atomic.Uint64
+	replayed    atomic.Uint64
 }
 
 // Server is the multi-tenant job service. It implements http.Handler;
@@ -219,9 +225,13 @@ func New(fab *taskfabric.Fabric, jobs *taskfabric.Registry, opts ...Option) (*Se
 	for i := 0; i < cfg.dispatch; i++ {
 		s.slots <- struct{}{}
 	}
+	if cfg.store != nil {
+		s.recoverFromStore()
+	}
 	s.routes()
 	s.wg.Add(1)
 	go s.dispatcher()
+	s.kickDispatcher() // recovered queues may already hold work
 	return s, nil
 }
 
@@ -239,6 +249,7 @@ func (s *Server) Close() error {
 			if j.cancelQueued() {
 				t.inflight--
 				s.st.canceled.Add(1)
+				s.journalBestEffort(settleEntry(j))
 				if j.group != nil {
 					defer j.group.deliver(j)
 				}
@@ -248,6 +259,9 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.cfg.ownStore {
+		return s.cfg.store.Close()
+	}
 	return nil
 }
 
@@ -337,6 +351,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/jobs", s.auth(s.apiJobSubmit))
 	s.mux.HandleFunc("GET /v1/jobs", s.auth(s.apiJobList))
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.auth(s.apiJobGet))
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.auth(s.apiJobEvents))
 	s.mux.HandleFunc("POST /v1/groups", s.auth(s.apiGroupCreate))
 	s.mux.HandleFunc("GET /v1/groups/{id}", s.auth(s.apiGroupGet))
 	s.mux.HandleFunc("GET /v1/groups/{id}/stream", s.auth(s.apiGroupStream))
@@ -468,9 +483,27 @@ func (s *Server) apiJobSubmit(w http.ResponseWriter, r *http.Request, t *tenantS
 			return
 		}
 	}
-	// Per-tenant admission: quota bounds jobs in flight (queued +
-	// running). Saturation surfaces exactly like the runtime's
-	// ErrSaturated — backpressure, retry later — but as HTTP 429.
+	// Per-tenant admission, two gates. The token bucket bounds the
+	// submission *rate* (tokens/sec with a burst allowance), the quota
+	// bounds jobs *in flight*. Both refuse with HTTP 429; the bucket's
+	// Retry-After is computed from the deficit, the quota's is the
+	// configured hint.
+	if ok, wait := t.takeToken(time.Now()); !ok {
+		t.rateLimited.Add(1)
+		s.st.rateLimited.Add(1)
+		s.mu.Unlock()
+		_ = oerrors.New(oerrors.Admission, oerrors.CodeRateLimited,
+			"jobservice: tenant over rate")
+		secs := int((wait + time.Second - 1) / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, "tenant %q over rate (%g/s, burst %d)", t.Name, t.Rate, t.Burst)
+		return
+	}
+	// Saturation surfaces exactly like the runtime's ErrSaturated —
+	// backpressure, retry later — but as HTTP 429.
 	if t.inflight >= t.Quota {
 		t.rejected.Add(1)
 		s.st.rejected.Add(1)
@@ -492,20 +525,51 @@ func (s *Server) apiJobSubmit(w http.ResponseWriter, r *http.Request, t *tenantS
 		arg:       req.Arg,
 		n:         req.N,
 		group:     g,
+		events:    newEventLog(),
 		done:      make(chan struct{}),
 		status:    StatusQueued,
 		submitted: time.Now(),
 	}
 	t.inflight++
-	t.queue = append(t.queue, j)
 	t.jobs = append(t.jobs, j.id)
 	s.jobs[j.id] = j
 	if g != nil {
 		g.addMember()
 	}
+	s.mu.Unlock()
+	// Durability gate: the accept record — payload and all — must be on
+	// disk before the 202 leaves, so an acknowledged job survives any
+	// crash. The job is not queued for dispatch until the record is
+	// durable.
+	if err := s.journal(durable.Entry{
+		Op: durable.OpAccept, ID: j.id, At: j.submitted.UnixNano(),
+		Tenant: t.Name, Kind: j.kind, Name: j.name, Arg: j.arg, N: j.n, Group: req.Group,
+	}); err != nil {
+		s.mu.Lock()
+		t.inflight--
+		delete(s.jobs, j.id)
+		for i := len(t.jobs) - 1; i >= 0; i-- {
+			if t.jobs[i] == j.id {
+				t.jobs = append(t.jobs[:i], t.jobs[i+1:]...)
+				break
+			}
+		}
+		if g != nil {
+			g.mu.Lock()
+			g.members--
+			g.pending--
+			g.mu.Unlock()
+		}
+		s.mu.Unlock()
+		writeError(w, http.StatusInternalServerError, "state store: %v", err)
+		return
+	}
+	s.mu.Lock()
+	t.queue = append(t.queue, j)
+	s.mu.Unlock()
 	t.accepted.Add(1)
 	s.st.accepted.Add(1)
-	s.mu.Unlock()
+	j.progress(JobEvent{Type: EventAccepted, Chunk: -1})
 	s.kickDispatcher()
 	writeSync(w, http.StatusAccepted, j.view())
 }
@@ -558,6 +622,12 @@ func (s *Server) apiGroupCreate(w http.ResponseWriter, _ *http.Request, t *tenan
 		tenant: t,
 		notify: make(chan struct{}, 1),
 	}
+	// Durable before visible, like job acceptance: members will
+	// reference the group across restarts.
+	if err := s.journal(durable.Entry{Op: durable.OpGroup, ID: g.id, Tenant: t.Name}); err != nil {
+		writeError(w, http.StatusInternalServerError, "state store: %v", err)
+		return
+	}
 	s.mu.Lock()
 	s.groups[g.id] = g
 	s.mu.Unlock()
@@ -585,14 +655,18 @@ func (s *Server) apiGroupGet(w http.ResponseWriter, r *http.Request, t *tenantSt
 
 // streamEvent is one NDJSON line of a group stream.
 type streamEvent struct {
-	Type  string    `json:"type"` // "job" | "drained"
-	Job   *JobView  `json:"job,omitempty"`
+	Type string   `json:"type"` // "job" | "progress" | "drained"
+	Job  *JobView `json:"job,omitempty"`
+	// Progress events: the member's id and its progress line.
+	JobID string    `json:"job_id,omitempty"`
+	Event *JobEvent `json:"event,omitempty"`
 	Group GroupView `json:"group"`
 }
 
-// apiGroupStream streams member completions as NDJSON, each settled
-// member exactly once across all streamers, ending with a "drained"
-// event once no member is outstanding or undelivered.
+// apiGroupStream streams the group as NDJSON: member progress lines
+// (chunk/task completions) as they happen, each settled member exactly
+// once across all streamers, and a final "drained" event once no
+// member is outstanding or undelivered.
 func (s *Server) apiGroupStream(w http.ResponseWriter, r *http.Request, t *tenantState) {
 	g := s.groupOf(r, t)
 	if g == nil {
@@ -605,6 +679,25 @@ func (s *Server) apiGroupStream(w http.ResponseWriter, r *http.Request, t *tenan
 	enc := json.NewEncoder(w)
 	for {
 		g.mu.Lock()
+		if len(g.progress) > 0 {
+			p := g.progress[0]
+			g.progress = g.progress[1:]
+			if len(g.progress) > 0 || len(g.ready) > 0 {
+				select {
+				case g.notify <- struct{}{}:
+				default:
+				}
+			}
+			g.mu.Unlock()
+			e := p.event
+			if enc.Encode(streamEvent{Type: "progress", JobID: p.jobID, Event: &e, Group: g.view()}) != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue
+		}
 		if len(g.ready) > 0 {
 			j := g.ready[0]
 			g.ready = g.ready[1:]
@@ -665,6 +758,7 @@ func (s *Server) apiGroupCancel(w http.ResponseWriter, r *http.Request, t *tenan
 	}
 	s.mu.Unlock()
 	for _, j := range canceled {
+		s.journalBestEffort(settleEntry(j))
 		g.deliver(j)
 	}
 	writeSync(w, http.StatusOK, g.view())
@@ -742,6 +836,7 @@ func (s *Server) Snapshot() Snapshot {
 	}
 	errCounts := oerrors.Counts()
 	snap.Errors = &errCounts
+	snap.Durable = s.DurableStats()
 	return snap
 }
 
@@ -749,27 +844,32 @@ func (s *Server) Snapshot() Snapshot {
 // state.
 func (s *Server) ServiceStats() ServiceStats {
 	st := ServiceStats{
-		Accepted:   s.st.accepted.Load(),
-		Rejected:   s.st.rejected.Load(),
-		Dispatched: s.st.dispatched.Load(),
-		Completed:  s.st.completed.Load(),
-		Failed:     s.st.failed.Load(),
-		Canceled:   s.st.canceled.Load(),
-		Recovered:  s.st.recovered.Load(),
+		Accepted:    s.st.accepted.Load(),
+		Rejected:    s.st.rejected.Load(),
+		RateLimited: s.st.rateLimited.Load(),
+		Dispatched:  s.st.dispatched.Load(),
+		Completed:   s.st.completed.Load(),
+		Failed:      s.st.failed.Load(),
+		Canceled:    s.st.canceled.Load(),
+		Recovered:   s.st.recovered.Load(),
+		Replayed:    s.st.replayed.Load(),
 	}
 	s.mu.Lock()
 	for _, t := range s.order {
 		st.Queued += len(t.queue)
 		st.Tenants = append(st.Tenants, TenantStats{
-			Name:      t.Name,
-			Priority:  t.Priority,
-			Weight:    t.weight,
-			Quota:     t.Quota,
-			InFlight:  t.inflight,
-			Queued:    len(t.queue),
-			Accepted:  t.accepted.Load(),
-			Rejected:  t.rejected.Load(),
-			Completed: t.completed.Load(),
+			Name:        t.Name,
+			Priority:    t.Priority,
+			Weight:      t.weight,
+			Quota:       t.Quota,
+			Rate:        t.Rate,
+			Burst:       t.Burst,
+			InFlight:    t.inflight,
+			Queued:      len(t.queue),
+			Accepted:    t.accepted.Load(),
+			Rejected:    t.rejected.Load(),
+			RateLimited: t.rateLimited.Load(),
+			Completed:   t.completed.Load(),
 		})
 	}
 	s.mu.Unlock()
@@ -847,6 +947,10 @@ func (s *Server) nextJob() *jobRec {
 // waiter that settles it and returns the dispatch slot.
 func (s *Server) launch(j *jobRec) {
 	s.st.dispatched.Add(1)
+	// A lost dispatch record only costs a redundant deterministic
+	// re-execution after a crash, so it does not gate the launch.
+	s.journalBestEffort(durable.Entry{Op: durable.OpDispatch, ID: j.id})
+	j.progress(JobEvent{Type: EventDispatched, Chunk: -1})
 	finish := func(res []byte, err error) {
 		s.complete(j, res, err)
 		s.slots <- struct{}{}
@@ -856,7 +960,7 @@ func (s *Server) launch(j *jobRec) {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			res, err := s.cfg.off.ParallelFor(j.name, j.n, j.arg)
+			res, err := s.cfg.off.ParallelForObserved(j.name, j.n, j.arg, &jobObserver{j: j})
 			finish(res, err)
 		}()
 		return
@@ -866,24 +970,32 @@ func (s *Server) launch(j *jobRec) {
 		finish(nil, err)
 		return
 	}
+	if s.cfg.hub != nil {
+		s.cfg.hub.bind(h.ID(), j)
+	}
 	s.wg.Add(1)
 	go func() {
 		defer s.wg.Done()
 		res, err := h.Wait(taskfabric.TimeoutInfinite)
+		if s.cfg.hub != nil {
+			s.cfg.hub.unbind(h.ID())
+		}
 		finish(res, err)
 	}()
 }
 
 // complete settles a dispatched job. A result recovered from a lost
 // domain (ErrDomainLost) is complete and correct — it settles as a
-// success with the recovered flag set.
+// success with the recovered flag set; so is a job re-executed after a
+// restart (replayed flag).
 func (s *Server) complete(j *jobRec, res []byte, err error) {
-	recovered := errors.Is(err, offload.ErrDomainLost)
+	recovered := errors.Is(err, offload.ErrDomainLost) || j.replayed
 	errMsg := ""
-	if err != nil && !recovered {
+	if err != nil && !errors.Is(err, offload.ErrDomainLost) {
 		errMsg = err.Error()
 	}
 	j.settle(res, errMsg, recovered)
+	s.journalBestEffort(settleEntry(j))
 	s.mu.Lock()
 	j.tenant.inflight--
 	s.mu.Unlock()

@@ -1,0 +1,45 @@
+package jobservice
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"openmpmca/internal/core"
+)
+
+// LoadTenantsFile reads a tenants file: one ParseTenant spec
+// ("name:key:quota:priority[:admin][:rate=R/B]") per line, with blank
+// lines and #-comments ignored. Because the file carries API keys it
+// must not be readable by group or others — anything looser than 0600
+// is refused, the same posture ssh takes with private keys.
+func LoadTenantsFile(path string) ([]Tenant, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobservice: tenants file: %w", err)
+	}
+	if perm := fi.Mode().Perm(); perm&0o077 != 0 {
+		return nil, fmt.Errorf("%w: jobservice: tenants file %s has mode %04o: keys demand 0600",
+			core.ErrInvalidOption, path, perm)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("jobservice: tenants file: %w", err)
+	}
+	var out []Tenant
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		t, err := ParseTenant(line)
+		if err != nil {
+			return nil, fmt.Errorf("jobservice: tenants file %s line %d: %w", path, i+1, err)
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%w: jobservice: tenants file %s defines no tenants", core.ErrInvalidOption, path)
+	}
+	return out, nil
+}

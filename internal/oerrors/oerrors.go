@@ -72,6 +72,15 @@ const (
 	CodeFrameFault    = "frame_fault"      // injected or detected frame damage (Transport)
 	CodeReadmit       = "readmit_conflict" // readmit of a live or contended domain (Domain)
 	CodeInternal      = "internal"         // unclassified internal error (Internal)
+
+	// Durable-store codes (internal/durable, the job service's
+	// write-ahead journal + snapshot replay).
+	CodeJournalCorrupt = "journal_corrupt" // journal record failed its CRC or framing (Internal)
+	CodeSnapshotTorn   = "snapshot_torn"   // snapshot file failed its CRC or framing (Internal)
+	CodeStoreClosed    = "store_closed"    // durable store closed (Cancel)
+	CodeStoreIO        = "store_io"        // state-dir I/O failure: open, append, fsync, rename (Internal)
+	CodeRateLimited    = "rate_limited"    // tenant over its token-bucket rate (Admission)
+	CodeTenantGone     = "tenant_gone"     // replayed job's tenant no longer configured (Admission)
 )
 
 // E is one classified error: a category, a stable code, a message and

@@ -51,6 +51,20 @@ type EventSink interface {
 	OffloadRecv(domain, chunk int)
 }
 
+// RegionObserver receives per-region progress callbacks from
+// ParallelForObserved, scoped to that one call: RegionStart announces
+// the chunk count, then ChunkDone fires once per chunk as its first
+// result is accepted (domain -1 = host-local execution). Unlike
+// EventSink — which is offloader-global and cannot attribute a chunk to
+// a caller — an observer belongs to exactly one region, which is what
+// the job service's per-job progress streams need. Callbacks run on the
+// region's scheduling goroutine: keep them fast and never call back
+// into the Offloader.
+type RegionObserver interface {
+	RegionStart(chunks int)
+	ChunkDone(chunk, domain int)
+}
+
 // config collects the tunables behind the Options.
 type config struct {
 	domains    int
@@ -477,6 +491,13 @@ type localResult struct {
 // elsewhere: the full result is still returned, together with an error
 // wrapping ErrDomainLost.
 func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error) {
+	return o.ParallelForObserved(kernel, n, arg, nil)
+}
+
+// ParallelForObserved is ParallelFor with a per-region observer: obs
+// (may be nil) sees the region's chunk count once it is fixed and one
+// ChunkDone per chunk as its first result is accepted.
+func (o *Offloader) ParallelForObserved(kernel string, n int, arg []byte, obs RegionObserver) ([]byte, error) {
 	if o.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -513,6 +534,9 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 		chunks = append(chunks, chunkRange{lo, hi})
 	}
 	nc := len(chunks)
+	if obs != nil {
+		obs.RegionStart(nc)
+	}
 	attempt := make([]uint32, nc)
 	forcedLocal := make([]bool, nc)
 	done := make([]bool, nc)
@@ -748,6 +772,9 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 				if o.cfg.sink != nil {
 					o.cfg.sink.OffloadRecv(l.d.id, ci)
 				}
+				if obs != nil {
+					obs.ChunkDone(ci, l.d.id)
+				}
 			case statusUnknownKernel:
 				return nil, oerrors.Errorf(oerrors.Internal, oerrors.CodeUnknownJob,
 					"offload: domain %s does not know kernel %q", l.d.name, kernel)
@@ -773,6 +800,9 @@ func (o *Offloader) ParallelFor(kernel string, n int, arg []byte) ([]byte, error
 				o.st.localChunks.Add(1)
 				if o.cfg.sink != nil {
 					o.cfg.sink.OffloadRecv(-1, lr.idx)
+				}
+				if obs != nil {
+					obs.ChunkDone(lr.idx, -1)
 				}
 			}
 
